@@ -1,0 +1,71 @@
+package bfc_test
+
+import (
+	"testing"
+
+	"bfc"
+)
+
+// TestPublicAPIQuickstart exercises the documented public workflow end to
+// end: build a topology, generate a workload, run BFC, inspect results.
+func TestPublicAPIQuickstart(t *testing.T) {
+	topo := bfc.NewSingleSwitch(8, 100*bfc.Gbps, bfc.Microsecond)
+	trace, err := bfc.GenerateWorkload(bfc.WorkloadConfig{
+		Hosts:    topo.Hosts(),
+		CDF:      bfc.GoogleWorkload(),
+		Load:     0.5,
+		HostRate: 100 * bfc.Gbps,
+		Duration: 200 * bfc.Microsecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bfc.DefaultOptions(bfc.SchemeBFC, topo)
+	opts.Duration = 200 * bfc.Microsecond
+	opts.Drain = bfc.Millisecond
+	res, err := bfc.Run(opts, trace.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlowsCompleted == 0 {
+		t.Fatal("no flows completed through the public API")
+	}
+	if res.FCT.OverallPercentile(99) < 1 {
+		t.Fatal("nonsensical slowdown")
+	}
+}
+
+func TestPublicAPISchemeComparison(t *testing.T) {
+	topo := bfc.NewT2()
+	if len(topo.Hosts()) != 64 {
+		t.Fatal("T2 should have 64 hosts")
+	}
+	if len(bfc.AllSchemes()) != 6 {
+		t.Fatal("expected the six Fig 5 schemes")
+	}
+	for _, s := range bfc.AllSchemes() {
+		if s.String() == "" {
+			t.Fatal("scheme must have a name")
+		}
+	}
+	// Ideal FCT of a 100 KB same-rack flow at 100 Gbps is ~10 us.
+	hosts := topo.Hosts()
+	f := &bfc.Flow{ID: 1, Src: hosts[0], Dst: hosts[1], Size: 100 * bfc.KB}
+	ideal := bfc.IdealFCT(topo, 1000, f)
+	if ideal < 8*bfc.Microsecond || ideal > 14*bfc.Microsecond {
+		t.Fatalf("ideal FCT = %v, want ~10us", ideal)
+	}
+}
+
+func TestPublicAPIWorkloadByName(t *testing.T) {
+	for _, name := range []string{"google", "fb_hadoop", "websearch"} {
+		cdf, err := bfc.WorkloadByName(name)
+		if err != nil || cdf == nil {
+			t.Fatalf("WorkloadByName(%q): %v", name, err)
+		}
+	}
+	if _, err := bfc.WorkloadByName("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

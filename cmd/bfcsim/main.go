@@ -1,0 +1,141 @@
+// Command bfcsim runs a single simulation: pick a scheme, a topology, a
+// workload and a load level, and it prints the flow-completion-time slowdown
+// table plus the aggregate statistics the paper reports.
+//
+// Example:
+//
+//	bfcsim -scheme bfc -topology t2 -workload google -load 0.6 -incast -duration 2ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"bfc"
+	"bfc/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		schemeName = flag.String("scheme", "bfc", "scheme: bfc, bfc-vfid, dcqcn, dcqcn+win, dcqcn+win+sfq, hpcc, ideal-fq")
+		topoName   = flag.String("topology", "t2", "topology: t1, t2, star:<hosts>")
+		wlName     = flag.String("workload", "google", "workload: google, fb_hadoop, websearch")
+		load       = flag.Float64("load", 0.6, "average background load (fraction of host capacity)")
+		incast     = flag.Bool("incast", false, "add 5% 100-to-1 incast traffic")
+		duration   = flag.Duration("duration", 2*time.Millisecond, "workload horizon")
+		drain      = flag.Duration("drain", 2*time.Millisecond, "extra drain time after the horizon")
+		seed       = flag.Int64("seed", 1, "random seed")
+		queues     = flag.Int("queues", 32, "physical queues per egress port")
+		buffer     = flag.Int("buffer-mb", 12, "switch shared buffer (MB)")
+	)
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := parseTopology(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cdf, err := bfc.WorkloadByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	simDuration := bfc.Time(duration.Nanoseconds()) * bfc.Nanosecond
+	wl := bfc.WorkloadConfig{
+		Hosts:    topo.Hosts(),
+		CDF:      cdf,
+		Load:     *load,
+		HostRate: 100 * bfc.Gbps,
+		Duration: simDuration,
+		Seed:     *seed,
+	}
+	if *incast {
+		wl.Incast = bfc.IncastConfig{
+			Enabled: true, FanIn: 100, AggregateSize: 20 * bfc.MB, LoadFraction: 0.05,
+		}
+	}
+	trace, err := bfc.GenerateWorkload(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := bfc.DefaultOptions(scheme, topo)
+	opts.Duration = simDuration
+	opts.Drain = bfc.Time(drain.Nanoseconds()) * bfc.Nanosecond
+	opts.NumQueues = *queues
+	opts.SwitchBuffer = bfc.Bytes(*buffer) * bfc.MB
+	opts.Seed = *seed
+
+	start := time.Now()
+	res, err := bfc.Run(opts, trace.Flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("scheme=%v topology=%s workload=%s load=%.0f%% incast=%v\n",
+		scheme, *topoName, cdf.Name, *load*100, *incast)
+	fmt.Printf("flows: %d offered, %d completed; simulated %v in %v (%d events)\n",
+		res.FlowsTotal, res.FlowsCompleted, res.Elapsed, elapsed.Round(time.Millisecond), res.Events)
+	fmt.Printf("utilization=%.2f drops=%d ecn-marks=%d pfc-pauses=%d bfc-frames=%d\n",
+		res.Utilization, res.Drops, res.ECNMarks, res.PFCPauses, res.BFCFrames)
+	fmt.Printf("buffer occupancy: p50=%v p99=%v max=%v\n",
+		units.Bytes(res.BufferOccupancy.Percentile(50)),
+		units.Bytes(res.BufferOccupancy.Percentile(99)),
+		res.MaxBufferOccupancy)
+	if res.Assignments > 0 {
+		fmt.Printf("bfc: pauses=%d resumes=%d collisions=%.4f max-active-flows=%d\n",
+			res.Pauses, res.Resumes, res.CollisionFraction(), res.MaxActiveFlows)
+	}
+	fmt.Println("\nFCT slowdown by flow size (non-incast traffic):")
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s\n", "bucket", "count", "mean", "p50", "p95", "p99")
+	for _, row := range res.FCT.Rows() {
+		fmt.Printf("%-12s %8d %8.2f %8.2f %8.2f %8.2f\n",
+			row.Bucket.Label, row.Count, row.Mean, row.P50, row.P95, row.P99)
+	}
+}
+
+func parseScheme(name string) (bfc.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "bfc":
+		return bfc.SchemeBFC, nil
+	case "bfc-vfid", "bfc-static":
+		return bfc.SchemeBFCStatic, nil
+	case "dcqcn":
+		return bfc.SchemeDCQCN, nil
+	case "dcqcn+win", "dcqcn-win":
+		return bfc.SchemeDCQCNWin, nil
+	case "dcqcn+win+sfq", "dcqcn-win-sfq":
+		return bfc.SchemeDCQCNWinSFQ, nil
+	case "hpcc":
+		return bfc.SchemeHPCC, nil
+	case "ideal-fq", "idealfq", "ideal":
+		return bfc.SchemeIdealFQ, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func parseTopology(name string) (*bfc.Topology, error) {
+	switch {
+	case strings.EqualFold(name, "t1"):
+		return bfc.NewT1(), nil
+	case strings.EqualFold(name, "t2"):
+		return bfc.NewT2(), nil
+	case strings.HasPrefix(strings.ToLower(name), "star:"):
+		var hosts int
+		if _, err := fmt.Sscanf(name[5:], "%d", &hosts); err != nil || hosts < 2 {
+			return nil, fmt.Errorf("invalid star topology %q (want star:<hosts>)", name)
+		}
+		return bfc.NewSingleSwitch(hosts, 100*bfc.Gbps, bfc.Microsecond), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

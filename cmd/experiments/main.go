@@ -1,0 +1,131 @@
+// Command experiments regenerates the paper's tables and figures. Each figure
+// has a named experiment (see DESIGN.md §3); the command prints the rows or
+// series the figure plots.
+//
+// Examples:
+//
+//	experiments -fig 5a            # headline result at reduced scale
+//	experiments -fig 8  -full      # incast fan-in sweep at paper scale
+//	experiments -fig all           # every figure, reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"bfc/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		fig  = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14 or all")
+		full = flag.Bool("full", false, "use paper-scale parameters (slow)")
+	)
+	flag.Parse()
+
+	scale := experiments.Reduced()
+	if *full {
+		scale = experiments.Full()
+	}
+	fmt.Printf("# scale: %s (%d ToR x %d hosts, %v horizon)\n\n",
+		scale.Name, scale.NumToR, scale.HostsPerToR, scale.Duration)
+
+	figs := strings.Split(strings.ToLower(*fig), ",")
+	if *fig == "all" {
+		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14"}
+	}
+	for _, f := range figs {
+		runFigure(strings.TrimSpace(f), scale)
+	}
+}
+
+func runFigure(fig string, scale experiments.Scale) {
+	switch fig {
+	case "1":
+		fmt.Println("## Fig 1: switch hardware trend")
+		for _, r := range experiments.Fig01HardwareTrend() {
+			fmt.Printf("  %-10s %d  %5.2f Tbps  %5.1f MB  %6.1f us buffer/capacity\n",
+				r.Chip, r.Year, r.CapacityTbps, r.BufferMB, r.BufferOverCapU)
+		}
+	case "2":
+		fmt.Println("## Fig 2: DCQCN (no PFC) buffer occupancy vs link speed")
+		for _, r := range experiments.Fig02BufferVsLinkSpeed(scale) {
+			fmt.Printf("  %-8v p50=%-10v p90=%-10v p99=%-10v max=%v\n", r.LinkRate, r.P50, r.P90, r.P99, r.Max)
+		}
+	case "3":
+		fmt.Println("## Fig 3: DCQCN p99 FCT slowdown vs buffer/capacity ratio")
+		for _, r := range experiments.Fig03BufferRatio(scale) {
+			fmt.Printf("  %5.0f us (%v): overall p99 slowdown %.2f\n", r.BufferPerCapacityUS, r.Buffer, r.Series.Overall)
+		}
+	case "4":
+		fmt.Println("## Fig 4: byte-weighted flow size CDFs")
+		for _, r := range experiments.Fig04WorkloadCDF() {
+			fmt.Printf("  %-10s bytes<=1BDP=%.2f flows<1KB=%.2f\n", r.Workload, r.BytesWithin1BDP, r.FlowsUnder1KB)
+		}
+	case "5a", "5b", "5c":
+		variant := map[string]experiments.Fig05Variant{
+			"5a": experiments.Fig05aGoogleIncast,
+			"5b": experiments.Fig05bFBHadoopIncast,
+			"5c": experiments.Fig05cGoogleNoIncast,
+		}[fig]
+		res := experiments.Fig05(scale, variant, nil)
+		fmt.Print(experiments.FormatSeries("## Fig "+fig+": p99 FCT slowdown by flow size", res.Series))
+	case "6":
+		fmt.Println("## Fig 6: buffer occupancy and PFC pause time (Fig 5a workload)")
+		res := experiments.Fig05(scale, experiments.Fig05aGoogleIncast, nil)
+		for _, s := range res.Series {
+			fmt.Printf("  %-14s p99 buffer=%-10v ToR->Spine paused=%.4f Spine->ToR paused=%.4f\n",
+				s.Label, res.BufferP99[s.Label],
+				res.PauseFraction[s.Label]["ToR->Spine"], res.PauseFraction[s.Label]["Spine->ToR"])
+		}
+	case "7":
+		res := experiments.Fig07StaticQueueAssignment(scale)
+		fmt.Print(experiments.FormatSeries("## Fig 7a: dynamic vs static queue assignment", res.Series))
+		for label, frac := range res.CollisionFraction {
+			fmt.Printf("  Fig 7b %-10s collision fraction = %.4f\n", label, frac)
+		}
+	case "8":
+		fmt.Println("## Fig 8: incast fan-in sweep")
+		for _, r := range experiments.Fig08IncastFanIn(scale) {
+			fmt.Printf("  %-10s fanin=%-4d utilization=%.2f p99buffer=%v\n", r.Scheme, r.FanIn, r.Utilization, r.BufferP99)
+		}
+	case "9":
+		fmt.Println("## Fig 9: cross-data-center tail latency")
+		for _, r := range experiments.Fig09CrossDC(scale) {
+			fmt.Printf("  %-10s intra-p99=%.2f inter-p99=%.2f\n", r.Scheme, r.IntraP99, r.InterP99)
+		}
+	case "10":
+		fmt.Println("## Fig 10: physical queue size vs concurrent flows")
+		for _, r := range experiments.Fig10BufferOptimization(scale) {
+			fmt.Printf("  %-14s flows=%-4d queueP99=%-10v (2-hop BDP=%v)\n", r.Scheme, r.ConcurrentFlows, r.QueueP99, r.TwoHopBDP)
+		}
+	case "11":
+		res := experiments.Fig11HighPriorityQueue(scale)
+		fmt.Print(experiments.FormatSeries("## Fig 11: high-priority queue ablation", res.Series))
+		for label, q := range res.OccupiedQueuesP99 {
+			fmt.Printf("  %-18s p99 occupied queues = %.1f\n", label, q)
+		}
+	case "12":
+		fmt.Println("## Fig 12: sensitivity to number of physical queues")
+		for _, r := range experiments.Fig12NumPhysicalQueues(scale) {
+			fmt.Printf("  queues=%-4d collisions=%.4f p99slowdown=%.2f\n", r.Parameter, r.CollisionFraction, r.Series.Overall)
+		}
+	case "13":
+		fmt.Println("## Fig 13: sensitivity to VFID table size")
+		for _, r := range experiments.Fig13NumVFIDs(scale) {
+			fmt.Printf("  vfids=%-6d collisions=%.5f overflows=%.5f p99slowdown=%.2f\n",
+				r.Parameter, r.CollisionFraction, r.OverflowFraction, r.Series.Overall)
+		}
+	case "14":
+		fmt.Println("## Fig 14: sensitivity to bloom filter size")
+		for _, r := range experiments.Fig14BloomFilterSize(scale) {
+			fmt.Printf("  bloom=%-4dB p99slowdown=%.2f\n", r.Parameter, r.Series.Overall)
+		}
+	default:
+		log.Fatalf("unknown figure %q", fig)
+	}
+	fmt.Println()
+}

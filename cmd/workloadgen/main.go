@@ -1,0 +1,74 @@
+// Command workloadgen inspects the embedded workload distributions and
+// generates synthetic traces as CSV for external analysis.
+//
+// Examples:
+//
+//	workloadgen -cdf                      # print the three Fig 4 distributions
+//	workloadgen -workload google -load 0.6 -hosts 64 -duration 2ms > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bfc"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		printCDF = flag.Bool("cdf", false, "print flow-count and byte-weighted CDFs of the built-in workloads")
+		wlName   = flag.String("workload", "google", "workload: google, fb_hadoop, websearch")
+		load     = flag.Float64("load", 0.6, "target load")
+		hosts    = flag.Int("hosts", 64, "number of hosts")
+		duration = flag.Duration("duration", 2*time.Millisecond, "trace horizon")
+		seed     = flag.Int64("seed", 1, "random seed")
+		incast   = flag.Bool("incast", false, "add 5% 100-to-1 incast")
+	)
+	flag.Parse()
+
+	if *printCDF {
+		for _, name := range []string{"google", "fb_hadoop", "websearch"} {
+			cdf, err := bfc.WorkloadByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("# %s (size_bytes, flow_cdf, byte_cdf); mean=%v\n", cdf.Name, cdf.Mean())
+			bw := cdf.ByteWeightedCDF()
+			for i, p := range cdf.Points() {
+				fmt.Printf("%d,%.4f,%.4f\n", p.Size, p.Cum, bw[i].Cum)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	cdf, err := bfc.WorkloadByName(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := bfc.NewSingleSwitch(*hosts, 100*bfc.Gbps, bfc.Microsecond)
+	cfg := bfc.WorkloadConfig{
+		Hosts:    topo.Hosts(),
+		CDF:      cdf,
+		Load:     *load,
+		HostRate: 100 * bfc.Gbps,
+		Duration: bfc.Time(duration.Nanoseconds()) * bfc.Nanosecond,
+		Seed:     *seed,
+	}
+	if *incast {
+		cfg.Incast = bfc.IncastConfig{Enabled: true, FanIn: 100, AggregateSize: 20 * bfc.MB, LoadFraction: 0.05}
+	}
+	trace, err := bfc.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("# flow_id,src,dst,size_bytes,start_ps,incast")
+	for _, f := range trace.Flows {
+		fmt.Printf("%d,%d,%d,%d,%d,%v\n", f.ID, f.Src, f.Dst, f.Size, int64(f.StartTime), f.IsIncast)
+	}
+	log.Printf("generated %d flows (%v background + %v incast bytes, offered load %.2f)",
+		len(trace.Flows), trace.BackgroundBytes, trace.IncastBytes, trace.OfferedLoad)
+}

@@ -1,0 +1,53 @@
+// Quickstart: run BFC on a small leaf-spine fabric under a realistic Google
+// workload and print the tail-latency table — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bfc"
+)
+
+func main() {
+	// A small two-tier Clos: 2 racks of 8 hosts, 2 spines, 100 Gbps links.
+	topo := bfc.NewClos(bfc.ClosConfig{
+		Name:        "quickstart",
+		NumToR:      2,
+		NumSpine:    2,
+		HostsPerToR: 8,
+		LinkRate:    100 * bfc.Gbps,
+		LinkDelay:   bfc.Microsecond,
+	})
+
+	// Synthesize 60% load from the Google all-apps flow-size distribution.
+	trace, err := bfc.GenerateWorkload(bfc.WorkloadConfig{
+		Hosts:    topo.Hosts(),
+		CDF:      bfc.GoogleWorkload(),
+		Load:     0.6,
+		HostRate: 100 * bfc.Gbps,
+		Duration: 500 * bfc.Microsecond,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d flows (offered load %.2f)\n", len(trace.Flows), trace.OfferedLoad)
+
+	// Run the BFC scheme with the paper's switch configuration.
+	opts := bfc.DefaultOptions(bfc.SchemeBFC, topo)
+	opts.Duration = 500 * bfc.Microsecond
+	res, err := bfc.Run(opts, trace.Flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("completed %d/%d flows, utilization %.2f, %d BFC pauses, %d pause frames\n",
+		res.FlowsCompleted, res.FlowsTotal, res.Utilization, res.Pauses, res.BFCFrames)
+	fmt.Println("\nFCT slowdown by flow size:")
+	fmt.Printf("%-12s %8s %8s %8s\n", "bucket", "count", "p50", "p99")
+	for _, row := range res.FCT.Rows() {
+		fmt.Printf("%-12s %8d %8.2f %8.2f\n", row.Bucket.Label, row.Count, row.P50, row.P99)
+	}
+}

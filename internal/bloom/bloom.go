@@ -1,0 +1,260 @@
+// Package bloom implements the multistage bloom filters BFC uses to
+// communicate per-flow pauses between switches (§3.6 of the paper).
+//
+// Two structures are provided:
+//
+//   - Filter: the wire representation carried in a pause frame. It is a plain
+//     bit vector; membership is tested with k independent hash positions.
+//   - Counting: the switch-internal counting bloom filter. Each position is a
+//     small counter so that pausing two flows that collide on a bit and later
+//     resuming one of them leaves the bit set for the other (§3.6).
+//
+// The upstream switch receives a Filter and tests the VFID at the head of
+// each physical queue against it; the downstream switch maintains a Counting
+// filter per ingress link and snapshots it into a Filter every pause-frame
+// interval.
+package bloom
+
+import (
+	"fmt"
+	"math"
+
+	"bfc/internal/packet"
+)
+
+// DefaultHashes is the number of hash functions used by the paper's
+// evaluation (4).
+const DefaultHashes = 4
+
+// DefaultSizeBytes is the paper's pause-frame bloom filter size (128 bytes).
+const DefaultSizeBytes = 128
+
+// Params configures a pause-frame bloom filter.
+type Params struct {
+	// SizeBytes is the size of the bit vector in bytes (16–128 in the paper's
+	// sensitivity study, Fig 14).
+	SizeBytes int
+	// Hashes is the number of hash positions per element.
+	Hashes int
+}
+
+// DefaultParams returns the configuration used in the paper's main
+// experiments.
+func DefaultParams() Params {
+	return Params{SizeBytes: DefaultSizeBytes, Hashes: DefaultHashes}
+}
+
+func (p Params) validate() {
+	if p.SizeBytes <= 0 {
+		panic("bloom: SizeBytes must be positive")
+	}
+	if p.Hashes <= 0 || p.Hashes > 16 {
+		panic("bloom: Hashes must be in [1,16]")
+	}
+}
+
+// bits returns the number of bit positions.
+func (p Params) bits() int { return p.SizeBytes * 8 }
+
+// positions computes the p.Hashes bit positions for a VFID. The hash family
+// is the standard double-hashing construction g_i(x) = h1(x) + i*h2(x), which
+// gives independent-enough positions for bloom filter purposes.
+func (p Params) positions(v packet.VFID, out []int) []int {
+	out = out[:0]
+	m := uint64(p.bits())
+	h1 := splitmix64(uint64(v) + 0x9e3779b97f4a7c15)
+	h2 := splitmix64(uint64(v) ^ 0xbf58476d1ce4e5b9)
+	// Force h2 odd so the probe sequence covers all positions for power-of-two m.
+	h2 |= 1
+	for i := 0; i < p.Hashes; i++ {
+		out = append(out, int((h1+uint64(i)*h2)%m))
+	}
+	return out
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Filter is the wire-format pause bloom filter: a bit for every position, set
+// if some paused VFID hashes there.
+type Filter struct {
+	params Params
+	bits   []uint64
+}
+
+// NewFilter returns an empty filter.
+func NewFilter(p Params) *Filter {
+	p.validate()
+	words := (p.bits() + 63) / 64
+	return &Filter{params: p, bits: make([]uint64, words)}
+}
+
+// Params returns the filter configuration.
+func (f *Filter) Params() Params { return f.params }
+
+// Add marks a VFID as paused.
+func (f *Filter) Add(v packet.VFID) {
+	var buf [16]int
+	for _, pos := range f.params.positions(v, buf[:0]) {
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// Contains reports whether the VFID matches the filter (i.e. should be
+// treated as paused). False positives are possible; false negatives are not.
+func (f *Filter) Contains(v packet.VFID) bool {
+	var buf [16]int
+	for _, pos := range f.params.positions(v, buf[:0]) {
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether no bits are set (no flows paused).
+func (f *Filter) Empty() bool {
+	for _, w := range f.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy; used when a pause frame is "transmitted" so the
+// receiver's view does not alias the sender's mutable state.
+func (f *Filter) Clone() *Filter {
+	c := &Filter{params: f.params, bits: make([]uint64, len(f.bits))}
+	copy(c.bits, f.bits)
+	return c
+}
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// SetBits returns the number of set bit positions (diagnostics).
+func (f *Filter) SetBits() int {
+	n := 0
+	for _, w := range f.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// WireSize returns the size in bytes of the filter when carried in a pause
+// frame (the bit vector itself; framing overhead is accounted for by the
+// caller).
+func (f *Filter) WireSize() int { return f.params.SizeBytes }
+
+// FalsePositiveRate estimates the current false-positive probability given
+// the number of set bits, using the standard (1 - e^{-kn/m})^k approximation
+// evaluated from the actual fill factor.
+func (f *Filter) FalsePositiveRate() float64 {
+	fill := float64(f.SetBits()) / float64(f.params.bits())
+	return math.Pow(fill, float64(f.params.Hashes))
+}
+
+// String summarizes the filter.
+func (f *Filter) String() string {
+	return fmt.Sprintf("bloom{%dB,k=%d,set=%d}", f.params.SizeBytes, f.params.Hashes, f.SetBits())
+}
+
+// Counting is the downstream switch's per-ingress counting bloom filter. Add
+// increments the counters for a VFID's positions; Remove decrements them. A
+// bit in the transmitted Filter is set iff its counter is non-zero, so a VFID
+// remains paused as long as any colliding VFID is still paused (§3.6).
+type Counting struct {
+	params Params
+	counts []uint16
+	// members tracks how many VFIDs are currently inserted (diagnostics).
+	members int
+}
+
+// NewCounting returns an empty counting filter.
+func NewCounting(p Params) *Counting {
+	p.validate()
+	return &Counting{params: p, counts: make([]uint16, p.bits())}
+}
+
+// Params returns the filter configuration.
+func (c *Counting) Params() Params { return c.params }
+
+// Add registers a paused VFID. Calling Add for a VFID that is already paused
+// is the caller's responsibility to avoid (the switch tracks pause state per
+// flow-table entry).
+func (c *Counting) Add(v packet.VFID) {
+	var buf [16]int
+	for _, pos := range c.params.positions(v, buf[:0]) {
+		if c.counts[pos] == math.MaxUint16 {
+			panic("bloom: counting filter counter overflow")
+		}
+		c.counts[pos]++
+	}
+	c.members++
+}
+
+// Remove unregisters a paused VFID. Removing a VFID that was never added
+// corrupts the filter; the switch only calls Remove for flows it marked
+// paused.
+func (c *Counting) Remove(v packet.VFID) {
+	var buf [16]int
+	for _, pos := range c.params.positions(v, buf[:0]) {
+		if c.counts[pos] == 0 {
+			panic("bloom: counting filter counter underflow")
+		}
+		c.counts[pos]--
+	}
+	c.members--
+}
+
+// Contains reports whether the VFID currently matches (all counters
+// non-zero).
+func (c *Counting) Contains(v packet.VFID) bool {
+	var buf [16]int
+	for _, pos := range c.params.positions(v, buf[:0]) {
+		if c.counts[pos] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the number of VFIDs currently registered.
+func (c *Counting) Members() int { return c.members }
+
+// Snapshot produces the wire Filter representing the current pause set.
+func (c *Counting) Snapshot() *Filter {
+	f := NewFilter(c.params)
+	for pos, cnt := range c.counts {
+		if cnt > 0 {
+			f.bits[pos/64] |= 1 << (pos % 64)
+		}
+	}
+	return f
+}
+
+// Reset clears all counters.
+func (c *Counting) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+	c.members = 0
+}

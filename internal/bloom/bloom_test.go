@@ -1,0 +1,245 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bfc/internal/packet"
+)
+
+func TestFilterAddContains(t *testing.T) {
+	f := NewFilter(DefaultParams())
+	vfids := []packet.VFID{1, 42, 16383, 9999}
+	for _, v := range vfids {
+		if f.Contains(v) {
+			t.Fatalf("empty filter contains %d", v)
+		}
+	}
+	for _, v := range vfids {
+		f.Add(v)
+	}
+	for _, v := range vfids {
+		if !f.Contains(v) {
+			t.Fatalf("filter missing added VFID %d (bloom filters never have false negatives)", v)
+		}
+	}
+}
+
+func TestFilterEmptyResetClone(t *testing.T) {
+	f := NewFilter(DefaultParams())
+	if !f.Empty() {
+		t.Fatal("new filter should be empty")
+	}
+	f.Add(7)
+	if f.Empty() || f.SetBits() == 0 {
+		t.Fatal("filter with element should not be empty")
+	}
+	c := f.Clone()
+	f.Reset()
+	if !f.Empty() {
+		t.Fatal("reset filter should be empty")
+	}
+	if !c.Contains(7) {
+		t.Fatal("clone should be independent of the original")
+	}
+	if c.WireSize() != DefaultSizeBytes {
+		t.Fatalf("wire size = %d, want %d", c.WireSize(), DefaultSizeBytes)
+	}
+}
+
+func TestFilterFalsePositiveRateLow(t *testing.T) {
+	// Paper §3.6: with at most 32 queued flows paused per ingress and a
+	// 128-byte filter with 4 hashes, false positives should be rare. Measure
+	// empirically with 32 inserted VFIDs and 100k probes.
+	f := NewFilter(DefaultParams())
+	rng := rand.New(rand.NewSource(1))
+	inserted := map[packet.VFID]bool{}
+	for len(inserted) < 32 {
+		v := packet.VFID(rng.Intn(16384))
+		if !inserted[v] {
+			inserted[v] = true
+			f.Add(v)
+		}
+	}
+	fp := 0
+	probes := 0
+	for v := packet.VFID(20000); v < 120000; v++ {
+		probes++
+		if f.Contains(v) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 1e-3 {
+		t.Fatalf("false positive rate %.5f too high for 32/1024 bits", rate)
+	}
+	if est := f.FalsePositiveRate(); est > 1e-3 {
+		t.Fatalf("estimated false positive rate %.5f too high", est)
+	}
+}
+
+func TestSmallFilterHasMoreFalsePositives(t *testing.T) {
+	// Fig 14 rationale: a 16-byte filter with many paused flows produces more
+	// false positives than a 128-byte one.
+	small := NewFilter(Params{SizeBytes: 16, Hashes: 4})
+	large := NewFilter(Params{SizeBytes: 128, Hashes: 4})
+	for v := packet.VFID(0); v < 60; v++ {
+		small.Add(v * 37)
+		large.Add(v * 37)
+	}
+	if small.FalsePositiveRate() <= large.FalsePositiveRate() {
+		t.Fatalf("small filter fp=%.4f should exceed large fp=%.4f",
+			small.FalsePositiveRate(), large.FalsePositiveRate())
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	assertPanics(t, func() { NewFilter(Params{SizeBytes: 0, Hashes: 4}) })
+	assertPanics(t, func() { NewFilter(Params{SizeBytes: 128, Hashes: 0}) })
+	assertPanics(t, func() { NewFilter(Params{SizeBytes: 128, Hashes: 17}) })
+	assertPanics(t, func() { NewCounting(Params{SizeBytes: -1, Hashes: 4}) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCountingAddRemove(t *testing.T) {
+	c := NewCounting(DefaultParams())
+	c.Add(5)
+	c.Add(9)
+	if !c.Contains(5) || !c.Contains(9) {
+		t.Fatal("counting filter missing added members")
+	}
+	if c.Members() != 2 {
+		t.Fatalf("members = %d, want 2", c.Members())
+	}
+	c.Remove(5)
+	if c.Contains(5) && !c.Contains(9) {
+		t.Fatal("filter corrupted after removal")
+	}
+	if !c.Contains(9) {
+		t.Fatal("removing one member must not evict another (counting semantics)")
+	}
+	c.Remove(9)
+	if c.Members() != 0 {
+		t.Fatalf("members = %d, want 0", c.Members())
+	}
+	if c.Contains(9) {
+		t.Fatal("empty counting filter should contain nothing")
+	}
+}
+
+func TestCountingCollisionSemantics(t *testing.T) {
+	// Two colliding VFIDs: removing one must keep the other paused. With a
+	// tiny 1-byte filter and 1 hash, collisions are easy to force.
+	p := Params{SizeBytes: 1, Hashes: 1}
+	c := NewCounting(p)
+	// find two VFIDs colliding on the same position
+	var buf [16]int
+	target := p.positions(1, buf[:0])[0]
+	var other packet.VFID
+	for v := packet.VFID(2); ; v++ {
+		if p.positions(v, buf[:0])[0] == target {
+			other = v
+			break
+		}
+	}
+	c.Add(1)
+	c.Add(other)
+	c.Remove(1)
+	if !c.Contains(other) {
+		t.Fatal("counting filter lost a member after removing a colliding one")
+	}
+}
+
+func TestCountingUnderflowPanics(t *testing.T) {
+	c := NewCounting(DefaultParams())
+	assertPanics(t, func() { c.Remove(3) })
+}
+
+func TestSnapshotMatchesCounting(t *testing.T) {
+	c := NewCounting(DefaultParams())
+	vfids := []packet.VFID{3, 77, 1024, 9000}
+	for _, v := range vfids {
+		c.Add(v)
+	}
+	snap := c.Snapshot()
+	for _, v := range vfids {
+		if !snap.Contains(v) {
+			t.Fatalf("snapshot missing %d", v)
+		}
+	}
+	c.Reset()
+	if c.Members() != 0 || c.Contains(3) {
+		t.Fatal("reset should clear the counting filter")
+	}
+	// Snapshot taken before reset is unaffected.
+	if !snap.Contains(3) {
+		t.Fatal("snapshot should be independent of the counting filter")
+	}
+}
+
+// Property: no false negatives — anything added to a Filter is always
+// contained; anything added to a Counting and not removed is contained, and
+// its snapshot agrees.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	prop := func(raw []uint32, sizeIdx uint8) bool {
+		sizes := []int{16, 32, 64, 128}
+		p := Params{SizeBytes: sizes[int(sizeIdx)%len(sizes)], Hashes: 4}
+		f := NewFilter(p)
+		c := NewCounting(p)
+		for _, r := range raw {
+			v := packet.VFID(r % 65536)
+			f.Add(v)
+			c.Add(v)
+		}
+		snap := c.Snapshot()
+		for _, r := range raw {
+			v := packet.VFID(r % 65536)
+			if !f.Contains(v) || !c.Contains(v) || !snap.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: add/remove sequences on Counting never let membership of a
+// still-present VFID disappear.
+func TestCountingAddRemoveProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCounting(Params{SizeBytes: 32, Hashes: 4})
+		present := map[packet.VFID]int{}
+		for i := 0; i < int(n); i++ {
+			v := packet.VFID(rng.Intn(512))
+			if rng.Intn(2) == 0 || present[v] == 0 {
+				c.Add(v)
+				present[v]++
+			} else {
+				c.Remove(v)
+				present[v]--
+			}
+			for pv, cnt := range present {
+				if cnt > 0 && !c.Contains(pv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package cc defines the per-flow congestion-control interface the simulated
+// NIC consults before sending data, plus the trivial controllers (no control,
+// fixed window cap). The DCQCN and HPCC state machines live in subpackages.
+package cc
+
+import (
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// Controller is the per-flow congestion control state machine. The NIC
+// enforces both the window (bytes in flight cap) and the pacing rate the
+// controller reports; a zero value for either means "no limit".
+type Controller interface {
+	// OnAck is invoked for every cumulative ACK the sender receives for the
+	// flow. ackedBytes is the number of newly acknowledged payload bytes,
+	// ecnEcho reports whether the ACK echoed an ECN mark, and intHops carries
+	// the HPCC telemetry reflected by the receiver (nil for other schemes).
+	OnAck(now units.Time, ackedBytes units.Bytes, ecnEcho bool, intHops []packet.INTHop)
+	// OnCNP is invoked when a DCQCN congestion notification packet arrives
+	// for the flow.
+	OnCNP(now units.Time)
+	// Window returns the current congestion window in bytes (0 = unlimited).
+	Window() units.Bytes
+	// Rate returns the current pacing rate (0 = line rate, i.e. unpaced).
+	Rate() units.Rate
+}
+
+// None is a controller with no limits: the flow sends at line rate, as BFC
+// senders do (flow control happens hop by hop in the fabric).
+type None struct{}
+
+// OnAck implements Controller.
+func (None) OnAck(units.Time, units.Bytes, bool, []packet.INTHop) {}
+
+// OnCNP implements Controller.
+func (None) OnCNP(units.Time) {}
+
+// Window implements Controller.
+func (None) Window() units.Bytes { return 0 }
+
+// Rate implements Controller.
+func (None) Rate() units.Rate { return 0 }
+
+// FixedWindow caps bytes in flight at a constant window (the "+Win" variants
+// and Ideal-FQ use one base-RTT bandwidth-delay product).
+type FixedWindow struct {
+	W units.Bytes
+}
+
+// OnAck implements Controller.
+func (FixedWindow) OnAck(units.Time, units.Bytes, bool, []packet.INTHop) {}
+
+// OnCNP implements Controller.
+func (FixedWindow) OnCNP(units.Time) {}
+
+// Window implements Controller.
+func (f FixedWindow) Window() units.Bytes { return f.W }
+
+// Rate implements Controller.
+func (FixedWindow) Rate() units.Rate { return 0 }

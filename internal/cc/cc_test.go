@@ -1,0 +1,28 @@
+package cc
+
+import (
+	"testing"
+
+	"bfc/internal/units"
+)
+
+func TestNone(t *testing.T) {
+	var c Controller = None{}
+	c.OnAck(0, 1000, true, nil)
+	c.OnCNP(0)
+	if c.Window() != 0 || c.Rate() != 0 {
+		t.Fatal("None controller must report no limits")
+	}
+}
+
+func TestFixedWindow(t *testing.T) {
+	var c Controller = FixedWindow{W: 100 * units.KB}
+	c.OnAck(0, 1000, true, nil)
+	c.OnCNP(0)
+	if c.Window() != 100*units.KB {
+		t.Fatalf("window = %v, want 100KB", c.Window())
+	}
+	if c.Rate() != 0 {
+		t.Fatal("fixed window controller must not pace")
+	}
+}

@@ -1,0 +1,201 @@
+// Package hpcc implements the HPCC congestion control algorithm (Li et al.,
+// SIGCOMM 2019) used as the paper's strongest end-to-end baseline.
+//
+// HPCC is window based: every data packet collects in-band network telemetry
+// (per-hop queue length, transmitted bytes, link capacity, timestamp), the
+// receiver reflects the telemetry on the ACK, and the sender computes the
+// most-utilized link's normalized utilization U. The window is adjusted
+// multiplicatively toward the target utilization η with a small additive
+// term, at most once per RTT (with up to maxStage per-ACK sub-steps).
+package hpcc
+
+import (
+	"fmt"
+
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// Params are the HPCC knobs; the defaults follow the paper's evaluation
+// (η = 0.95, maxStage = 5).
+type Params struct {
+	// LineRate is the host link rate (window ceiling is LineRate * BaseRTT).
+	LineRate units.Rate
+	// BaseRTT is the unloaded end-to-end RTT T used to normalize telemetry.
+	BaseRTT units.Time
+	// Eta is the target link utilization (0.95).
+	Eta float64
+	// MaxStage is the number of per-ACK additive sub-steps per RTT (5).
+	MaxStage int
+	// WAI is the additive increase in bytes per adjustment; the HPCC paper
+	// sizes it so that N flows converge; a small fraction of the BDP works
+	// well.
+	WAI units.Bytes
+	// MinWindow floors the window at one MTU so flows always make progress.
+	MinWindow units.Bytes
+}
+
+// DefaultParams returns the parameter set from the paper for a given line
+// rate and base RTT.
+func DefaultParams(lineRate units.Rate, baseRTT units.Time) Params {
+	bdp := units.BDP(lineRate, baseRTT)
+	wai := bdp / 200
+	if wai < 1 {
+		wai = 1
+	}
+	return Params{
+		LineRate:  lineRate,
+		BaseRTT:   baseRTT,
+		Eta:       0.95,
+		MaxStage:  5,
+		WAI:       wai,
+		MinWindow: 1024,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.LineRate <= 0 || p.BaseRTT <= 0 {
+		return fmt.Errorf("hpcc: line rate and base RTT must be positive")
+	}
+	if p.Eta <= 0 || p.Eta > 1 {
+		return fmt.Errorf("hpcc: eta %v out of range", p.Eta)
+	}
+	if p.MaxStage <= 0 {
+		return fmt.Errorf("hpcc: maxStage must be positive")
+	}
+	if p.WAI <= 0 || p.MinWindow <= 0 {
+		return fmt.Errorf("hpcc: WAI and MinWindow must be positive")
+	}
+	return nil
+}
+
+// Controller is the per-flow HPCC sender state machine. It implements
+// cc.Controller.
+type Controller struct {
+	p Params
+
+	window  units.Bytes // W
+	wc      units.Bytes // reference window W_c
+	stage   int
+	prev    []packet.INTHop
+	lastU   float64
+	updates uint64
+
+	// lastUpdateBytes implements the "once per RTT" reference update: the
+	// reference window W_c is refreshed when the cumulative acked bytes pass
+	// the point recorded at the previous refresh.
+	ackedBytes      units.Bytes
+	nextUpdateBytes units.Bytes
+}
+
+// New creates a controller with the window starting at one BDP.
+func New(p Params) *Controller {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	bdp := units.BDP(p.LineRate, p.BaseRTT)
+	return &Controller{p: p, window: bdp, wc: bdp}
+}
+
+// Window implements cc.Controller.
+func (c *Controller) Window() units.Bytes { return c.window }
+
+// Rate implements cc.Controller: HPCC paces at W/T.
+func (c *Controller) Rate() units.Rate {
+	return units.RateFromBytes(c.window, c.p.BaseRTT)
+}
+
+// OnCNP implements cc.Controller (HPCC ignores CNPs).
+func (c *Controller) OnCNP(units.Time) {}
+
+// LastUtilization returns the most recent max-link utilization estimate (for
+// tests and tracing).
+func (c *Controller) LastUtilization() float64 { return c.lastU }
+
+// Updates returns the number of ACKs processed.
+func (c *Controller) Updates() uint64 { return c.updates }
+
+// OnAck implements cc.Controller: processes the reflected INT stack.
+func (c *Controller) OnAck(now units.Time, ackedBytes units.Bytes, _ bool, intHops []packet.INTHop) {
+	c.ackedBytes += ackedBytes
+	if len(intHops) == 0 {
+		return
+	}
+	c.updates++
+	u := c.measureUtilization(intHops)
+	c.lastU = u
+
+	updateRef := c.ackedBytes >= c.nextUpdateBytes
+
+	if u >= c.p.Eta || c.stage >= c.p.MaxStage {
+		// Multiplicative adjustment toward eta plus additive probe.
+		newW := units.Bytes(float64(c.wc)/(u/c.p.Eta)) + c.p.WAI
+		c.setWindow(newW)
+		if updateRef {
+			c.wc = c.window
+			c.stage = 0
+			c.nextUpdateBytes = c.ackedBytes + c.window
+		}
+	} else {
+		// Additive-only sub-step.
+		c.setWindow(c.wc + c.p.WAI*units.Bytes(c.stage+1))
+		if updateRef {
+			c.wc = c.window
+			c.stage++
+			c.nextUpdateBytes = c.ackedBytes + c.window
+		}
+	}
+	c.prev = append(c.prev[:0], intHops...)
+}
+
+func (c *Controller) setWindow(w units.Bytes) {
+	maxW := units.BDP(c.p.LineRate, c.p.BaseRTT)
+	if w > maxW {
+		w = maxW
+	}
+	if w < c.p.MinWindow {
+		w = c.p.MinWindow
+	}
+	c.window = w
+}
+
+// measureUtilization computes max-link normalized utilization from the INT
+// stack, using tx-rate deltas against the previous stack where available.
+func (c *Controller) measureUtilization(hops []packet.INTHop) float64 {
+	maxU := 0.0
+	for i, h := range hops {
+		if h.Rate <= 0 {
+			continue
+		}
+		bdp := float64(units.BDP(h.Rate, c.p.BaseRTT))
+		if bdp <= 0 {
+			bdp = 1
+		}
+		qTerm := float64(h.QLen) / bdp
+		txTerm := 0.0
+		if i < len(c.prev) {
+			p := c.prev[i]
+			dt := h.TS - p.TS
+			db := h.TxBytes - p.TxBytes
+			if dt > 0 && db >= 0 {
+				txRate := float64(db) * 8 / dt.Seconds()
+				txTerm = txRate / float64(h.Rate)
+			}
+		} else {
+			// No previous sample for this hop: assume the link is busy in
+			// proportion to its queue only.
+			txTerm = 0
+		}
+		u := qTerm + txTerm
+		if u > maxU {
+			maxU = u
+		}
+	}
+	if maxU <= 0 {
+		// Telemetry shows an idle path; report a small utilization so the
+		// window grows.
+		maxU = 0.01
+	}
+	return maxU
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bfc/internal/bloom"
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// fakeView is a controllable PortView for engine unit tests.
+type fakeView struct {
+	active map[int]int
+	paused map[[2]int]bool
+	rate   units.Rate
+}
+
+func newFakeView(rate units.Rate) *fakeView {
+	return &fakeView{active: map[int]int{}, paused: map[[2]int]bool{}, rate: rate}
+}
+
+func (v *fakeView) ActiveQueues(egress int) int { return v.active[egress] }
+func (v *fakeView) QueuePausedByDownstream(egress, queue int) bool {
+	return v.paused[[2]int{egress, queue}]
+}
+func (v *fakeView) LinkRate(egress int) units.Rate { return v.rate }
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.QueuesPerPort = 8
+	return cfg
+}
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *fakeView) {
+	t.Helper()
+	view := newFakeView(100 * units.Gbps)
+	return NewEngine(cfg, 4, view), view
+}
+
+func mkFlow(id int, src, dst int32) *packet.Flow {
+	return &packet.Flow{
+		ID:      packet.FlowID(id),
+		Src:     packet.NodeID(src),
+		Dst:     packet.NodeID(dst),
+		SrcPort: uint16(10000 + id),
+		DstPort: 4791,
+		Size:    1 << 20,
+	}
+}
+
+func dataPkt(f *packet.Flow, seq int, size units.Bytes, first bool) *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, Flow: f, Seq: seq, Size: size, First: first}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.QueuesPerPort = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero queues")
+	}
+	bad = DefaultConfig()
+	bad.NumVFIDs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero VFIDs")
+	}
+	bad = DefaultConfig()
+	bad.HRTT = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero HRTT")
+	}
+	bad = DefaultConfig()
+	bad.ResumePerInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero resume budget")
+	}
+	assertPanics(t, func() { NewEngine(bad, 4, newFakeView(units.Gbps)) })
+	assertPanics(t, func() { NewEngine(DefaultConfig(), 0, newFakeView(units.Gbps)) })
+	assertPanics(t, func() { NewEngine(DefaultConfig(), 4, nil) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestPauseThreshold(t *testing.T) {
+	cfg := testConfig()
+	e, view := newTestEngine(t, cfg)
+	// (HRTT + Tau) = 3 us at 100 Gbps = 37500 bytes with Nactive = 1.
+	view.active[1] = 1
+	if th := e.PauseThreshold(1, 0); th != 37500 {
+		t.Fatalf("threshold = %d, want 37500", th)
+	}
+	// With 3 active queues the per-queue share drops to a third.
+	view.active[1] = 3
+	if th := e.PauseThreshold(1, 0); th != 12500 {
+		t.Fatalf("threshold = %d, want 12500", th)
+	}
+	// Zero active queues behaves as one.
+	view.active[1] = 0
+	if th := e.PauseThreshold(1, 0); th != 37500 {
+		t.Fatalf("threshold with no active queues = %d, want 37500", th)
+	}
+	// A queue paused by the downstream is counted back in (§3.4).
+	view.active[1] = 2
+	view.paused[[2]int{1, 5}] = true
+	full := e.PauseThreshold(1, 0)
+	pausedQ := e.PauseThreshold(1, 5)
+	if pausedQ >= full {
+		t.Fatalf("paused queue threshold %d should be below unpaused %d", pausedQ, full)
+	}
+}
+
+func TestFirstPacketGoesHighPriority(t *testing.T) {
+	e, _ := newTestEngine(t, testConfig())
+	f := mkFlow(1, 10, 20)
+	pl := e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, true))
+	if !pl.HighPriority || pl.Overflow {
+		t.Fatalf("first packet placement = %+v, want high priority", pl)
+	}
+	// Second packet goes to a physical queue.
+	pl2 := e.OnArrival(0, 0, 1, dataPkt(f, 1, 1000, false))
+	if pl2.HighPriority || pl2.Overflow || pl2.Queue < 0 {
+		t.Fatalf("second packet placement = %+v, want physical queue", pl2)
+	}
+	if e.Stats().HighPriorityPackets != 1 {
+		t.Fatal("high-priority packet not counted")
+	}
+	// With the feature disabled the first packet uses a physical queue.
+	cfg := testConfig()
+	cfg.UseHighPriorityQueue = false
+	e2, _ := newTestEngine(t, cfg)
+	pl3 := e2.OnArrival(0, 0, 1, dataPkt(mkFlow(2, 10, 20), 0, 1000, true))
+	if pl3.HighPriority {
+		t.Fatal("high-priority queue used despite being disabled")
+	}
+}
+
+func TestDynamicAssignmentAvoidsCollisions(t *testing.T) {
+	// With 8 queues and 8 concurrent flows, dynamic assignment gives each
+	// flow its own queue; static hashing would almost surely collide.
+	e, _ := newTestEngine(t, testConfig())
+	queues := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		f := mkFlow(i+1, int32(i), 99)
+		pl := e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, false))
+		if pl.HighPriority || pl.Overflow {
+			t.Fatalf("unexpected placement %+v", pl)
+		}
+		if queues[pl.Queue] {
+			t.Fatalf("dynamic assignment reused queue %d while empty queues remained", pl.Queue)
+		}
+		queues[pl.Queue] = true
+	}
+	if e.Stats().CollidedAssignments != 0 {
+		t.Fatal("collisions counted despite free queues")
+	}
+	// A ninth flow must collide (all queues occupied).
+	pl := e.OnArrival(0, 0, 1, dataPkt(mkFlow(9, 50, 99), 0, 1000, false))
+	if pl.Queue < 0 || pl.Queue >= 8 {
+		t.Fatalf("ninth flow queue = %d", pl.Queue)
+	}
+	if e.Stats().CollidedAssignments != 1 {
+		t.Fatalf("collisions = %d, want 1", e.Stats().CollidedAssignments)
+	}
+}
+
+func TestStaticAssignmentCollides(t *testing.T) {
+	cfg := testConfig()
+	cfg.DynamicAssignment = false
+	cfg.UseHighPriorityQueue = false
+	e, _ := newTestEngine(t, cfg)
+	// With 64 flows over 8 static queues, collisions are guaranteed.
+	for i := 0; i < 64; i++ {
+		f := mkFlow(i+1, int32(i), 99)
+		e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, false))
+	}
+	if e.Stats().CollidedAssignments == 0 {
+		t.Fatal("static hashing should produce collisions with 64 flows on 8 queues")
+	}
+}
+
+func TestPacketsOfAFlowStayInOneQueue(t *testing.T) {
+	e, _ := newTestEngine(t, testConfig())
+	f := mkFlow(1, 1, 2)
+	first := e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, false))
+	for seq := 1; seq < 20; seq++ {
+		pl := e.OnArrival(0, 0, 1, dataPkt(f, seq, 1000, false))
+		if pl.Queue != first.Queue {
+			t.Fatalf("packet %d assigned to queue %d, flow lives in %d", seq, pl.Queue, first.Queue)
+		}
+	}
+}
+
+func TestPauseAboveThresholdAndFrameGeneration(t *testing.T) {
+	e, view := newTestEngine(t, testConfig())
+	view.active[1] = 1 // threshold 37500 bytes
+	f := mkFlow(1, 1, 2)
+	var pl Placement
+	// 37 packets of 1000B stay below the threshold.
+	for seq := 0; seq < 37; seq++ {
+		pl = e.OnArrival(0, 0, 1, dataPkt(f, seq, 1000, false))
+	}
+	if e.FlowPaused(f, 0, 1) {
+		t.Fatal("flow paused below threshold")
+	}
+	// Crossing the threshold pauses the flow.
+	for seq := 37; seq < 39; seq++ {
+		pl = e.OnArrival(0, 0, 1, dataPkt(f, seq, 1000, false))
+	}
+	_ = pl
+	if !e.FlowPaused(f, 0, 1) {
+		t.Fatal("flow not paused above threshold")
+	}
+	if e.Stats().Pauses != 1 {
+		t.Fatalf("pauses = %d, want 1", e.Stats().Pauses)
+	}
+	// The next Tick must emit a pause frame for ingress 0 containing the VFID.
+	frames := e.Tick(0)
+	if len(frames) != 1 || frames[0].Ingress != 0 {
+		t.Fatalf("frames = %+v, want one frame for ingress 0", frames)
+	}
+	if !frames[0].Filter.Contains(e.VFID(f)) {
+		t.Fatal("pause frame does not contain the paused VFID")
+	}
+	// Ticks with no change and a non-empty filter keep being sent (periodic
+	// refresh), but an all-empty engine sends nothing.
+	frames = e.Tick(1)
+	if len(frames) != 1 {
+		t.Fatalf("non-empty filter should be refreshed every tick, got %d frames", len(frames))
+	}
+}
+
+func TestNoFramesWhenNothingPaused(t *testing.T) {
+	e, _ := newTestEngine(t, testConfig())
+	f := mkFlow(1, 1, 2)
+	e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, false))
+	if frames := e.Tick(0); len(frames) != 0 {
+		t.Fatalf("expected no pause frames, got %d", len(frames))
+	}
+}
+
+func TestResumeThrottling(t *testing.T) {
+	// Fill a queue beyond the threshold with two flows, then drain it and
+	// verify resumes happen at most one per tick per queue (§3.5), and that
+	// an empty-again filter is sent exactly once.
+	cfg := testConfig()
+	cfg.UseHighPriorityQueue = false
+	e, view := newTestEngine(t, cfg)
+	view.active[1] = 1
+	fa, fb := mkFlow(1, 1, 9), mkFlow(2, 2, 9)
+	// Interleave arrivals so both flows land in the same... actually dynamic
+	// assignment gives them separate queues; to share a queue, occupy all 8
+	// queues first.
+	var occupiers []*packet.Flow
+	for i := 0; i < 8; i++ {
+		f := mkFlow(100+i, int32(30+i), 9)
+		occupiers = append(occupiers, f)
+		e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, false))
+	}
+	plA := e.OnArrival(0, 0, 1, dataPkt(fa, 0, 1000, false))
+	plB := e.OnArrival(0, 1, 1, dataPkt(fb, 0, 1000, false))
+	_ = plB
+	// Push both flows' queues above threshold.
+	for seq := 1; seq < 80; seq++ {
+		e.OnArrival(0, 0, 1, dataPkt(fa, seq, 1000, false))
+		e.OnArrival(0, 1, 1, dataPkt(fb, seq, 1000, false))
+	}
+	if !e.FlowPaused(fa, 0, 1) || !e.FlowPaused(fb, 1, 1) {
+		t.Fatal("both flows should be paused")
+	}
+	// Drain flow A's packets: each departure re-evaluates the pause.
+	for seq := 0; seq < 80; seq++ {
+		e.OnDeparture(0, 0, 1, plA, dataPkt(fa, seq, 1000, false))
+	}
+	// A's entry is gone; its resume is pending but not yet applied.
+	if got := e.Stats().Resumes; got != 0 {
+		t.Fatalf("resumes before tick = %d, want 0", got)
+	}
+	before := e.Stats().Resumes
+	e.Tick(0)
+	if e.Stats().Resumes != before+1 {
+		t.Fatalf("resumes after one tick = %d, want %d", e.Stats().Resumes, before+1)
+	}
+	_ = occupiers
+}
+
+func TestResumeAllAblation(t *testing.T) {
+	cfg := testConfig()
+	cfg.ResumeAll = true
+	cfg.UseHighPriorityQueue = false
+	e, view := newTestEngine(t, cfg)
+	view.active[1] = 1
+	f := mkFlow(1, 1, 2)
+	var pl Placement
+	for seq := 0; seq < 50; seq++ {
+		pl = e.OnArrival(0, 0, 1, dataPkt(f, seq, 1000, false))
+	}
+	if !e.FlowPaused(f, 0, 1) {
+		t.Fatal("flow should be paused")
+	}
+	// Drain until below threshold: with ResumeAll the flow resumes
+	// immediately at the departure that crosses the threshold, with no Tick.
+	for seq := 0; seq < 20; seq++ {
+		e.OnDeparture(0, 0, 1, pl, dataPkt(f, seq, 1000, false))
+	}
+	if e.FlowPaused(f, 0, 1) {
+		t.Fatal("ResumeAll should have resumed the flow without a tick")
+	}
+	if e.Stats().Resumes == 0 {
+		t.Fatal("resume not counted")
+	}
+}
+
+func TestDepartureReclaimsQueueAndState(t *testing.T) {
+	e, _ := newTestEngine(t, testConfig())
+	f := mkFlow(1, 1, 2)
+	pl := e.OnArrival(0, 0, 1, dataPkt(f, 0, 1000, false))
+	if e.ActiveFlows() != 1 {
+		t.Fatal("flow not active after arrival")
+	}
+	e.OnDeparture(0, 0, 1, pl, dataPkt(f, 0, 1000, false))
+	if e.ActiveFlows() != 0 {
+		t.Fatal("flow state not reclaimed after last departure")
+	}
+	// The physical queue is free again: a new flow gets a queue without a
+	// collision.
+	pl2 := e.OnArrival(0, 0, 1, dataPkt(mkFlow(2, 3, 4), 0, 1000, false))
+	if pl2.Queue < 0 || e.Stats().CollidedAssignments != 0 {
+		t.Fatal("queue not reclaimed")
+	}
+}
+
+func TestVFIDCollisionDetection(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumVFIDs = 1 // force every flow onto the same VFID
+	cfg.UseHighPriorityQueue = false
+	e, _ := newTestEngine(t, cfg)
+	fa, fb := mkFlow(1, 1, 2), mkFlow(2, 3, 4)
+	e.OnArrival(0, 0, 1, dataPkt(fa, 0, 1000, false))
+	e.OnArrival(0, 0, 1, dataPkt(fb, 0, 1000, false))
+	if e.Stats().VFIDCollisions != 1 {
+		t.Fatalf("VFID collisions = %d, want 1", e.Stats().VFIDCollisions)
+	}
+	// Both flows share one entry; the engine still accounts packets sanely.
+	if e.ActiveFlows() != 1 {
+		t.Fatalf("aliased flows should share one entry, got %d", e.ActiveFlows())
+	}
+}
+
+func TestTableOverflowFallsBackToOverflowQueue(t *testing.T) {
+	cfg := testConfig()
+	cfg.NumVFIDs = 1
+	cfg.BucketSize = 1
+	cfg.OverflowCacheSize = 1
+	cfg.UseHighPriorityQueue = false
+	e, _ := newTestEngine(t, cfg)
+	// Three distinct (ingress, egress) pairs with the same VFID: bucket holds
+	// one, cache holds one, the third has nowhere to go.
+	e.OnArrival(0, 0, 1, dataPkt(mkFlow(1, 1, 2), 0, 1000, false))
+	e.OnArrival(0, 1, 2, dataPkt(mkFlow(2, 3, 4), 0, 1000, false))
+	pl := e.OnArrival(0, 2, 3, dataPkt(mkFlow(3, 5, 6), 0, 1000, false))
+	if !pl.Overflow {
+		t.Fatalf("placement = %+v, want overflow", pl)
+	}
+	if e.Stats().TableOverflowPackets != 1 {
+		t.Fatal("overflow packet not counted")
+	}
+	// Departures of overflow packets are a no-op.
+	e.OnDeparture(0, 2, 3, pl, dataPkt(mkFlow(3, 5, 6), 0, 1000, false))
+}
+
+func TestDepartureForUnknownFlowPanics(t *testing.T) {
+	e, _ := newTestEngine(t, testConfig())
+	assertPanics(t, func() {
+		e.OnDeparture(0, 0, 1, Placement{Queue: 0}, dataPkt(mkFlow(1, 1, 2), 0, 1000, false))
+	})
+	assertPanics(t, func() {
+		e.OnArrival(0, 0, 99, dataPkt(mkFlow(1, 1, 2), 0, 1000, false))
+	})
+	assertPanics(t, func() {
+		e.OnArrival(0, 0, 1, &packet.Packet{Kind: packet.Ack, Flow: mkFlow(1, 1, 2), Size: 64})
+	})
+}
+
+func TestUpstreamState(t *testing.T) {
+	u := NewUpstreamState(16384)
+	f := mkFlow(1, 1, 2)
+	p := dataPkt(f, 0, 1000, false)
+	if u.PacketPaused(p) {
+		t.Fatal("no filter installed: nothing should be paused")
+	}
+	filter := bloom.NewFilter(bloom.DefaultParams())
+	filter.Add(f.VFIDOf(16384))
+	u.Update(filter)
+	if !u.PacketPaused(p) {
+		t.Fatal("packet of a paused flow should match")
+	}
+	other := dataPkt(mkFlow(2, 7, 8), 0, 1000, false)
+	if u.PacketPaused(other) {
+		t.Fatal("unrelated flow should not match (with overwhelming probability)")
+	}
+	// An empty filter resumes everything.
+	u.Update(bloom.NewFilter(bloom.DefaultParams()))
+	if u.PacketPaused(p) {
+		t.Fatal("empty filter should pause nothing")
+	}
+	if u.Updates() != 2 {
+		t.Fatalf("updates = %d, want 2", u.Updates())
+	}
+	assertPanics(t, func() { NewUpstreamState(0) })
+}
+
+// Property: for any random interleaving of arrivals and departures, the
+// engine's per-queue byte accounting matches a reference model, accounting
+// never goes negative (the engine panics if it does), and all state is
+// reclaimed when all packets have departed.
+func TestEngineAccountingProperty(t *testing.T) {
+	prop := func(seed int64, nFlows, nPkts uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testConfig()
+		cfg.Seed = seed
+		view := newFakeView(100 * units.Gbps)
+		view.active[1] = 1
+		e := NewEngine(cfg, 4, view)
+
+		flows := int(nFlows%6) + 1
+		pktsPerFlow := int(nPkts%40) + 1
+		type queued struct {
+			pl  Placement
+			pkt *packet.Packet
+			in  int
+		}
+		var pending []queued
+		for fi := 0; fi < flows; fi++ {
+			f := mkFlow(fi+1, int32(fi), 99)
+			in := fi % 3
+			for s := 0; s < pktsPerFlow; s++ {
+				p := dataPkt(f, s, units.Bytes(rng.Intn(1000)+1), s == 0)
+				pl := e.OnArrival(0, in, 3, p)
+				pending = append(pending, queued{pl: pl, pkt: p, in: in})
+				// Randomly drain some packets (FIFO per flow is preserved
+				// because we drain from the front).
+				for len(pending) > 0 && rng.Intn(3) == 0 {
+					q := pending[0]
+					pending = pending[1:]
+					e.OnDeparture(0, q.in, 3, q.pl, q.pkt)
+				}
+			}
+			if rng.Intn(2) == 0 {
+				e.Tick(0)
+			}
+		}
+		for _, q := range pending {
+			e.OnDeparture(0, q.in, 3, q.pl, q.pkt)
+		}
+		// Drain resume lists.
+		for i := 0; i < 200; i++ {
+			e.Tick(0)
+		}
+		if e.ActiveFlows() != 0 {
+			return false
+		}
+		for q := 0; q < cfg.QueuesPerPort; q++ {
+			if e.QueueBytes(3, q) != 0 {
+				return false
+			}
+		}
+		// After everything drained and ticked, no VFID stays paused: a final
+		// tick emits at most one trailing "now empty" frame per ingress.
+		frames := e.Tick(0)
+		return len(frames) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pause threshold is inversely proportional to the number of active
+// queues and proportional to the link rate.
+func TestPauseThresholdProperty(t *testing.T) {
+	prop := func(nActive uint8, rateGbps uint8) bool {
+		view := newFakeView(units.Rate(int64(rateGbps%100)+1) * units.Gbps)
+		view.active[0] = int(nActive%64) + 1
+		e := NewEngine(testConfig(), 2, view)
+		th := e.PauseThreshold(0, 0)
+		view.active[0] *= 2
+		th2 := e.PauseThreshold(0, 0)
+		// Doubling active queues should roughly halve the threshold.
+		return th2 <= th && th2 >= th/2-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

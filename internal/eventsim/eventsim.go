@@ -1,0 +1,187 @@
+// Package eventsim implements the discrete-event engine that drives every
+// simulation in this repository.
+//
+// The engine is deliberately minimal: a binary heap of (time, sequence,
+// callback) entries and a single-threaded run loop. Determinism is a design
+// requirement — two events scheduled for the same picosecond always fire in
+// the order they were scheduled, so a simulation with a fixed seed produces
+// identical results on every run and platform.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bfc/internal/units"
+)
+
+// Event is a scheduled callback. Events are created by Scheduler.Schedule and
+// may be cancelled before they fire.
+type Event struct {
+	at        units.Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() units.Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Scheduler is a discrete-event scheduler. The zero value is not usable; use
+// New.
+type Scheduler struct {
+	now     units.Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Executed counts events that have fired (for diagnostics and tests).
+	Executed uint64
+}
+
+// New returns an empty scheduler with the clock at time zero.
+func New() *Scheduler {
+	s := &Scheduler{}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Scheduler) Now() units.Time { return s.now }
+
+// Len returns the number of pending (non-cancelled) events.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// (before Now) is a programming error and panics, because it would silently
+// reorder causality. Scheduling exactly at Now is allowed and runs after all
+// currently pending events at Now that were scheduled earlier.
+func (s *Scheduler) Schedule(at units.Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event callback")
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAfter registers fn to run d after the current time.
+func (s *Scheduler) ScheduleAfter(d units.Time, fn func()) *Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		if e != nil {
+			e.cancelled = true
+		}
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop aborts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.RunUntil(maxTime)
+}
+
+// RunUntil executes events with firing time <= until, then advances the clock
+// to until (if the queue emptied earlier) or leaves it at the last executed
+// event time. It returns the number of events executed.
+func (s *Scheduler) RunUntil(until units.Time) uint64 {
+	s.stopped = false
+	executed := uint64(0)
+	for s.queue.Len() > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		executed++
+		s.Executed++
+	}
+	if !s.stopped && s.now < until && until != maxTime {
+		s.now = until
+	}
+	return executed
+}
+
+// Step executes exactly one pending event (skipping cancelled entries) and
+// returns false if the queue is empty.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		s.Executed++
+		return true
+	}
+	return false
+}
+
+const maxTime = units.Time(1<<63 - 1)
+
+// eventHeap orders events by (time, sequence). The sequence tie-break makes
+// same-time ordering deterministic and FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,272 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bfc/internal/units"
+)
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("execution order = %v, want %v", got, want)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", s.Now())
+	}
+	if s.Executed != 3 {
+		t.Fatalf("Executed = %d, want 3", s.Executed)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: position %d has %d", i, v)
+		}
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.Schedule(5, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	s.Schedule(5, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(10, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // idempotent
+	s.Cancel(nil)
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	s := New()
+	fired := false
+	var e2 *Event
+	s.Schedule(10, func() { s.Cancel(e2) })
+	e2 = s.Schedule(20, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled by earlier event still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []units.Time
+	for _, at := range []units.Time{10, 20, 30, 40} {
+		at := at
+		s.Schedule(at, func() { got = append(got, at) })
+	}
+	n := s.RunUntil(25)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("RunUntil executed %d events, want 2", n)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now = %v, want 25 (clock advances to horizon)", s.Now())
+	}
+	n = s.RunUntil(100)
+	if n != 2 {
+		t.Fatalf("second RunUntil executed %d, want 2", n)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(units.Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	if s.Len() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Len())
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.Schedule(1, func() { count++ })
+	e := s.Schedule(2, func() { count++ })
+	s.Cancel(e)
+	s.Schedule(3, func() { count++ })
+	if !s.Step() || count != 1 {
+		t.Fatalf("first Step: count=%d", count)
+	}
+	if !s.Step() || count != 2 {
+		t.Fatalf("second Step skips cancelled: count=%d", count)
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := New()
+	var got []units.Time
+	s.Schedule(10, func() {
+		got = append(got, s.Now())
+		s.ScheduleAfter(5, func() { got = append(got, s.Now()) })
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 10 || got[1] != 15 {
+		t.Fatalf("got %v, want [10 15]", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(10)
+	tm.Reset(20) // re-arm replaces the pending firing
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("fired at %v, want 20", s.Now())
+	}
+	tm.Stop() // stop on idle timer is a no-op
+	if tm.Pending() {
+		t.Fatal("stopped timer should not be pending")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(10)
+	tm.Stop()
+	s.Run()
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []units.Time
+	var tk *Ticker
+	tk = NewTicker(s, 10, func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(1000)
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != units.Time(10*(i+1)) {
+			t.Fatalf("tick %d at %v, want %v", i, at, units.Time(10*(i+1)))
+		}
+	}
+}
+
+func TestTickerPanics(t *testing.T) {
+	s := New()
+	assertPanics(t, func() { NewTicker(s, 0, func() {}) })
+	assertPanics(t, func() { NewTicker(s, 10, nil) })
+	assertPanics(t, func() { NewTimer(s, nil) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: regardless of insertion order, events execute in nondecreasing
+// time order and every non-cancelled event executes exactly once.
+func TestExecutionOrderProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		s := New()
+		var fired []units.Time
+		times := make([]units.Time, count)
+		for i := 0; i < count; i++ {
+			at := units.Time(rng.Int63n(1000))
+			times[i] = at
+			s.Schedule(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != count {
+			return false
+		}
+		sorted := append([]units.Time(nil), times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package eventsim
+
+import "bfc/internal/units"
+
+// Timer is a restartable one-shot timer built on a Scheduler, analogous to
+// time.Timer but in simulated time. It is used for protocol timeouts (DCQCN
+// rate-increase timers, retransmission timers, periodic pause-frame
+// generation).
+type Timer struct {
+	s  *Scheduler
+	fn func()
+	ev *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	if fn == nil {
+		panic("eventsim: nil timer callback")
+	}
+	return &Timer{s: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any pending firing.
+func (t *Timer) Reset(d units.Time) {
+	t.Stop()
+	t.ev = t.s.ScheduleAfter(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop cancels a pending firing. It is safe to call on a stopped timer.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.s.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev != nil }
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped. It is
+// used for periodic bloom-filter pause frames and statistics sampling.
+type Ticker struct {
+	s      *Scheduler
+	period units.Time
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker creates and starts a ticker with the given period. The first tick
+// fires one period from now.
+func NewTicker(s *Scheduler, period units.Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("eventsim: non-positive ticker period")
+	}
+	if fn == nil {
+		panic("eventsim: nil ticker callback")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.s.ScheduleAfter(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker; no further ticks fire.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.s.Cancel(t.ev)
+		t.ev = nil
+	}
+}

@@ -1,0 +1,748 @@
+// Package experiments defines one named, parameterized experiment per table
+// and figure in the paper's evaluation (§4). Each experiment builds the
+// topology and workload the paper describes, runs the relevant schemes
+// through internal/sim, and returns the rows/series the figure plots.
+//
+// Every experiment takes a Scale. Reduced() keeps the topology shape, load
+// level and flow-size distribution of the paper but shrinks host counts and
+// durations so the whole suite (and the benchmark harness that wraps it) runs
+// in minutes on a laptop; Full() uses the paper's parameters.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bfc/internal/packet"
+	"bfc/internal/sim"
+	"bfc/internal/stats"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+	"bfc/internal/workload"
+)
+
+// Scale controls experiment size.
+type Scale struct {
+	// Name labels result output ("reduced", "full").
+	Name string
+	// NumToR, NumSpine and HostsPerToR shape the Clos fabrics.
+	NumToR, NumSpine, HostsPerToR int
+	// Duration is the workload horizon per run.
+	Duration units.Time
+	// Drain is the extra time allowed for in-flight flows to finish.
+	Drain units.Time
+	// IncastFanIn is the fan-in used for the 5% incast traffic (100 in the
+	// paper).
+	IncastFanIn int
+	// IncastAggregate is the per-event incast volume (20 MB in the paper).
+	IncastAggregate units.Bytes
+	// SweepPoints trims parameter sweeps (fan-in, queue counts, ...) to at
+	// most this many points (0 = all).
+	SweepPoints int
+}
+
+// Reduced returns the default benchmark-friendly scale.
+func Reduced() Scale {
+	return Scale{
+		Name:            "reduced",
+		NumToR:          2,
+		NumSpine:        2,
+		HostsPerToR:     8,
+		Duration:        400 * units.Microsecond,
+		Drain:           2 * units.Millisecond,
+		IncastFanIn:     15,
+		IncastAggregate: 2 * units.MB,
+		SweepPoints:     3,
+	}
+}
+
+// Tiny returns the smallest useful scale; used by the test suite so that
+// every experiment's plumbing is exercised in seconds.
+func Tiny() Scale {
+	return Scale{
+		Name:            "tiny",
+		NumToR:          2,
+		NumSpine:        2,
+		HostsPerToR:     4,
+		Duration:        150 * units.Microsecond,
+		Drain:           800 * units.Microsecond,
+		IncastFanIn:     6,
+		IncastAggregate: 512 * units.KB,
+		SweepPoints:     2,
+	}
+}
+
+// Full returns the paper-scale parameters (§4.1). Running every figure at
+// this scale takes hours of CPU time.
+func Full() Scale {
+	return Scale{
+		Name:            "full",
+		NumToR:          8,
+		NumSpine:        8,
+		HostsPerToR:     16,
+		Duration:        10 * units.Millisecond,
+		Drain:           10 * units.Millisecond,
+		IncastFanIn:     100,
+		IncastAggregate: 20 * units.MB,
+	}
+}
+
+// clos builds the scaled T1-shaped fabric.
+func (s Scale) clos() *topology.Topology {
+	cfg := topology.ClosConfig{
+		Name:        "T1",
+		NumToR:      s.NumToR,
+		NumSpine:    s.NumSpine,
+		HostsPerToR: s.HostsPerToR,
+		LinkRate:    100 * units.Gbps,
+		LinkDelay:   1 * units.Microsecond,
+	}
+	return topology.NewClos(cfg)
+}
+
+// closT2 builds the scaled T2-shaped fabric (half the racks of T1).
+func (s Scale) closT2() *topology.Topology {
+	numToR := s.NumToR / 2
+	if numToR < 1 {
+		numToR = 1
+	}
+	cfg := topology.ClosConfig{
+		Name:        "T2",
+		NumToR:      numToR,
+		NumSpine:    s.NumSpine,
+		HostsPerToR: s.HostsPerToR,
+		LinkRate:    100 * units.Gbps,
+		LinkDelay:   1 * units.Microsecond,
+	}
+	return topology.NewClos(cfg)
+}
+
+// sweep trims a sweep to SweepPoints entries, keeping the extremes.
+func (s Scale) sweep(points []int) []int {
+	if s.SweepPoints <= 0 || len(points) <= s.SweepPoints {
+		return points
+	}
+	out := []int{points[0]}
+	step := float64(len(points)-1) / float64(s.SweepPoints-1)
+	for i := 1; i < s.SweepPoints-1; i++ {
+		out = append(out, points[int(float64(i)*step+0.5)])
+	}
+	return append(out, points[len(points)-1])
+}
+
+// backgroundTrace generates the standard background + incast workload.
+func (s Scale) backgroundTrace(topo *topology.Topology, cdf *workload.CDF, load float64, incast bool, seed int64) []*packet.Flow {
+	cfg := workload.Config{
+		Hosts:    topo.Hosts(),
+		CDF:      cdf,
+		Load:     load,
+		HostRate: topo.HostRate(topo.Hosts()[0]),
+		Duration: s.Duration,
+		Seed:     seed,
+	}
+	if incast {
+		cfg.Incast = workload.IncastConfig{
+			Enabled:       true,
+			FanIn:         s.IncastFanIn,
+			AggregateSize: s.IncastAggregate,
+			LoadFraction:  0.05,
+		}
+	}
+	tr, err := workload.Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr.Flows
+}
+
+// cloneFlows deep-copies flows so that independent runs never share mutable
+// completion state.
+func cloneFlows(flows []*packet.Flow) []*packet.Flow {
+	out := make([]*packet.Flow, len(flows))
+	for i, f := range flows {
+		c := *f
+		out[i] = &c
+	}
+	return out
+}
+
+// SlowdownSeries is one labelled FCT-slowdown-vs-flow-size curve.
+type SlowdownSeries struct {
+	Label string
+	// P99BySize maps flow-size bucket labels to p99 slowdowns.
+	P99BySize map[string]float64
+	// Overall is the p99 slowdown over all flows.
+	Overall float64
+	// Completed and Offered count flows.
+	Completed, Offered int
+}
+
+// FormatSeries renders a set of slowdown curves as an aligned text table.
+func FormatSeries(title string, series []SlowdownSeries) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	buckets := []string{"<1KB", "1-3KB", "3-10KB", "10-30KB", "30-100KB", "100-300KB", "300KB-1MB", ">1MB"}
+	fmt.Fprintf(&sb, "%-16s", "scheme")
+	for _, b := range buckets {
+		fmt.Fprintf(&sb, "%12s", b)
+	}
+	fmt.Fprintf(&sb, "%12s\n", "overall")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-16s", s.Label)
+		for _, b := range buckets {
+			if v, ok := s.P99BySize[b]; ok {
+				fmt.Fprintf(&sb, "%12.2f", v)
+			} else {
+				fmt.Fprintf(&sb, "%12s", "-")
+			}
+		}
+		fmt.Fprintf(&sb, "%12.2f\n", s.Overall)
+	}
+	return sb.String()
+}
+
+func seriesFromResult(label string, res *sim.Result) SlowdownSeries {
+	return SlowdownSeries{
+		Label:     label,
+		P99BySize: res.FCT.TailSlowdownBySize(),
+		Overall:   res.FCT.OverallPercentile(99),
+		Completed: res.FlowsCompleted,
+		Offered:   res.FlowsTotal,
+	}
+}
+
+// runScheme is the shared helper: run one scheme over (a copy of) the flows.
+func runScheme(scale Scale, scheme sim.Scheme, topo *topology.Topology, flows []*packet.Flow, mutate func(*sim.Options)) *sim.Result {
+	opts := sim.DefaultOptions(scheme, topo)
+	opts.Duration = scale.Duration
+	opts.Drain = scale.Drain
+	if mutate != nil {
+		mutate(&opts)
+	}
+	res, err := sim.Run(opts, cloneFlows(flows))
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: hardware trend table (static data from the paper).
+
+// HardwareTrendRow is one switch generation from Fig 1.
+type HardwareTrendRow struct {
+	Chip           string
+	Year           int
+	CapacityTbps   float64
+	BufferMB       float64
+	BufferOverCapU float64 // buffer size / capacity in microseconds
+}
+
+// Fig01HardwareTrend returns the Broadcom switch generations plotted in Fig 1.
+func Fig01HardwareTrend() []HardwareTrendRow {
+	rows := []HardwareTrendRow{
+		{Chip: "Trident2", Year: 2012, CapacityTbps: 1.28, BufferMB: 12},
+		{Chip: "Tomahawk", Year: 2014, CapacityTbps: 3.2, BufferMB: 16},
+		{Chip: "Tomahawk2", Year: 2016, CapacityTbps: 6.4, BufferMB: 42},
+		{Chip: "Tomahawk3", Year: 2018, CapacityTbps: 12.8, BufferMB: 64},
+	}
+	for i := range rows {
+		bits := rows[i].BufferMB * 8 * 1e6 / 1e12 // megabytes -> terabits
+		rows[i].BufferOverCapU = bits / rows[i].CapacityTbps * 1e6
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: DCQCN (no PFC) buffer occupancy vs link speed.
+
+// BufferCDFRow summarizes the buffer-occupancy distribution for one link
+// speed.
+type BufferCDFRow struct {
+	LinkRate           units.Rate
+	P50, P90, P99, Max units.Bytes
+}
+
+// Fig02BufferVsLinkSpeed reproduces Fig 2: DCQCN without PFC on the T2-shaped
+// fabric under Google traffic at 75% load plus incast, for increasing link
+// speeds; higher speeds lose control of the buffer.
+func Fig02BufferVsLinkSpeed(scale Scale) []BufferCDFRow {
+	rates := []units.Rate{10 * units.Gbps, 40 * units.Gbps, 100 * units.Gbps}
+	var rows []BufferCDFRow
+	for _, rate := range rates {
+		cfg := topology.ClosConfig{
+			Name: "T2", NumToR: maxInt(scale.NumToR/2, 1), NumSpine: scale.NumSpine,
+			HostsPerToR: scale.HostsPerToR, LinkRate: rate, LinkDelay: 1 * units.Microsecond,
+		}
+		topo := topology.NewClos(cfg)
+		flows := scale.backgroundTrace(topo, workload.Google(), 0.75, true, 2)
+		res := runScheme(scale, sim.SchemeDCQCN, topo, flows, func(o *sim.Options) {
+			o.DisablePFC = true
+		})
+		rows = append(rows, BufferCDFRow{
+			LinkRate: rate,
+			P50:      units.Bytes(res.BufferOccupancy.Percentile(50)),
+			P90:      units.Bytes(res.BufferOccupancy.Percentile(90)),
+			P99:      units.Bytes(res.BufferOccupancy.Percentile(99)),
+			Max:      res.MaxBufferOccupancy,
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: DCQCN tail FCT vs buffer/capacity ratio.
+
+// BufferRatioRow is one buffer-size point of Fig 3.
+type BufferRatioRow struct {
+	BufferPerCapacityUS float64
+	Buffer              units.Bytes
+	Series              SlowdownSeries
+}
+
+// Fig03BufferRatio reproduces Fig 3: shrinking the switch buffer (expressed
+// as buffer/switch-capacity in microseconds) hurts DCQCN tail latency.
+func Fig03BufferRatio(scale Scale) []BufferRatioRow {
+	topo := scale.closT2()
+	flows := scale.backgroundTrace(topo, workload.Google(), 0.75, true, 3)
+	// Switch capacity of the scaled ToR: (hosts + spines) * 100 Gbps.
+	portCount := scale.HostsPerToR + scale.NumSpine
+	capacity := units.Rate(portCount) * 100 * units.Gbps
+	var rows []BufferRatioRow
+	for _, ratioUS := range []float64{10, 20, 30} {
+		buffer := units.Bytes(float64(capacity) / 8 * ratioUS / 1e6)
+		res := runScheme(scale, sim.SchemeDCQCN, topo, flows, func(o *sim.Options) {
+			o.SwitchBuffer = buffer
+		})
+		rows = append(rows, BufferRatioRow{
+			BufferPerCapacityUS: ratioUS,
+			Buffer:              buffer,
+			Series:              seriesFromResult(fmt.Sprintf("%.0fus", ratioUS), res),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: byte-weighted flow-size CDFs of the three workloads.
+
+// WorkloadCDFRow is one workload's byte-weighted distribution.
+type WorkloadCDFRow struct {
+	Workload string
+	// BytesWithin1BDP is the fraction of bytes in flows no larger than one
+	// 100 Gbps x 8 us bandwidth-delay product (100 KB).
+	BytesWithin1BDP float64
+	// FlowsUnder1KB is the fraction of flows below 1 KB.
+	FlowsUnder1KB float64
+	Points        []workload.CDFPoint
+}
+
+// Fig04WorkloadCDF reproduces Fig 4 from the embedded distributions.
+func Fig04WorkloadCDF() []WorkloadCDFRow {
+	var rows []WorkloadCDFRow
+	for _, cdf := range []*workload.CDF{workload.Google(), workload.FBHadoop(), workload.WebSearch()} {
+		bw := cdf.ByteWeightedCDF()
+		within := 0.0
+		for _, p := range bw {
+			if p.Size <= 100*units.KB {
+				within = p.Cum
+			}
+		}
+		rows = append(rows, WorkloadCDFRow{
+			Workload:        cdf.Name,
+			BytesWithin1BDP: within,
+			FlowsUnder1KB:   cdf.FractionBelow(1 * units.KB),
+			Points:          bw,
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: the headline result. 99th-percentile FCT slowdown by flow size
+// for all schemes.
+
+// Fig05Variant selects which panel of Fig 5 to reproduce.
+type Fig05Variant int
+
+const (
+	// Fig05aGoogleIncast is Google traffic at 60% + 5% incast.
+	Fig05aGoogleIncast Fig05Variant = iota
+	// Fig05bFBHadoopIncast is FB_Hadoop at 60% + 5% incast.
+	Fig05bFBHadoopIncast
+	// Fig05cGoogleNoIncast is Google at 65% with no incast.
+	Fig05cGoogleNoIncast
+)
+
+// Fig05Result bundles the per-scheme curves plus the auxiliary measurements
+// Fig 6 reports for the same runs.
+type Fig05Result struct {
+	Variant Fig05Variant
+	Series  []SlowdownSeries
+	// BufferP99 and PauseFraction reproduce Fig 6 (keyed by scheme label).
+	BufferP99     map[string]units.Bytes
+	PauseFraction map[string]map[string]float64
+	// Raw keeps the full results keyed by scheme label for downstream use.
+	Raw map[string]*sim.Result
+}
+
+// Fig05 reproduces one panel of Fig 5 (and collects the Fig 6 measurements).
+// schemes defaults to the paper's six when nil.
+func Fig05(scale Scale, variant Fig05Variant, schemes []sim.Scheme) *Fig05Result {
+	if schemes == nil {
+		schemes = sim.AllSchemes()
+	}
+	topo := scale.clos()
+	var flows []*packet.Flow
+	switch variant {
+	case Fig05aGoogleIncast:
+		flows = scale.backgroundTrace(topo, workload.Google(), 0.60, true, 5)
+	case Fig05bFBHadoopIncast:
+		flows = scale.backgroundTrace(topo, workload.FBHadoop(), 0.60, true, 5)
+	case Fig05cGoogleNoIncast:
+		flows = scale.backgroundTrace(topo, workload.Google(), 0.65, false, 5)
+	default:
+		panic("experiments: unknown Fig 5 variant")
+	}
+	out := &Fig05Result{
+		Variant:       variant,
+		BufferP99:     map[string]units.Bytes{},
+		PauseFraction: map[string]map[string]float64{},
+		Raw:           map[string]*sim.Result{},
+	}
+	for _, scheme := range schemes {
+		res := runScheme(scale, scheme, topo, flows, nil)
+		label := scheme.String()
+		out.Series = append(out.Series, seriesFromResult(label, res))
+		out.BufferP99[label] = units.Bytes(res.BufferOccupancy.Percentile(99))
+		out.PauseFraction[label] = res.PauseTimeFraction
+		out.Raw[label] = res
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: dynamic vs static queue assignment.
+
+// Fig07Result compares BFC, the BFC-VFID straw proposal, and SFQ with
+// infinite buffering.
+type Fig07Result struct {
+	Series []SlowdownSeries
+	// CollisionFraction is keyed by scheme label (Fig 7b).
+	CollisionFraction map[string]float64
+}
+
+// Fig07StaticQueueAssignment reproduces Fig 7 on the Fig 5a workload.
+func Fig07StaticQueueAssignment(scale Scale) *Fig07Result {
+	topo := scale.clos()
+	flows := scale.backgroundTrace(topo, workload.Google(), 0.60, true, 5)
+	out := &Fig07Result{CollisionFraction: map[string]float64{}}
+
+	bfc := runScheme(scale, sim.SchemeBFC, topo, flows, nil)
+	out.Series = append(out.Series, seriesFromResult("BFC", bfc))
+	out.CollisionFraction["BFC"] = bfc.CollisionFraction()
+
+	static := runScheme(scale, sim.SchemeBFCStatic, topo, flows, nil)
+	out.Series = append(out.Series, seriesFromResult("BFC-VFID", static))
+	out.CollisionFraction["BFC-VFID"] = static.CollisionFraction()
+
+	sfqInf := runScheme(scale, sim.SchemeIdealFQ, topo, flows, func(o *sim.Options) {
+		o.IdealFQQueues = 32
+	})
+	out.Series = append(out.Series, seriesFromResult("SFQ+InfBuffer", sfqInf))
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: incast fan-in sweep.
+
+// FanInRow is one fan-in point of Fig 8 for one scheme.
+type FanInRow struct {
+	Scheme      string
+	FanIn       int
+	Utilization float64
+	BufferP99   units.Bytes
+}
+
+// Fig08IncastFanIn reproduces Fig 8: long-lived flows to every receiver plus
+// a periodic 20 MB incast whose fan-in increases; DCQCN's utilization
+// collapses while BFC stays near full utilization.
+func Fig08IncastFanIn(scale Scale) []FanInRow {
+	fanIns := scale.sweep([]int{10, 50, 100, 200, 400, 800})
+	topo := scale.closT2()
+	hosts := topo.Hosts()
+	// The paper uses one incast every 500 us; scale the interval with the
+	// horizon so several events always occur even at reduced scale.
+	incastInterval := scale.Duration / 4
+	if incastInterval > 500*units.Microsecond {
+		incastInterval = 500 * units.Microsecond
+	}
+	var rows []FanInRow
+	for _, fanIn := range fanIns {
+		for _, scheme := range []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin} {
+			rng := rand.New(rand.NewSource(11))
+			var flows []*packet.Flow
+			// Four long-lived flows per receiver; keep the receiver count
+			// modest at reduced scale (a quarter of the hosts).
+			numReceivers := len(hosts) / 4
+			if numReceivers < 1 {
+				numReceivers = 1
+			}
+			id := packet.FlowID(1)
+			for i := 0; i < numReceivers; i++ {
+				dst := hosts[i]
+				ll := workload.LongLivedFlows(rng, hosts, dst, 4, id)
+				id += 4
+				flows = append(flows, ll...)
+			}
+			// Periodic incast every 500 us to a fixed victim.
+			incast, err := workload.Generate(workload.Config{
+				Hosts:    hosts,
+				CDF:      workload.Google(),
+				Load:     0,
+				HostRate: topo.HostRate(hosts[0]),
+				Duration: scale.Duration,
+				Seed:     13,
+				Incast: workload.IncastConfig{
+					Enabled:       true,
+					FanIn:         fanIn,
+					AggregateSize: scale.IncastAggregate,
+					Interval:      incastInterval,
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+			for _, f := range incast.Flows {
+				f.ID = id
+				id++
+			}
+			flows = append(flows, incast.Flows...)
+			// Long-lived flows never finish, so no drain period is needed;
+			// keeping it would dilute the utilization denominator.
+			res := runScheme(scale, scheme, topo, flows, func(o *sim.Options) {
+				o.Drain = 50 * units.Microsecond
+			})
+			rows = append(rows, FanInRow{
+				Scheme:      scheme.String(),
+				FanIn:       fanIn,
+				Utilization: res.ReceiverUtilization,
+				BufferP99:   units.Bytes(res.BufferOccupancy.Percentile(99)),
+			})
+		}
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: cross-data-center traffic.
+
+// CrossDCRow is one scheme's intra- and inter-DC tail slowdown (Fig 9).
+type CrossDCRow struct {
+	Scheme   string
+	IntraP99 float64
+	InterP99 float64
+}
+
+// Fig09CrossDC reproduces Fig 9: two data centers joined by a 100 Gbps link
+// with 200 us one-way delay, FB_Hadoop traffic with 20% inter-DC flows.
+func Fig09CrossDC(scale Scale) []CrossDCRow {
+	dcCfg := topology.ClosConfig{
+		Name:        "crossdc-dc",
+		NumToR:      maxInt(scale.NumToR/2, 1),
+		NumSpine:    maxInt(scale.NumSpine/2, 1),
+		HostsPerToR: maxInt(scale.HostsPerToR/2, 2),
+		LinkRate:    10 * units.Gbps,
+		LinkDelay:   1 * units.Microsecond,
+	}
+	x := topology.NewCrossDC(topology.CrossDCConfig{
+		DC:           dcCfg,
+		GatewayRate:  100 * units.Gbps,
+		GatewayDelay: 200 * units.Microsecond,
+	})
+	inter := &workload.InterDCConfig{HostsDC1: x.HostsDC1, HostsDC2: x.HostsDC2, Fraction: 0.2}
+	duration := scale.Duration * 10 // 10 Gbps links need a longer horizon
+	tr, err := workload.Generate(workload.Config{
+		Hosts:    x.Hosts(),
+		CDF:      workload.FBHadoop(),
+		Load:     0.65,
+		HostRate: 10 * units.Gbps,
+		Duration: duration,
+		Seed:     17,
+		InterDC:  inter,
+	})
+	if err != nil {
+		panic(err)
+	}
+	var rows []CrossDCRow
+	for _, scheme := range []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin} {
+		flows := cloneFlows(tr.Flows)
+		opts := sim.DefaultOptions(scheme, x.Topology)
+		opts.Duration = duration
+		opts.Drain = 5 * units.Millisecond
+		opts.SwitchBuffer = 9 * units.MB
+		res, err := sim.Run(opts, flows)
+		if err != nil {
+			panic(err)
+		}
+		// Re-bucket completions into intra vs inter using the flow list.
+		var intraD, interD stats.Distribution
+		for _, f := range flows {
+			if f.FinishTime == 0 || f.IsIncast || f.LongLived {
+				continue
+			}
+			slow := float64(f.FCT()) / float64(sim.IdealFCT(x.Topology, opts.MTU, f))
+			if slow < 1 {
+				slow = 1
+			}
+			if inter.IsInterDC(f) {
+				interD.Add(slow)
+			} else {
+				intraD.Add(slow)
+			}
+		}
+		_ = res
+		rows = append(rows, CrossDCRow{
+			Scheme:   scheme.String(),
+			IntraP99: intraD.Percentile(99),
+			InterP99: interD.Percentile(99),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: physical-queue buffering vs concurrent flows.
+
+// BufferOptRow is one point of Fig 10.
+type BufferOptRow struct {
+	Scheme          string
+	ConcurrentFlows int
+	QueueP99        units.Bytes
+	TwoHopBDP       units.Bytes
+}
+
+// Fig10BufferOptimization reproduces Fig 10: concurrent long-lived flows to a
+// single receiver; BFC's resume throttling keeps the shared physical queue
+// near two hop-BDPs while BFC-BufferOpt (resume-all) grows linearly. As in
+// the paper the senders sit behind a two-tier fabric, so the bottleneck ToR's
+// upstream (the spines) paces resumed flows rather than the NICs bursting
+// directly into the measured queue.
+func Fig10BufferOptimization(scale Scale) []BufferOptRow {
+	counts := scale.sweep([]int{8, 32, 64, 128, 256})
+	var rows []BufferOptRow
+	for _, count := range counts {
+		for _, resumeAll := range []bool{false, true} {
+			topo := scale.closT2()
+			hosts := topo.Hosts()
+			rng := rand.New(rand.NewSource(23))
+			flows := workload.LongLivedFlows(rng, hosts, hosts[0], count, 1)
+			label := "BFC"
+			if resumeAll {
+				label = "BFC-BufferOpt"
+			}
+			res := runScheme(scale, sim.SchemeBFC, topo, flows, func(o *sim.Options) {
+				o.ResumeAll = resumeAll
+				o.Drain = 0
+			})
+			hopRTT := 2 * (1*units.Microsecond + units.SerializationTime(1048, 100*units.Gbps))
+			rows = append(rows, BufferOptRow{
+				Scheme:          label,
+				ConcurrentFlows: count,
+				QueueP99:        res.MaxPhysicalQueueBytes,
+				TwoHopBDP:       2 * units.BDP(100*units.Gbps, hopRTT),
+			})
+		}
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: the high-priority queue ablation.
+
+// Fig11Result compares BFC with and without the high-priority queue.
+type Fig11Result struct {
+	Series []SlowdownSeries
+	// OccupiedQueuesP99 is keyed by label.
+	OccupiedQueuesP99 map[string]float64
+}
+
+// Fig11HighPriorityQueue reproduces Fig 11 on a high-load Google workload.
+func Fig11HighPriorityQueue(scale Scale) *Fig11Result {
+	topo := scale.clos()
+	flows := scale.backgroundTrace(topo, workload.Google(), 0.80, true, 29)
+	out := &Fig11Result{OccupiedQueuesP99: map[string]float64{}}
+	for _, hiPrio := range []bool{true, false} {
+		label := "BFC"
+		if !hiPrio {
+			label = "BFC-HighPriorityQ"
+		}
+		res := runScheme(scale, sim.SchemeBFC, topo, flows, func(o *sim.Options) {
+			o.HighPriorityQueue = hiPrio
+		})
+		out.Series = append(out.Series, seriesFromResult(label, res))
+		out.OccupiedQueuesP99[label] = res.OccupiedQueues.Percentile(99)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12-14: resource sensitivity sweeps.
+
+// SensitivityRow is one point of a resource sweep.
+type SensitivityRow struct {
+	Parameter int
+	Series    SlowdownSeries
+	// CollisionFraction (Fig 12a, 13a) and OverflowFraction (Fig 13a).
+	CollisionFraction float64
+	OverflowFraction  float64
+}
+
+// Fig12NumPhysicalQueues sweeps the number of physical queues per port.
+func Fig12NumPhysicalQueues(scale Scale) []SensitivityRow {
+	return sensitivitySweep(scale, scale.sweep([]int{8, 16, 32, 64, 128}), func(o *sim.Options, v int) {
+		o.NumQueues = v
+	})
+}
+
+// Fig13NumVFIDs sweeps the VFID table size.
+func Fig13NumVFIDs(scale Scale) []SensitivityRow {
+	return sensitivitySweep(scale, scale.sweep([]int{1024, 4096, 16384, 65536}), func(o *sim.Options, v int) {
+		o.NumVFIDs = v
+	})
+}
+
+// Fig14BloomFilterSize sweeps the pause-frame bloom filter size in bytes.
+func Fig14BloomFilterSize(scale Scale) []SensitivityRow {
+	return sensitivitySweep(scale, scale.sweep([]int{16, 32, 64, 128}), func(o *sim.Options, v int) {
+		o.BloomBytes = v
+	})
+}
+
+func sensitivitySweep(scale Scale, values []int, apply func(*sim.Options, int)) []SensitivityRow {
+	topo := scale.clos()
+	flows := scale.backgroundTrace(topo, workload.Google(), 0.60, true, 31)
+	var rows []SensitivityRow
+	for _, v := range values {
+		v := v
+		res := runScheme(scale, sim.SchemeBFC, topo, flows, func(o *sim.Options) { apply(o, v) })
+		rows = append(rows, SensitivityRow{
+			Parameter:         v,
+			Series:            seriesFromResult(fmt.Sprintf("%d", v), res),
+			CollisionFraction: res.CollisionFraction(),
+			OverflowFraction:  res.OverflowFraction(),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

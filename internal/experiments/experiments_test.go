@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bfc/internal/sim"
+	"bfc/internal/units"
+)
+
+func TestScales(t *testing.T) {
+	for _, s := range []Scale{Tiny(), Reduced(), Full()} {
+		if s.NumToR <= 0 || s.HostsPerToR <= 0 || s.Duration <= 0 {
+			t.Fatalf("scale %q malformed: %+v", s.Name, s)
+		}
+		topo := s.clos()
+		if len(topo.Hosts()) != s.NumToR*s.HostsPerToR {
+			t.Fatalf("scale %q clos host count wrong", s.Name)
+		}
+	}
+}
+
+func TestSweepTrimming(t *testing.T) {
+	s := Tiny()
+	s.SweepPoints = 3
+	got := s.sweep([]int{1, 2, 3, 4, 5, 6})
+	if len(got) != 3 || got[0] != 1 || got[len(got)-1] != 6 {
+		t.Fatalf("sweep = %v, want 3 points keeping extremes", got)
+	}
+	s.SweepPoints = 0
+	if got := s.sweep([]int{1, 2}); len(got) != 2 {
+		t.Fatal("zero SweepPoints should keep everything")
+	}
+}
+
+func TestFig01HardwareTrend(t *testing.T) {
+	rows := Fig01HardwareTrend()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	// The paper's point: buffer/capacity falls across generations.
+	if rows[0].BufferOverCapU <= rows[len(rows)-1].BufferOverCapU {
+		t.Fatal("buffer-per-capacity should decrease across switch generations")
+	}
+}
+
+func TestFig04WorkloadCDF(t *testing.T) {
+	rows := Fig04WorkloadCDF()
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]WorkloadCDFRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	// The Google workload has the most bytes within one BDP; WebSearch the
+	// fewest (Fig 4 ordering).
+	if byName["Google"].BytesWithin1BDP <= byName["WebSearch"].BytesWithin1BDP {
+		t.Fatal("Google should have more bytes within 1 BDP than WebSearch")
+	}
+	if byName["Google"].FlowsUnder1KB < 0.8 {
+		t.Fatal("Google should have >80% of flows under 1KB")
+	}
+}
+
+func TestFig05TinyRun(t *testing.T) {
+	// Exercise the headline experiment end to end at tiny scale with two
+	// schemes; BFC should not be worse than DCQCN at the tail.
+	res := Fig05(Tiny(), Fig05aGoogleIncast, []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	var bfc, dcqcn SlowdownSeries
+	for _, s := range res.Series {
+		switch s.Label {
+		case "BFC":
+			bfc = s
+		case "DCQCN":
+			dcqcn = s
+		}
+	}
+	if bfc.Completed == 0 || dcqcn.Completed == 0 {
+		t.Fatal("schemes completed no flows")
+	}
+	if bfc.Overall > dcqcn.Overall*1.5 {
+		t.Fatalf("BFC tail slowdown %.2f should not be far above DCQCN %.2f", bfc.Overall, dcqcn.Overall)
+	}
+	table := FormatSeries("fig5a", res.Series)
+	if !strings.Contains(table, "BFC") || !strings.Contains(table, "DCQCN") {
+		t.Fatal("formatted table missing schemes")
+	}
+	if res.BufferP99["BFC"] < 0 {
+		t.Fatal("missing buffer stats")
+	}
+}
+
+func TestFig10TinyRun(t *testing.T) {
+	scale := Tiny()
+	scale.Duration = 300 * units.Microsecond
+	rows := Fig10BufferOptimization(scale)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// For the largest flow count, resume-all (BFC-BufferOpt) should hold at
+	// least as much per-queue buffering as throttled BFC.
+	byKey := map[string]units.Bytes{}
+	maxFlows := 0
+	for _, r := range rows {
+		if r.ConcurrentFlows > maxFlows {
+			maxFlows = r.ConcurrentFlows
+		}
+	}
+	for _, r := range rows {
+		if r.ConcurrentFlows == maxFlows {
+			byKey[r.Scheme] = r.QueueP99
+		}
+	}
+	if byKey["BFC"] == 0 || byKey["BFC-BufferOpt"] == 0 {
+		t.Fatalf("missing rows: %+v", byKey)
+	}
+	if byKey["BFC-BufferOpt"] < byKey["BFC"] {
+		t.Fatalf("resume-all queue %v should be >= throttled %v", byKey["BFC-BufferOpt"], byKey["BFC"])
+	}
+}
+
+func TestFig12TinySweep(t *testing.T) {
+	rows := Fig12NumPhysicalQueues(Tiny())
+	if len(rows) < 2 {
+		t.Fatalf("sweep produced %d points", len(rows))
+	}
+	// Fewer queues must not reduce collisions.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Parameter >= last.Parameter {
+		t.Fatal("sweep not ordered")
+	}
+	if first.CollisionFraction < last.CollisionFraction-1e-9 {
+		t.Fatalf("collisions with %d queues (%.4f) should be >= with %d queues (%.4f)",
+			first.Parameter, first.CollisionFraction, last.Parameter, last.CollisionFraction)
+	}
+}

@@ -1,0 +1,260 @@
+// Package flowtable implements the per-switch virtual-flow state store
+// described in §3.8 of the BFC paper.
+//
+// State is kept only for flows that currently have packets queued at the
+// switch. The table is a hash table indexed directly by VFID (so the key is
+// implicit and never stored) with a small fixed bucket size; entries within a
+// bucket are disambiguated by their (ingress, egress) port pair. Two 5-tuples
+// that hash to the same VFID and share the same ingress and egress are —
+// deliberately, as in the paper — treated as the same flow; the caller can
+// detect and count such collisions for reporting.
+//
+// When a bucket is full, entries spill into a small associative overflow
+// cache (the paper's "overflow TCAM", 100 entries). If that also fills, the
+// caller must fall back to the per-egress overflow queue.
+package flowtable
+
+import (
+	"fmt"
+
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// Default sizing from the paper's evaluation (§4.1, §3.8).
+const (
+	DefaultNumVFIDs    = 16384
+	DefaultBucketSize  = 4
+	DefaultOverflowCap = 100
+)
+
+// Entry is the state kept for one active virtual flow at one switch.
+type Entry struct {
+	VFID    packet.VFID
+	Ingress int // ingress port the flow arrives on
+	Egress  int // egress port the flow leaves on
+
+	// Queue is the physical queue index at the egress port the flow is
+	// assigned to. -1 means not yet assigned.
+	Queue int
+
+	// Paused records whether this switch has asked the upstream to pause the
+	// flow (i.e. the VFID is registered in the ingress counting bloom
+	// filter).
+	Paused bool
+
+	// Packets and Bytes count what is currently queued for this virtual flow
+	// at this switch.
+	Packets int
+	Bytes   units.Bytes
+
+	// HighPrioPackets counts packets of this flow currently sitting in the
+	// egress high-priority queue (they are not in the assigned physical
+	// queue).
+	HighPrioPackets int
+
+	// PendingResume marks a paused flow that has been placed on the
+	// "toberesumed" list but whose bloom-filter entry has not yet been
+	// cleared (§3.5: at most a bounded number of flows are resumed per
+	// pause-frame interval per physical queue).
+	PendingResume bool
+
+	// LastFlow records the most recent concrete flow observed for this entry.
+	// Two distinct 5-tuples that map to the same (VFID, ingress, egress) are
+	// deliberately treated as one flow by the switch; LastFlow lets the
+	// simulator count how often that aliasing happens (Fig 13a).
+	LastFlow packet.FlowID
+
+	// inOverflow marks entries living in the overflow cache rather than a
+	// bucket slot.
+	inOverflow bool
+}
+
+// Key identifies an entry: the VFID plus the port pair that disambiguates
+// bucket slots.
+type Key struct {
+	VFID    packet.VFID
+	Ingress int
+	Egress  int
+}
+
+// Stats counts table-level events for the Fig 13 sensitivity experiment.
+type Stats struct {
+	// Inserts is the number of successful entry creations (bucket or cache).
+	Inserts uint64
+	// BucketFull counts inserts that could not use the direct-mapped bucket
+	// and had to try the overflow cache.
+	BucketFull uint64
+	// CacheFull counts inserts that could not be stored at all (caller must
+	// use the overflow queue).
+	CacheFull uint64
+	// MaxOccupancy is the high-water mark of simultaneously active entries.
+	MaxOccupancy int
+}
+
+// Table is the VFID-indexed flow state table. It is not safe for concurrent
+// use; the simulator is single threaded per run.
+type Table struct {
+	numVFIDs   int
+	bucketSize int
+	buckets    [][]*Entry // len numVFIDs, each at most bucketSize entries
+
+	overflow    map[Key]*Entry
+	overflowCap int
+
+	active int
+	stats  Stats
+}
+
+// New creates a table with the given VFID space, bucket size and overflow
+// cache capacity.
+func New(numVFIDs, bucketSize, overflowCap int) *Table {
+	if numVFIDs <= 0 {
+		panic("flowtable: numVFIDs must be positive")
+	}
+	if bucketSize <= 0 {
+		panic("flowtable: bucketSize must be positive")
+	}
+	if overflowCap < 0 {
+		panic("flowtable: overflowCap must be non-negative")
+	}
+	return &Table{
+		numVFIDs:    numVFIDs,
+		bucketSize:  bucketSize,
+		buckets:     make([][]*Entry, numVFIDs),
+		overflow:    make(map[Key]*Entry),
+		overflowCap: overflowCap,
+	}
+}
+
+// NewDefault creates a table with the paper's default sizing.
+func NewDefault() *Table {
+	return New(DefaultNumVFIDs, DefaultBucketSize, DefaultOverflowCap)
+}
+
+// NumVFIDs returns the VFID space size.
+func (t *Table) NumVFIDs() int { return t.numVFIDs }
+
+// Active returns the number of entries currently stored.
+func (t *Table) Active() int { return t.active }
+
+// Stats returns a copy of the table statistics.
+func (t *Table) Stats() Stats { return t.stats }
+
+// MemoryBytes estimates the hardware memory footprint of the table. Each
+// bucket slot packs its state (physical queue id, pause bit, packet counter,
+// ingress/egress port ids) into 4 bytes, which reproduces the paper's 256 KB
+// figure for the default 16K VFIDs x 4 slots (§3.8).
+func (t *Table) MemoryBytes() units.Bytes {
+	return units.Bytes(t.numVFIDs * t.bucketSize * 4)
+}
+
+// Lookup finds the entry for a VFID arriving on ingress and destined to
+// egress. It returns nil if no such entry exists.
+func (t *Table) Lookup(v packet.VFID, ingress, egress int) *Entry {
+	t.checkVFID(v)
+	for _, e := range t.buckets[v] {
+		if e.Ingress == ingress && e.Egress == egress {
+			return e
+		}
+	}
+	if e, ok := t.overflow[Key{VFID: v, Ingress: ingress, Egress: egress}]; ok {
+		return e
+	}
+	return nil
+}
+
+// InsertResult describes where a new entry was stored.
+type InsertResult int
+
+const (
+	// InsertedBucket means the entry occupies a direct-mapped bucket slot.
+	InsertedBucket InsertResult = iota
+	// InsertedOverflowCache means the bucket was full and the entry lives in
+	// the associative overflow cache.
+	InsertedOverflowCache
+	// InsertFailed means neither structure had room; the caller must handle
+	// the flow through the per-egress overflow queue, without per-flow state.
+	InsertFailed
+)
+
+// Insert creates an entry for a new active flow. The caller must have checked
+// with Lookup that no entry exists (inserting a duplicate key panics, since
+// it would silently split one flow's state in two).
+func (t *Table) Insert(v packet.VFID, ingress, egress int) (*Entry, InsertResult) {
+	t.checkVFID(v)
+	if t.Lookup(v, ingress, egress) != nil {
+		panic(fmt.Sprintf("flowtable: duplicate insert for VFID %d in=%d out=%d", v, ingress, egress))
+	}
+	e := &Entry{VFID: v, Ingress: ingress, Egress: egress, Queue: -1}
+	if len(t.buckets[v]) < t.bucketSize {
+		t.buckets[v] = append(t.buckets[v], e)
+		t.noteInsert()
+		return e, InsertedBucket
+	}
+	t.stats.BucketFull++
+	if len(t.overflow) < t.overflowCap {
+		e.inOverflow = true
+		t.overflow[Key{VFID: v, Ingress: ingress, Egress: egress}] = e
+		t.noteInsert()
+		return e, InsertedOverflowCache
+	}
+	t.stats.CacheFull++
+	return nil, InsertFailed
+}
+
+func (t *Table) noteInsert() {
+	t.active++
+	t.stats.Inserts++
+	if t.active > t.stats.MaxOccupancy {
+		t.stats.MaxOccupancy = t.active
+	}
+}
+
+// Remove deletes an entry once the last packet of the flow has left the
+// switch. Removing an entry that is not in the table panics.
+func (t *Table) Remove(e *Entry) {
+	if e == nil {
+		panic("flowtable: removing nil entry")
+	}
+	t.checkVFID(e.VFID)
+	if e.inOverflow {
+		k := Key{VFID: e.VFID, Ingress: e.Ingress, Egress: e.Egress}
+		if t.overflow[k] != e {
+			panic("flowtable: removing unknown overflow entry")
+		}
+		delete(t.overflow, k)
+		t.active--
+		return
+	}
+	b := t.buckets[e.VFID]
+	for i, cur := range b {
+		if cur == e {
+			b[i] = b[len(b)-1]
+			t.buckets[e.VFID] = b[:len(b)-1]
+			t.active--
+			return
+		}
+	}
+	panic("flowtable: removing unknown entry")
+}
+
+// ForEach calls fn for every active entry. Iteration order over bucket slots
+// is deterministic; overflow-cache order is not (it is only used for
+// statistics).
+func (t *Table) ForEach(fn func(*Entry)) {
+	for _, b := range t.buckets {
+		for _, e := range b {
+			fn(e)
+		}
+	}
+	for _, e := range t.overflow {
+		fn(e)
+	}
+}
+
+func (t *Table) checkVFID(v packet.VFID) {
+	if int(v) >= t.numVFIDs {
+		panic(fmt.Sprintf("flowtable: VFID %d outside space %d", v, t.numVFIDs))
+	}
+}

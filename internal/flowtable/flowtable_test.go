@@ -1,0 +1,207 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bfc/internal/packet"
+)
+
+func TestInsertLookupRemove(t *testing.T) {
+	tbl := New(64, 4, 10)
+	if tbl.Active() != 0 {
+		t.Fatal("new table should be empty")
+	}
+	e, res := tbl.Insert(5, 1, 2)
+	if res != InsertedBucket || e == nil {
+		t.Fatalf("insert result = %v", res)
+	}
+	if e.Queue != -1 {
+		t.Fatal("new entry should have no queue assigned")
+	}
+	if got := tbl.Lookup(5, 1, 2); got != e {
+		t.Fatal("lookup did not return inserted entry")
+	}
+	if got := tbl.Lookup(5, 1, 3); got != nil {
+		t.Fatal("lookup with different egress should miss")
+	}
+	if got := tbl.Lookup(5, 0, 2); got != nil {
+		t.Fatal("lookup with different ingress should miss")
+	}
+	tbl.Remove(e)
+	if tbl.Active() != 0 || tbl.Lookup(5, 1, 2) != nil {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestSameVFIDDifferentPorts(t *testing.T) {
+	tbl := New(64, 4, 10)
+	a, _ := tbl.Insert(7, 1, 2)
+	b, _ := tbl.Insert(7, 3, 4)
+	if a == b {
+		t.Fatal("entries with different port pairs must be distinct")
+	}
+	if tbl.Lookup(7, 1, 2) != a || tbl.Lookup(7, 3, 4) != b {
+		t.Fatal("lookup confused entries in the same bucket")
+	}
+	if tbl.Active() != 2 {
+		t.Fatalf("active = %d, want 2", tbl.Active())
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	tbl := New(64, 4, 10)
+	tbl.Insert(7, 1, 2)
+	assertPanics(t, func() { tbl.Insert(7, 1, 2) })
+}
+
+func TestBucketOverflowToCache(t *testing.T) {
+	tbl := New(8, 2, 3)
+	// Fill bucket for VFID 1 (bucket size 2).
+	tbl.Insert(1, 0, 0)
+	tbl.Insert(1, 0, 1)
+	// Third entry for same VFID goes to the overflow cache.
+	e, res := tbl.Insert(1, 0, 2)
+	if res != InsertedOverflowCache || e == nil {
+		t.Fatalf("expected overflow cache insert, got %v", res)
+	}
+	if tbl.Lookup(1, 0, 2) != e {
+		t.Fatal("overflow entry not found by lookup")
+	}
+	st := tbl.Stats()
+	if st.BucketFull != 1 {
+		t.Fatalf("BucketFull = %d, want 1", st.BucketFull)
+	}
+	// Removing an overflow entry works and frees cache space.
+	tbl.Remove(e)
+	if tbl.Lookup(1, 0, 2) != nil {
+		t.Fatal("overflow entry not removed")
+	}
+}
+
+func TestCacheFull(t *testing.T) {
+	tbl := New(4, 1, 2)
+	tbl.Insert(0, 0, 0) // bucket
+	tbl.Insert(0, 0, 1) // cache 1
+	tbl.Insert(0, 0, 2) // cache 2
+	e, res := tbl.Insert(0, 0, 3)
+	if res != InsertFailed || e != nil {
+		t.Fatalf("expected InsertFailed, got %v", res)
+	}
+	if tbl.Stats().CacheFull != 1 {
+		t.Fatalf("CacheFull = %d, want 1", tbl.Stats().CacheFull)
+	}
+	if tbl.Active() != 3 {
+		t.Fatalf("active = %d, want 3", tbl.Active())
+	}
+}
+
+func TestRemoveUnknownPanics(t *testing.T) {
+	tbl := New(8, 2, 2)
+	assertPanics(t, func() { tbl.Remove(nil) })
+	assertPanics(t, func() { tbl.Remove(&Entry{VFID: 1}) })
+	assertPanics(t, func() { tbl.Remove(&Entry{VFID: 1, inOverflow: true}) })
+}
+
+func TestVFIDOutOfRangePanics(t *testing.T) {
+	tbl := New(8, 2, 2)
+	assertPanics(t, func() { tbl.Lookup(8, 0, 0) })
+	assertPanics(t, func() { tbl.Insert(100, 0, 0) })
+}
+
+func TestConstructorValidation(t *testing.T) {
+	assertPanics(t, func() { New(0, 4, 100) })
+	assertPanics(t, func() { New(16, 0, 100) })
+	assertPanics(t, func() { New(16, 4, -1) })
+}
+
+func TestForEachAndMemory(t *testing.T) {
+	tbl := New(128, 4, 10)
+	tbl.Insert(1, 0, 1)
+	tbl.Insert(2, 0, 1)
+	tbl.Insert(3, 1, 2)
+	seen := 0
+	tbl.ForEach(func(e *Entry) { seen++ })
+	if seen != 3 {
+		t.Fatalf("ForEach visited %d entries, want 3", seen)
+	}
+	if tbl.MemoryBytes() != 128*4*4 {
+		t.Fatalf("MemoryBytes = %d", tbl.MemoryBytes())
+	}
+	if tbl.NumVFIDs() != 128 {
+		t.Fatalf("NumVFIDs = %d", tbl.NumVFIDs())
+	}
+}
+
+func TestPaperSizing(t *testing.T) {
+	// §3.8: 16K VFIDs, 4-way buckets => 256 KB of state.
+	tbl := NewDefault()
+	if tbl.MemoryBytes() != 256*1024 {
+		t.Fatalf("default table memory = %d bytes, want 256KB", tbl.MemoryBytes())
+	}
+}
+
+func TestMaxOccupancyTracking(t *testing.T) {
+	tbl := New(64, 4, 10)
+	a, _ := tbl.Insert(1, 0, 0)
+	b, _ := tbl.Insert(2, 0, 0)
+	tbl.Remove(a)
+	tbl.Insert(3, 0, 0)
+	tbl.Remove(b)
+	if tbl.Stats().MaxOccupancy != 2 {
+		t.Fatalf("MaxOccupancy = %d, want 2", tbl.Stats().MaxOccupancy)
+	}
+	if tbl.Stats().Inserts != 3 {
+		t.Fatalf("Inserts = %d, want 3", tbl.Stats().Inserts)
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	f()
+}
+
+// Property: a random interleaving of inserts and removes keeps the table
+// consistent with a reference map, and Active always matches.
+func TestTableMatchesReferenceMap(t *testing.T) {
+	prop := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := New(32, 2, 4)
+		ref := map[Key]*Entry{}
+		ops := int(opsRaw)
+		for i := 0; i < ops; i++ {
+			k := Key{
+				VFID:    packet.VFID(rng.Intn(32)),
+				Ingress: rng.Intn(3),
+				Egress:  rng.Intn(3),
+			}
+			if e, ok := ref[k]; ok && rng.Intn(2) == 0 {
+				tbl.Remove(e)
+				delete(ref, k)
+			} else if !ok {
+				e, res := tbl.Insert(k.VFID, k.Ingress, k.Egress)
+				if res != InsertFailed {
+					ref[k] = e
+				}
+			}
+			if tbl.Active() != len(ref) {
+				return false
+			}
+			for k2, e2 := range ref {
+				if tbl.Lookup(k2.VFID, k2.Ingress, k2.Egress) != e2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package netsim provides the plumbing that connects simulated devices
+// (switches and NICs): the Device interface, unidirectional Links with
+// serialization and propagation delay, and link-level control frames (PFC
+// pause/resume and BFC bloom-filter pause frames).
+package netsim
+
+import (
+	"fmt"
+
+	"bfc/internal/bloom"
+	"bfc/internal/eventsim"
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// ControlFrame is a link-level control message delivered to the peer after
+// the link propagation delay. Control frames model PFC and BFC pause frames;
+// they do not occupy data-queue capacity (their ~1% bandwidth overhead is
+// accounted for separately in utilization statistics).
+type ControlFrame interface {
+	isControlFrame()
+}
+
+// PFCFrame is a Priority Flow Control pause or resume for the data class on
+// the link it is received on.
+type PFCFrame struct {
+	Pause bool
+}
+
+func (PFCFrame) isControlFrame() {}
+
+// BFCPauseFrame carries the downstream switch's bloom filter of paused VFIDs
+// for the link it is received on (§3.6 of the paper).
+type BFCPauseFrame struct {
+	Filter *bloom.Filter
+}
+
+func (BFCPauseFrame) isControlFrame() {}
+
+// Device is a node in the simulated network (a switch or a host NIC).
+type Device interface {
+	// ID returns the topology node ID of the device.
+	ID() packet.NodeID
+	// AttachLink gives the device the outgoing link for one of its ports.
+	// Called once per port during network construction.
+	AttachLink(port int, link *Link)
+	// ReceivePacket delivers a packet that has fully arrived on the given
+	// ingress port.
+	ReceivePacket(ingress int, p *packet.Packet)
+	// ReceiveControl delivers a link-level control frame that arrived on the
+	// given port.
+	ReceiveControl(port int, frame ControlFrame)
+}
+
+// Link is a unidirectional transmission path from one device port to a peer
+// device port. A bidirectional physical link is modeled as two Links.
+type Link struct {
+	sched  *eventsim.Scheduler
+	rate   units.Rate
+	delay  units.Time
+	peer   Device
+	toPort int
+	name   string
+
+	busy bool
+
+	// Statistics.
+	txBytes     units.Bytes
+	ctrlBytes   units.Bytes
+	busyTime    units.Time
+	pausedSince units.Time
+	pausedTotal units.Time
+	isPaused    bool
+}
+
+// NewLink creates a link delivering to peer's port toPort.
+func NewLink(sched *eventsim.Scheduler, name string, rate units.Rate, delay units.Time, peer Device, toPort int) *Link {
+	if sched == nil || peer == nil {
+		panic("netsim: nil scheduler or peer")
+	}
+	if rate <= 0 || delay < 0 {
+		panic("netsim: invalid link parameters")
+	}
+	return &Link{sched: sched, name: name, rate: rate, delay: delay, peer: peer, toPort: toPort}
+}
+
+// Rate returns the link rate.
+func (l *Link) Rate() units.Rate { return l.rate }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() units.Time { return l.delay }
+
+// Peer returns the receiving device.
+func (l *Link) Peer() Device { return l.peer }
+
+// PeerPort returns the port index at the receiving device.
+func (l *Link) PeerPort() int { return l.toPort }
+
+// Name returns the diagnostic name of the link.
+func (l *Link) Name() string { return l.name }
+
+// Busy reports whether a packet is currently being serialized onto the link.
+func (l *Link) Busy() bool { return l.busy }
+
+// Transmit serializes p onto the link. onDone is invoked when serialization
+// completes (the sender may then start the next packet); the packet is
+// delivered to the peer one propagation delay after that. Transmit panics if
+// the link is already busy — the sending device must serialize its own
+// transmissions.
+func (l *Link) Transmit(p *packet.Packet, onDone func()) {
+	if l.busy {
+		panic(fmt.Sprintf("netsim: transmit on busy link %s", l.name))
+	}
+	if p == nil {
+		panic("netsim: transmitting nil packet")
+	}
+	l.busy = true
+	ser := units.SerializationTime(p.Size, l.rate)
+	l.txBytes += p.Size
+	l.busyTime += ser
+	l.sched.ScheduleAfter(ser, func() {
+		l.busy = false
+		if onDone != nil {
+			onDone()
+		}
+	})
+	l.sched.ScheduleAfter(ser+l.delay, func() {
+		l.peer.ReceivePacket(l.toPort, p)
+	})
+}
+
+// SendControl delivers a control frame to the peer after the propagation
+// delay. Control frames are not serialized against data traffic (they are
+// tiny and sent at the highest priority); size accounts for their bandwidth
+// in the statistics.
+func (l *Link) SendControl(frame ControlFrame, size units.Bytes) {
+	l.ctrlBytes += size
+	l.sched.ScheduleAfter(l.delay, func() {
+		l.peer.ReceiveControl(l.toPort, frame)
+	})
+}
+
+// MarkPaused records the beginning or end of a PFC pause affecting this link
+// (called by the sending device when it receives pause/resume from the peer).
+func (l *Link) MarkPaused(paused bool) {
+	now := l.sched.Now()
+	if paused && !l.isPaused {
+		l.isPaused = true
+		l.pausedSince = now
+	} else if !paused && l.isPaused {
+		l.isPaused = false
+		l.pausedTotal += now - l.pausedSince
+	}
+}
+
+// PausedTime returns the cumulative time the link has been PFC-paused, up to
+// now.
+func (l *Link) PausedTime() units.Time {
+	total := l.pausedTotal
+	if l.isPaused {
+		total += l.sched.Now() - l.pausedSince
+	}
+	return total
+}
+
+// TxBytes returns the data bytes serialized on the link.
+func (l *Link) TxBytes() units.Bytes { return l.txBytes }
+
+// ControlBytes returns the control-frame bytes attributed to the link.
+func (l *Link) ControlBytes() units.Bytes { return l.ctrlBytes }
+
+// BusyTime returns the cumulative serialization time.
+func (l *Link) BusyTime() units.Time { return l.busyTime }
+
+// Utilization returns the fraction of the elapsed simulation time the link
+// spent serializing data.
+func (l *Link) Utilization() float64 {
+	now := l.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(l.busyTime) / float64(now)
+}

@@ -1,0 +1,523 @@
+// Package nic implements the simulated host NIC: the RDMA-style sender
+// (per-flow queues, Go-Back-N retransmission, congestion-control enforcement,
+// reaction to PFC and BFC pause frames from the top-of-rack switch) and the
+// receiver (in-order delivery, cumulative ACKs, NACKs, DCQCN CNP generation,
+// HPCC telemetry echo, flow-completion detection).
+package nic
+
+import (
+	"fmt"
+
+	"bfc/internal/cc"
+	"bfc/internal/core"
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/packet"
+	"bfc/internal/queue"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// BytesSentObserver is implemented by congestion controllers that need to see
+// transmitted bytes (DCQCN's byte-counter-driven rate recovery).
+type BytesSentObserver interface {
+	OnBytesSent(now units.Time, b units.Bytes)
+}
+
+// Config parameterizes a NIC.
+type Config struct {
+	Scheduler *eventsim.Scheduler
+	Topo      *topology.Topology
+	Node      *topology.Node
+
+	// MTU is the maximum payload per data packet.
+	MTU units.Bytes
+
+	// NewController builds the per-flow congestion controller for the
+	// configured scheme. Nil means no control (line-rate senders, as BFC).
+	NewController func(f *packet.Flow) cc.Controller
+
+	// VFIDSpace enables BFC pause handling at the NIC: the NIC keeps a
+	// per-flow (per-VFID) send queue and honours bloom-filter pause frames
+	// from the ToR. Zero disables BFC handling.
+	VFIDSpace int
+
+	// RTO is the Go-Back-N retransmission timeout (covers tail losses where
+	// no NACK can be generated).
+	RTO units.Time
+
+	// GenerateCNP makes the receiver side emit DCQCN CNPs for ECN-marked
+	// packets, at most one per CNPInterval per flow.
+	GenerateCNP bool
+	CNPInterval units.Time
+
+	// EchoINT makes the receiver copy the HPCC telemetry of each data packet
+	// onto its ACK.
+	EchoINT bool
+
+	// OnFlowComplete is invoked (once) when the receiver has all bytes of a
+	// flow in order.
+	OnFlowComplete func(f *packet.Flow)
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Scheduler == nil || c.Topo == nil || c.Node == nil {
+		return fmt.Errorf("nic: missing scheduler, topology or node")
+	}
+	if c.Node.Kind != topology.Host {
+		return fmt.Errorf("nic: node %q is not a host", c.Node.Name)
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("nic: MTU must be positive")
+	}
+	if c.RTO <= 0 {
+		return fmt.Errorf("nic: RTO must be positive")
+	}
+	if c.GenerateCNP && c.CNPInterval <= 0 {
+		return fmt.Errorf("nic: CNP generation needs a positive interval")
+	}
+	if c.VFIDSpace < 0 {
+		return fmt.Errorf("nic: negative VFID space")
+	}
+	return nil
+}
+
+// Stats are per-NIC counters.
+type Stats struct {
+	DataPacketsSent  uint64
+	Retransmissions  uint64
+	AcksSent         uint64
+	NacksSent        uint64
+	CNPsSent         uint64
+	DeliveredBytes   units.Bytes // in-order payload bytes accepted by the receiver
+	DuplicatePackets uint64
+	FlowsStarted     uint64
+	FlowsCompleted   uint64
+	RTOFirings       uint64
+	PausedByPFC      uint64
+	BFCFilterUpdates uint64
+}
+
+// senderFlow is the transmit-side state for one flow.
+type senderFlow struct {
+	flow        *packet.Flow
+	ctrl        cc.Controller
+	numPackets  int
+	nextSeq     int // next sequence to (re)send
+	acked       int // cumulative acked sequence (next expected by receiver)
+	nextAllowed units.Time
+	rto         *eventsim.Timer
+	completed   bool
+}
+
+// receiverFlow is the receive-side state for one flow.
+type receiverFlow struct {
+	flow     *packet.Flow
+	expected int
+	finished bool
+	lastCNP  units.Time
+	haveCNP  bool
+}
+
+// NIC is a simulated host network interface. It implements netsim.Device.
+type NIC struct {
+	cfg   Config
+	sched *eventsim.Scheduler
+
+	link *netsim.Link
+
+	ctrlQueue *queue.FIFO
+
+	senders   map[packet.FlowID]*senderFlow
+	sendOrder []*senderFlow
+	rrNext    int
+
+	receivers map[packet.FlowID]*receiverFlow
+
+	transmitting bool
+	pfcPaused    bool
+	upstream     *core.UpstreamState
+	wakeup       *eventsim.Timer
+
+	stats Stats
+}
+
+// New creates a NIC.
+func New(cfg Config) *NIC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &NIC{
+		cfg:       cfg,
+		sched:     cfg.Scheduler,
+		ctrlQueue: queue.NewFIFO("nic-ctrl"),
+		senders:   map[packet.FlowID]*senderFlow{},
+		receivers: map[packet.FlowID]*receiverFlow{},
+	}
+	if cfg.VFIDSpace > 0 {
+		n.upstream = core.NewUpstreamState(cfg.VFIDSpace)
+	}
+	n.wakeup = eventsim.NewTimer(cfg.Scheduler, n.tryTransmit)
+	return n
+}
+
+// ID implements netsim.Device.
+func (n *NIC) ID() packet.NodeID { return n.cfg.Node.ID }
+
+// AttachLink implements netsim.Device. Hosts have a single port (0).
+func (n *NIC) AttachLink(port int, link *netsim.Link) {
+	if port != 0 {
+		panic("nic: hosts have exactly one port")
+	}
+	n.link = link
+}
+
+// Link returns the host uplink.
+func (n *NIC) Link() *netsim.Link { return n.link }
+
+// Stats returns a copy of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// ActiveSenders returns the number of flows with unsent or unacked data.
+func (n *NIC) ActiveSenders() int { return len(n.senders) }
+
+// StartFlow begins transmitting a flow originating at this host.
+func (n *NIC) StartFlow(f *packet.Flow) {
+	if f.Src != n.ID() {
+		panic(fmt.Sprintf("nic: flow %v does not originate at host %d", f, n.ID()))
+	}
+	if _, ok := n.senders[f.ID]; ok {
+		panic(fmt.Sprintf("nic: flow %d already started", f.ID))
+	}
+	sf := &senderFlow{
+		flow:       f,
+		numPackets: f.NumPackets(n.cfg.MTU),
+	}
+	if n.cfg.NewController != nil {
+		sf.ctrl = n.cfg.NewController(f)
+	} else {
+		sf.ctrl = cc.None{}
+	}
+	sf.rto = eventsim.NewTimer(n.sched, func() { n.onRTO(sf) })
+	n.senders[f.ID] = sf
+	n.sendOrder = append(n.sendOrder, sf)
+	n.stats.FlowsStarted++
+	n.tryTransmit()
+}
+
+// Control-frame handling ------------------------------------------------------
+
+// ReceiveControl implements netsim.Device.
+func (n *NIC) ReceiveControl(port int, frame netsim.ControlFrame) {
+	switch f := frame.(type) {
+	case netsim.PFCFrame:
+		n.pfcPaused = f.Pause
+		if f.Pause {
+			n.stats.PausedByPFC++
+		}
+		if n.link != nil {
+			n.link.MarkPaused(f.Pause)
+		}
+		if !f.Pause {
+			n.tryTransmit()
+		}
+	case netsim.BFCPauseFrame:
+		if n.upstream == nil {
+			return
+		}
+		n.upstream.Update(f.Filter)
+		n.stats.BFCFilterUpdates++
+		n.tryTransmit()
+	default:
+		panic(fmt.Sprintf("nic: unknown control frame %T", frame))
+	}
+}
+
+// Transmit path ---------------------------------------------------------------
+
+// tryTransmit sends the next eligible packet, if any, and otherwise arms a
+// wake-up for the earliest pacing deadline.
+func (n *NIC) tryTransmit() {
+	if n.link == nil || n.transmitting || n.link.Busy() {
+		return
+	}
+	// Control packets (ACK/NACK/CNP) first; they are never paused.
+	if !n.ctrlQueue.Empty() {
+		n.transmitPacket(n.ctrlQueue.Pop())
+		return
+	}
+	if n.pfcPaused {
+		return
+	}
+	now := n.sched.Now()
+	sf, wakeAt := n.pickSender(now)
+	if sf == nil {
+		if wakeAt > now {
+			n.wakeup.Reset(wakeAt - now)
+		}
+		return
+	}
+	n.sendDataPacket(now, sf)
+}
+
+// pickSender round-robins over flows and returns the first eligible one, or
+// (nil, earliest pacing deadline) when only pacing stands in the way.
+func (n *NIC) pickSender(now units.Time) (*senderFlow, units.Time) {
+	if len(n.sendOrder) == 0 {
+		return nil, 0
+	}
+	var earliest units.Time
+	count := len(n.sendOrder)
+	for i := 0; i < count; i++ {
+		sf := n.sendOrder[(n.rrNext+i)%count]
+		if sf.completed || sf.nextSeq >= sf.numPackets {
+			continue
+		}
+		// BFC per-flow pause from the ToR.
+		if n.upstream != nil && n.flowPaused(sf.flow) {
+			continue
+		}
+		// Window check.
+		if w := sf.ctrl.Window(); w > 0 {
+			inflight := units.Bytes(sf.nextSeq-sf.acked) * n.cfg.MTU
+			if inflight >= w {
+				continue
+			}
+		}
+		// Pacing check.
+		if sf.nextAllowed > now {
+			if earliest == 0 || sf.nextAllowed < earliest {
+				earliest = sf.nextAllowed
+			}
+			continue
+		}
+		n.rrNext = (n.rrNext + i + 1) % count
+		return sf, 0
+	}
+	return nil, earliest
+}
+
+func (n *NIC) flowPaused(f *packet.Flow) bool {
+	probe := packet.Packet{Kind: packet.Data, Flow: f}
+	return n.upstream.PacketPaused(&probe)
+}
+
+// sendDataPacket emits the next packet of the flow.
+func (n *NIC) sendDataPacket(now units.Time, sf *senderFlow) {
+	seq := sf.nextSeq
+	payload := n.cfg.MTU
+	remaining := sf.flow.Size - units.Bytes(seq)*n.cfg.MTU
+	if remaining < payload {
+		payload = remaining
+	}
+	if payload < 0 {
+		payload = 0
+	}
+	p := &packet.Packet{
+		Kind:     packet.Data,
+		Flow:     sf.flow,
+		Seq:      seq,
+		Payload:  payload,
+		Size:     payload + packet.DataHeaderSize,
+		First:    seq == 0,
+		Last:     seq == sf.numPackets-1,
+		SendTime: now,
+		Priority: packet.PrioData,
+	}
+	if seq < sf.acked {
+		p.Retransmit = true
+		n.stats.Retransmissions++
+	}
+	sf.nextSeq++
+	n.stats.DataPacketsSent++
+
+	// Pacing: space the next packet of this flow at the controller's rate.
+	if r := sf.ctrl.Rate(); r > 0 {
+		sf.nextAllowed = now + units.SerializationTime(p.Size, r)
+	}
+	if obs, ok := sf.ctrl.(BytesSentObserver); ok {
+		obs.OnBytesSent(now, p.Size)
+	}
+	sf.rto.Reset(n.cfg.RTO)
+	n.transmitPacket(p)
+}
+
+func (n *NIC) transmitPacket(p *packet.Packet) {
+	n.transmitting = true
+	n.link.Transmit(p, func() {
+		n.transmitting = false
+		n.tryTransmit()
+	})
+}
+
+// onRTO rewinds the flow to the last acknowledged packet (Go-Back-N) when no
+// feedback arrives for a full timeout.
+func (n *NIC) onRTO(sf *senderFlow) {
+	if sf.completed || sf.acked >= sf.numPackets {
+		return
+	}
+	if sf.nextSeq > sf.acked {
+		n.stats.RTOFirings++
+		sf.nextSeq = sf.acked
+	}
+	sf.rto.Reset(n.cfg.RTO)
+	n.tryTransmit()
+}
+
+// Receive path ----------------------------------------------------------------
+
+// ReceivePacket implements netsim.Device.
+func (n *NIC) ReceivePacket(ingress int, p *packet.Packet) {
+	switch p.Kind {
+	case packet.Data:
+		n.receiveData(p)
+	case packet.Ack:
+		n.receiveAck(p)
+	case packet.Nack:
+		n.receiveNack(p)
+	case packet.CNP:
+		n.receiveCNP(p)
+	default:
+		panic(fmt.Sprintf("nic: unknown packet kind %v", p.Kind))
+	}
+}
+
+func (n *NIC) receiveData(p *packet.Packet) {
+	now := n.sched.Now()
+	if p.Flow.Dst != n.ID() {
+		panic(fmt.Sprintf("nic: data packet for %d arrived at %d", p.Flow.Dst, n.ID()))
+	}
+	rf := n.receivers[p.Flow.ID]
+	if rf == nil {
+		rf = &receiverFlow{flow: p.Flow}
+		n.receivers[p.Flow.ID] = rf
+	}
+
+	// DCQCN: congestion notification back to the sender, rate limited.
+	if n.cfg.GenerateCNP && p.ECN {
+		if !rf.haveCNP || now-rf.lastCNP >= n.cfg.CNPInterval {
+			rf.haveCNP = true
+			rf.lastCNP = now
+			n.stats.CNPsSent++
+			n.sendControl(&packet.Packet{
+				Kind: packet.CNP, Flow: p.Flow, Size: packet.ControlPacketSize, Priority: packet.PrioControl,
+			})
+		}
+	}
+
+	numPackets := p.Flow.NumPackets(n.cfg.MTU)
+	switch {
+	case p.Seq == rf.expected:
+		rf.expected++
+		n.stats.DeliveredBytes += p.Payload
+		if rf.expected == numPackets && !rf.finished {
+			rf.finished = true
+			p.Flow.FinishTime = now
+			n.stats.FlowsCompleted++
+			if n.cfg.OnFlowComplete != nil {
+				n.cfg.OnFlowComplete(p.Flow)
+			}
+		}
+		n.sendAck(p, rf)
+	case p.Seq > rf.expected:
+		// Out of order: Go-Back-N receivers drop and NACK the expected seq.
+		n.stats.NacksSent++
+		n.sendControl(&packet.Packet{
+			Kind: packet.Nack, Flow: p.Flow, Seq: rf.expected, Size: packet.ControlPacketSize,
+			Priority: packet.PrioControl,
+		})
+	default:
+		// Duplicate of an already-delivered packet: re-ACK.
+		n.stats.DuplicatePackets++
+		n.sendAck(p, rf)
+	}
+}
+
+func (n *NIC) sendAck(dataPkt *packet.Packet, rf *receiverFlow) {
+	ack := &packet.Packet{
+		Kind:     packet.Ack,
+		Flow:     dataPkt.Flow,
+		Seq:      rf.expected,
+		Size:     packet.ControlPacketSize,
+		ECE:      dataPkt.ECN,
+		Priority: packet.PrioControl,
+	}
+	if n.cfg.EchoINT && len(dataPkt.INT) > 0 {
+		ack.INT = append([]packet.INTHop(nil), dataPkt.INT...)
+	}
+	n.stats.AcksSent++
+	n.sendControl(ack)
+}
+
+func (n *NIC) sendControl(p *packet.Packet) {
+	n.ctrlQueue.Push(p)
+	n.tryTransmit()
+}
+
+func (n *NIC) receiveAck(p *packet.Packet) {
+	sf := n.senders[p.Flow.ID]
+	if sf == nil {
+		return // flow already fully acknowledged and cleaned up
+	}
+	now := n.sched.Now()
+	newly := p.Seq - sf.acked
+	if newly > 0 {
+		sf.acked = p.Seq
+		if sf.nextSeq < sf.acked {
+			sf.nextSeq = sf.acked
+		}
+		sf.ctrl.OnAck(now, units.Bytes(newly)*n.cfg.MTU, p.ECE, p.INT)
+	} else {
+		sf.ctrl.OnAck(now, 0, p.ECE, p.INT)
+	}
+	if sf.acked >= sf.numPackets {
+		n.finishSender(sf)
+	} else {
+		sf.rto.Reset(n.cfg.RTO)
+	}
+	n.tryTransmit()
+}
+
+func (n *NIC) receiveNack(p *packet.Packet) {
+	sf := n.senders[p.Flow.ID]
+	if sf == nil {
+		return
+	}
+	if p.Seq > sf.acked {
+		sf.acked = p.Seq
+	}
+	// Go back: resend from the receiver's expected sequence.
+	if sf.nextSeq > p.Seq {
+		sf.nextSeq = p.Seq
+	}
+	sf.rto.Reset(n.cfg.RTO)
+	n.tryTransmit()
+}
+
+func (n *NIC) receiveCNP(p *packet.Packet) {
+	sf := n.senders[p.Flow.ID]
+	if sf == nil {
+		return
+	}
+	sf.ctrl.OnCNP(n.sched.Now())
+}
+
+// finishSender removes completed-sender state.
+func (n *NIC) finishSender(sf *senderFlow) {
+	if sf.completed {
+		return
+	}
+	sf.completed = true
+	sf.rto.Stop()
+	delete(n.senders, sf.flow.ID)
+	for i, cur := range n.sendOrder {
+		if cur == sf {
+			n.sendOrder = append(n.sendOrder[:i], n.sendOrder[i+1:]...)
+			break
+		}
+	}
+	if n.rrNext >= len(n.sendOrder) {
+		n.rrNext = 0
+	}
+}

@@ -1,0 +1,235 @@
+// Package packet defines the flow and packet types exchanged between the
+// simulated NICs and switches, the control-frame kinds used by the congestion
+// control schemes, and the 5-tuple hashing that produces BFC virtual flow IDs
+// (VFIDs).
+package packet
+
+import (
+	"fmt"
+
+	"bfc/internal/units"
+)
+
+// NodeID identifies a device (host or switch) in the topology.
+type NodeID int32
+
+// FlowID is a unique identifier for a flow within a simulation run.
+type FlowID int64
+
+// Priority levels used by the switch scheduler. Lower value = higher
+// priority.
+type Priority uint8
+
+const (
+	// PrioControl carries ACK/NACK/CNP and is never paused.
+	PrioControl Priority = iota
+	// PrioHigh is BFC's high-priority queue for the first packet of a flow.
+	PrioHigh
+	// PrioData is regular data traffic.
+	PrioData
+)
+
+// Kind distinguishes the packet types the simulator exchanges.
+type Kind uint8
+
+const (
+	// Data is a payload-carrying packet.
+	Data Kind = iota
+	// Ack acknowledges in-order receipt of data up to Seq (cumulative).
+	Ack
+	// Nack requests a Go-Back-N retransmission from Seq.
+	Nack
+	// CNP is a DCQCN congestion notification packet.
+	CNP
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case Nack:
+		return "NACK"
+	case CNP:
+		return "CNP"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Header sizes in bytes. DataHeaderSize approximates Ethernet + IP + UDP +
+// RoCEv2 BTH overhead; control packets are minimum-size frames.
+const (
+	DataHeaderSize    units.Bytes = 48
+	ControlPacketSize units.Bytes = 64
+)
+
+// Flow is one message transfer between two hosts. It is created by the
+// workload generator and owned by the sending NIC.
+type Flow struct {
+	ID      FlowID
+	Src     NodeID
+	Dst     NodeID
+	SrcPort uint16
+	DstPort uint16
+
+	// Size is the application payload in bytes.
+	Size units.Bytes
+	// StartTime is when the flow arrives at the sending NIC.
+	StartTime units.Time
+
+	// IsIncast marks flows belonging to synthetic incast bursts; the paper
+	// reports FCT statistics for non-incast traffic only.
+	IsIncast bool
+	// LongLived marks open-ended flows (used in the fan-in and buffer
+	// management experiments); they never complete.
+	LongLived bool
+
+	// FinishTime is set by the simulation when the receiver gets the last
+	// byte. Zero means not finished.
+	FinishTime units.Time
+}
+
+// NumPackets returns the number of MTU-sized packets the flow needs given the
+// payload capacity per packet.
+func (f *Flow) NumPackets(payloadPerPacket units.Bytes) int {
+	if f.Size == 0 {
+		return 1 // zero-byte flows still send one (empty) packet
+	}
+	return int((f.Size + payloadPerPacket - 1) / payloadPerPacket)
+}
+
+// FCT returns the flow completion time, or 0 if the flow has not finished.
+func (f *Flow) FCT() units.Time {
+	if f.FinishTime == 0 {
+		return 0
+	}
+	return f.FinishTime - f.StartTime
+}
+
+// String implements fmt.Stringer.
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow %d %d->%d size=%v", f.ID, f.Src, f.Dst, f.Size)
+}
+
+// INTHop is the per-hop in-band telemetry record appended by switches when
+// the HPCC scheme is enabled, mirroring the fields HPCC requires: queue
+// length, cumulative transmitted bytes, link capacity, and a timestamp.
+type INTHop struct {
+	QLen    units.Bytes
+	TxBytes units.Bytes
+	Rate    units.Rate
+	TS      units.Time
+}
+
+// Packet is the unit of transfer between devices. A Packet is created once at
+// the sender and handed from device to device (the simulator never copies
+// payload bytes; Size is bookkeeping).
+type Packet struct {
+	Kind Kind
+	Flow *Flow
+
+	// Seq is the zero-based index of this data packet within its flow. For
+	// Ack/Nack it is the cumulative acknowledgment / retransmission point.
+	Seq int
+	// Size is the wire size in bytes including headers.
+	Size units.Bytes
+	// Payload is the application bytes carried (Size minus headers).
+	Payload units.Bytes
+
+	// ECN is the congestion-experienced codepoint, set by switches when ECN
+	// marking is enabled; echoed by the receiver into CNPs (DCQCN) or ACKs.
+	ECN bool
+	// ECE is the echoed congestion signal on an Ack.
+	ECE bool
+
+	// First marks the first packet of a flow. The sending NIC sets it, and a
+	// BFC switch places such packets in the per-egress high-priority queue
+	// (§3.7).
+	First bool
+	// Last marks the final data packet of a flow.
+	Last bool
+	// Retransmit marks Go-Back-N retransmissions (excluded from goodput).
+	Retransmit bool
+
+	// SendTime is when the packet first left the sending NIC (retransmissions
+	// keep the original flow start for slowdown accounting but refresh this).
+	SendTime units.Time
+
+	// INT is the HPCC telemetry stack; nil unless HPCC is enabled. On an Ack
+	// it is the reflected stack from the data packet being acknowledged.
+	INT []INTHop
+
+	// Priority is the scheduling class assigned at the sender.
+	Priority Priority
+
+	// ArrivalPort and EnqueueTime are simulator-transient bookkeeping fields,
+	// valid only while the packet is queued at a single device and rewritten
+	// at every hop. They let a switch recover, at dequeue time, which ingress
+	// the packet used and how long it queued, without a second lookup.
+	ArrivalPort int
+	EnqueueTime units.Time
+}
+
+// IsControl reports whether the packet travels in the unpausable control
+// class (everything except data).
+func (p *Packet) IsControl() bool { return p.Kind != Data }
+
+// VFID is the virtual flow identifier used by BFC: a hash of the flow
+// 5-tuple, identical at every switch in the network (§3.3).
+type VFID uint32
+
+// FiveTuple returns the canonical 5-tuple of a flow. Protocol is implicit
+// (all simulated traffic is RoCEv2/UDP).
+type FiveTuple struct {
+	Src, Dst         NodeID
+	SrcPort, DstPort uint16
+}
+
+// Tuple returns the flow's 5-tuple.
+func (f *Flow) Tuple() FiveTuple {
+	return FiveTuple{Src: f.Src, Dst: f.Dst, SrcPort: f.SrcPort, DstPort: f.DstPort}
+}
+
+// HashVFID maps a 5-tuple into the VFID space [0, space). All switches use
+// the same function so pause frames are interpreted consistently network
+// wide. The hash is a 64-bit FNV-1a over the tuple fields.
+func HashVFID(t FiveTuple, space int) VFID {
+	if space <= 0 {
+		panic("packet: VFID space must be positive")
+	}
+	h := fnv1a(uint64(uint32(t.Src)), uint64(uint32(t.Dst)), uint64(t.SrcPort), uint64(t.DstPort))
+	return VFID(h % uint64(space))
+}
+
+// HashQueue maps a 5-tuple onto one of n FIFO queues; used by stochastic fair
+// queueing and by the BFC-VFID straw proposal's static assignment. A
+// different seed decorrelates it from HashVFID.
+func HashQueue(t FiveTuple, n int) int {
+	if n <= 0 {
+		panic("packet: queue count must be positive")
+	}
+	h := fnv1a(uint64(uint32(t.Dst)), uint64(t.DstPort), uint64(uint32(t.Src)), uint64(t.SrcPort)^0x9e37)
+	return int(h % uint64(n))
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a(vals ...uint64) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// VFIDOf is a convenience wrapper combining Tuple and HashVFID.
+func (f *Flow) VFIDOf(space int) VFID { return HashVFID(f.Tuple(), space) }

@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bfc/internal/units"
+)
+
+func TestNumPackets(t *testing.T) {
+	cases := []struct {
+		size    units.Bytes
+		payload units.Bytes
+		want    int
+	}{
+		{0, 1000, 1},
+		{1, 1000, 1},
+		{999, 1000, 1},
+		{1000, 1000, 1},
+		{1001, 1000, 2},
+		{10000, 1000, 10},
+		{10001, 1000, 11},
+	}
+	for _, c := range cases {
+		f := &Flow{Size: c.size}
+		if got := f.NumPackets(c.payload); got != c.want {
+			t.Errorf("NumPackets(size=%d, payload=%d) = %d, want %d", c.size, c.payload, got, c.want)
+		}
+	}
+}
+
+func TestFCT(t *testing.T) {
+	f := &Flow{StartTime: 100}
+	if f.FCT() != 0 {
+		t.Fatal("unfinished flow should report zero FCT")
+	}
+	f.FinishTime = 350
+	if f.FCT() != 250 {
+		t.Fatalf("FCT = %v, want 250", f.FCT())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "DATA" || Ack.String() != "ACK" || Nack.String() != "NACK" || CNP.String() != "CNP" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if (&Packet{Kind: Data}).IsControl() {
+		t.Fatal("data packet should not be control")
+	}
+	for _, k := range []Kind{Ack, Nack, CNP} {
+		if !(&Packet{Kind: k}).IsControl() {
+			t.Fatalf("%v should be control", k)
+		}
+	}
+}
+
+func TestHashVFIDDeterministicAndInRange(t *testing.T) {
+	f := &Flow{Src: 3, Dst: 17, SrcPort: 1234, DstPort: 4791}
+	a := f.VFIDOf(16384)
+	b := HashVFID(f.Tuple(), 16384)
+	if a != b {
+		t.Fatal("VFID hash not deterministic")
+	}
+	if int(a) >= 16384 {
+		t.Fatalf("VFID %d out of range", a)
+	}
+}
+
+func TestHashVFIDDistinguishesTuples(t *testing.T) {
+	a := HashVFID(FiveTuple{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20}, 1<<30)
+	b := HashVFID(FiveTuple{Src: 2, Dst: 1, SrcPort: 10, DstPort: 20}, 1<<30)
+	c := HashVFID(FiveTuple{Src: 1, Dst: 2, SrcPort: 11, DstPort: 20}, 1<<30)
+	if a == b || a == c {
+		t.Fatal("distinct tuples should almost surely hash differently in a large space")
+	}
+}
+
+func TestHashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive space")
+		}
+	}()
+	HashVFID(FiveTuple{}, 0)
+}
+
+func TestHashQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive queue count")
+		}
+	}()
+	HashQueue(FiveTuple{}, 0)
+}
+
+// Property: hashes always fall in range and are stable across calls.
+func TestHashProperties(t *testing.T) {
+	prop := func(src, dst int32, sp, dp uint16, rawSpace uint16) bool {
+		space := int(rawSpace%65535) + 1
+		tuple := FiveTuple{Src: NodeID(src), Dst: NodeID(dst), SrcPort: sp, DstPort: dp}
+		v1 := HashVFID(tuple, space)
+		v2 := HashVFID(tuple, space)
+		q := HashQueue(tuple, 32)
+		return v1 == v2 && int(v1) < space && q >= 0 && q < 32
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the VFID hash spreads flows roughly uniformly — with many random
+// tuples into a small space, no bucket should exceed several times the mean.
+func TestHashVFIDSpread(t *testing.T) {
+	const space = 64
+	const n = 64 * 200
+	counts := make([]int, space)
+	for i := 0; i < n; i++ {
+		tpl := FiveTuple{Src: NodeID(i * 7), Dst: NodeID(i*13 + 1), SrcPort: uint16(i), DstPort: 4791}
+		counts[HashVFID(tpl, space)]++
+	}
+	mean := n / space
+	for b, c := range counts {
+		if c > 3*mean || c < mean/3 {
+			t.Fatalf("bucket %d has %d flows, mean %d — hash badly skewed", b, c, mean)
+		}
+	}
+}

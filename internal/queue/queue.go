@@ -1,0 +1,212 @@
+// Package queue provides the FIFO packet queues and the deficit-round-robin
+// (DRR) scheduler used by the simulated switch egress ports and NICs.
+//
+// A switch egress port owns a fixed set of physical FIFO queues plus the
+// special classes (control, high-priority, overflow). The scheduler serves
+// classes in strict priority order and uses DRR among the data queues, which
+// approximates fair queueing at packet granularity (§3.3 of the paper assumes
+// deficit round robin among physical queues). Queues can be individually
+// paused; paused queues are skipped by the scheduler without affecting other
+// queues.
+package queue
+
+import (
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// FIFO is a first-in first-out packet queue with byte accounting and a pause
+// flag.
+type FIFO struct {
+	// Name is a diagnostic label ("q7", "hiprio", "ctrl", ...).
+	Name string
+
+	packets []*packet.Packet
+	head    int
+	bytes   units.Bytes
+	paused  bool
+
+	// MaxBytes is the high-water mark of queued bytes (diagnostics).
+	MaxBytes units.Bytes
+}
+
+// NewFIFO returns an empty queue.
+func NewFIFO(name string) *FIFO { return &FIFO{Name: name} }
+
+// Push appends a packet.
+func (q *FIFO) Push(p *packet.Packet) {
+	if p == nil {
+		panic("queue: pushing nil packet")
+	}
+	q.packets = append(q.packets, p)
+	q.bytes += p.Size
+	if q.bytes > q.MaxBytes {
+		q.MaxBytes = q.bytes
+	}
+}
+
+// Pop removes and returns the packet at the head, or nil if empty.
+func (q *FIFO) Pop() *packet.Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	p := q.packets[q.head]
+	q.packets[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping amortized O(1) pops
+	// without unbounded growth.
+	if q.head > 64 && q.head*2 >= len(q.packets) {
+		q.packets = append(q.packets[:0], q.packets[q.head:]...)
+		q.head = 0
+	}
+	return p
+}
+
+// Head returns the packet at the head without removing it, or nil.
+func (q *FIFO) Head() *packet.Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.packets[q.head]
+}
+
+// Len returns the number of queued packets.
+func (q *FIFO) Len() int { return len(q.packets) - q.head }
+
+// Bytes returns the total queued bytes.
+func (q *FIFO) Bytes() units.Bytes { return q.bytes }
+
+// Empty reports whether the queue has no packets.
+func (q *FIFO) Empty() bool { return q.Len() == 0 }
+
+// Paused reports the pause flag.
+func (q *FIFO) Paused() bool { return q.paused }
+
+// SetPaused sets the pause flag. A paused queue is skipped by the scheduler.
+func (q *FIFO) SetPaused(p bool) { q.paused = p }
+
+// ForEach visits queued packets from head to tail.
+func (q *FIFO) ForEach(fn func(*packet.Packet)) {
+	for i := q.head; i < len(q.packets); i++ {
+		fn(q.packets[i])
+	}
+}
+
+// DRR schedules packets from a set of FIFO queues using deficit round robin
+// with a configurable quantum. Empty and paused queues are skipped. DRR is
+// work conserving: if any serviceable queue has a packet, Dequeue returns
+// one.
+type DRR struct {
+	queues   []*FIFO
+	deficits []units.Bytes
+	quantum  units.Bytes
+	next     int  // round-robin position
+	credited bool // whether the current visit to queues[next] already received its quantum
+}
+
+// NewDRR creates a scheduler over the given queues. The quantum should be at
+// least the MTU so every visit can send at least one packet.
+func NewDRR(queues []*FIFO, quantum units.Bytes) *DRR {
+	if quantum <= 0 {
+		panic("queue: DRR quantum must be positive")
+	}
+	if len(queues) == 0 {
+		panic("queue: DRR needs at least one queue")
+	}
+	return &DRR{
+		queues:   queues,
+		deficits: make([]units.Bytes, len(queues)),
+		quantum:  quantum,
+	}
+}
+
+// Queues returns the scheduled queues (in index order).
+func (d *DRR) Queues() []*FIFO { return d.queues }
+
+// Serviceable reports whether queue i can currently be served.
+func (d *DRR) serviceable(i int) bool {
+	q := d.queues[i]
+	return !q.Empty() && !q.Paused()
+}
+
+// HasWork reports whether any queue can be served right now.
+func (d *DRR) HasWork() bool {
+	for i := range d.queues {
+		if d.serviceable(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveQueues returns the number of queues that are non-empty and not
+// paused. BFC uses this as Nactive in its pause-threshold computation.
+func (d *DRR) ActiveQueues() int {
+	n := 0
+	for i := range d.queues {
+		if d.serviceable(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dequeue returns the next packet to transmit and the index of the queue it
+// came from. It returns (nil, -1) when no queue is serviceable.
+//
+// The implementation follows classic DRR: visit queues round-robin; on each
+// visit add the quantum to the queue's deficit and send packets while the
+// head packet fits in the deficit. Because the simulator transmits one packet
+// per call (the egress port serializes packets one at a time), the deficit
+// state persists across calls: a queue keeps being served on subsequent
+// calls until its deficit is exhausted or it empties.
+func (d *DRR) Dequeue() (*packet.Packet, int) {
+	if !d.HasWork() {
+		return nil, -1
+	}
+	n := len(d.queues)
+	// A serviceable queue gains one quantum per round, so a head packet of
+	// size S becomes sendable within ceil(S/quantum) rounds. Callers use a
+	// quantum of at least the MTU, so 32 rounds is far beyond any real case;
+	// the bound only exists to turn a scheduler bug into a loud failure.
+	for visits := 0; visits < 32*n; visits++ {
+		i := d.next
+		if !d.serviceable(i) {
+			d.deficits[i] = 0 // inactive queues do not accumulate credit
+			d.advance()
+			continue
+		}
+		q := d.queues[i]
+		// Grant the quantum once per visit, when the round-robin pointer
+		// arrives at the queue; the queue is then served packet by packet
+		// across subsequent Dequeue calls until its deficit runs out.
+		if !d.credited {
+			d.deficits[i] += d.quantum
+			d.credited = true
+		}
+		head := q.Head()
+		if d.deficits[i] >= head.Size {
+			d.deficits[i] -= head.Size
+			p := q.Pop()
+			if q.Empty() {
+				d.deficits[i] = 0
+				d.advance()
+			}
+			return p, i
+		}
+		// Deficit exhausted for this visit (or the packet needs more than one
+		// quantum); move on and let credit build on later rounds.
+		d.advance()
+	}
+	// Unreachable when quantum > 0 and some queue is serviceable, because
+	// deficits grow by quantum per visit; guard against bugs.
+	panic("queue: DRR failed to make progress")
+}
+
+// advance moves the round-robin pointer to the next queue and forgets the
+// per-visit credit marker.
+func (d *DRR) advance() {
+	d.next = (d.next + 1) % len(d.queues)
+	d.credited = false
+}

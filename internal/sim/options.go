@@ -1,0 +1,166 @@
+// Package sim composes the substrates — topology, switches, NICs, congestion
+// control, workload — into runnable simulations of the paper's schemes, and
+// gathers the measurements its figures report.
+package sim
+
+import (
+	"fmt"
+
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// Scheme selects which congestion-control architecture the network runs.
+type Scheme int
+
+const (
+	// SchemeBFC is the paper's contribution: per-hop per-flow backpressure
+	// with dynamic queue assignment (§3).
+	SchemeBFC Scheme = iota
+	// SchemeBFCStatic is the straw proposal BFC-VFID (§3.2): identical to BFC
+	// but with static hashed queue assignment.
+	SchemeBFCStatic
+	// SchemeDCQCN is baseline DCQCN: ECN-driven end-to-end rate control,
+	// single FIFO per port, PFC as a backstop.
+	SchemeDCQCN
+	// SchemeDCQCNWin is DCQCN with a one-BDP cap on bytes in flight.
+	SchemeDCQCNWin
+	// SchemeDCQCNWinSFQ adds stochastic fair queueing at the switches.
+	SchemeDCQCNWinSFQ
+	// SchemeHPCC is HPCC: INT-driven end-to-end window control.
+	SchemeHPCC
+	// SchemeIdealFQ is the unrealizable reference: per-flow fair queueing
+	// with infinite buffers and a one-BDP window cap.
+	SchemeIdealFQ
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBFC:
+		return "BFC"
+	case SchemeBFCStatic:
+		return "BFC-VFID"
+	case SchemeDCQCN:
+		return "DCQCN"
+	case SchemeDCQCNWin:
+		return "DCQCN+Win"
+	case SchemeDCQCNWinSFQ:
+		return "DCQCN+Win+SFQ"
+	case SchemeHPCC:
+		return "HPCC"
+	case SchemeIdealFQ:
+		return "Ideal-FQ"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AllSchemes lists every scheme compared in Fig 5.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeBFC, SchemeIdealFQ, SchemeDCQCN, SchemeDCQCNWin, SchemeHPCC, SchemeDCQCNWinSFQ}
+}
+
+// Options configures one simulation run.
+type Options struct {
+	// Scheme selects the congestion-control architecture.
+	Scheme Scheme
+	// Topo is the network topology.
+	Topo *topology.Topology
+
+	// MTU is the maximum data payload per packet (1000 B, §4.1).
+	MTU units.Bytes
+	// SwitchBuffer is the shared buffer per switch (12 MB, §4.1).
+	SwitchBuffer units.Bytes
+	// NumQueues is the number of physical queues per port (32; Fig 12 sweeps
+	// it). Single-FIFO schemes ignore it.
+	NumQueues int
+	// NumVFIDs is the BFC VFID space (16K; Fig 13 sweeps it).
+	NumVFIDs int
+	// BloomBytes is the BFC pause-frame bloom filter size (128 B; Fig 14).
+	BloomBytes int
+	// HighPriorityQueue enables BFC's first-packet queue (§3.7; Fig 11).
+	HighPriorityQueue bool
+	// ResumeAll disables BFC's resume throttling (Fig 10's BFC-BufferOpt).
+	ResumeAll bool
+	// DisablePFC removes the PFC backstop (used by Fig 2).
+	DisablePFC bool
+	// WindowCap overrides the end-to-end window for the +Win and Ideal-FQ
+	// schemes; zero means one maximum-base-RTT bandwidth-delay product.
+	WindowCap units.Bytes
+	// IdealFQQueues is the number of per-port queues for Ideal-FQ (1000 in
+	// the paper). Setting it to a small value with SchemeIdealFQ gives the
+	// Fig 7 SFQ+InfBuffer baseline: static hashing, infinite buffer.
+	IdealFQQueues int
+
+	// Duration is the workload horizon; the run continues for Drain after it
+	// so in-flight flows can finish.
+	Duration units.Time
+	Drain    units.Time
+
+	// BufferSampleInterval controls the buffer-occupancy sampling period.
+	BufferSampleInterval units.Time
+
+	// Seed drives every random choice in the run.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's configuration for a given scheme and
+// topology.
+func DefaultOptions(scheme Scheme, topo *topology.Topology) Options {
+	return Options{
+		Scheme:               scheme,
+		Topo:                 topo,
+		MTU:                  1000,
+		SwitchBuffer:         12 * units.MB,
+		NumQueues:            32,
+		NumVFIDs:             16384,
+		BloomBytes:           128,
+		HighPriorityQueue:    true,
+		Duration:             2 * units.Millisecond,
+		Drain:                2 * units.Millisecond,
+		BufferSampleInterval: 10 * units.Microsecond,
+		Seed:                 1,
+	}
+}
+
+// Validate reports option errors and fills defaults for zero fields.
+func (o *Options) Validate() error {
+	if o.Topo == nil {
+		return fmt.Errorf("sim: nil topology")
+	}
+	if o.MTU <= 0 {
+		return fmt.Errorf("sim: MTU must be positive")
+	}
+	if o.NumQueues <= 0 {
+		return fmt.Errorf("sim: NumQueues must be positive")
+	}
+	if o.Duration <= 0 {
+		return fmt.Errorf("sim: Duration must be positive")
+	}
+	if o.SwitchBuffer <= 0 && o.Scheme != SchemeIdealFQ {
+		return fmt.Errorf("sim: SwitchBuffer must be positive")
+	}
+	if o.Drain < 0 {
+		return fmt.Errorf("sim: negative drain")
+	}
+	if o.Drain == 0 {
+		o.Drain = 2 * units.Millisecond
+	}
+	if o.BufferSampleInterval <= 0 {
+		o.BufferSampleInterval = 10 * units.Microsecond
+	}
+	if o.NumVFIDs <= 0 {
+		o.NumVFIDs = 16384
+	}
+	if o.BloomBytes <= 0 {
+		o.BloomBytes = 128
+	}
+	if o.IdealFQQueues <= 0 {
+		o.IdealFQQueues = 1000
+	}
+	return nil
+}
+
+// usesBFC reports whether the scheme runs the BFC engine at switches.
+func (s Scheme) usesBFC() bool { return s == SchemeBFC || s == SchemeBFCStatic }

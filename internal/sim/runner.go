@@ -1,0 +1,445 @@
+package sim
+
+import (
+	"fmt"
+
+	"bfc/internal/bloom"
+	"bfc/internal/cc"
+	"bfc/internal/cc/dcqcn"
+	"bfc/internal/cc/hpcc"
+	"bfc/internal/core"
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/nic"
+	"bfc/internal/packet"
+	"bfc/internal/stats"
+	"bfc/internal/switchsim"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// Result carries everything the paper's figures report about a run.
+type Result struct {
+	Scheme Scheme
+
+	// FCT aggregates slowdowns of completed background (non-incast,
+	// non-long-lived) flows.
+	FCT *stats.FCTCollector
+	// FCTIncast aggregates incast-flow slowdowns separately.
+	FCTIncast *stats.FCTCollector
+
+	// FlowsTotal / FlowsCompleted count background flows offered / finished.
+	FlowsTotal     int
+	FlowsCompleted int
+
+	// BufferOccupancy holds per-switch shared-buffer samples (bytes).
+	BufferOccupancy stats.Distribution
+	// MaxBufferOccupancy is the worst per-switch occupancy observed.
+	MaxBufferOccupancy units.Bytes
+	// MaxPhysicalQueueBytes is the largest single physical-queue depth seen
+	// (Fig 10).
+	MaxPhysicalQueueBytes units.Bytes
+	// OccupiedQueues samples the number of busy physical queues (Fig 11a).
+	OccupiedQueues stats.Distribution
+
+	// Utilization is delivered payload over aggregate host capacity.
+	Utilization float64
+	// ReceiverUtilization is delivered payload over the capacity of hosts
+	// that actually received traffic (used for the Fig 8 long-lived-flow
+	// experiment, where only a subset of hosts are receivers).
+	ReceiverUtilization float64
+
+	// PauseTimeFraction is the fraction of link-time PFC-paused per link
+	// class ("ToR->Spine", "Spine->ToR", "Host->ToR", ...).
+	PauseTimeFraction map[string]float64
+
+	// Drops, ECNMarks and PFCPauses aggregate switch counters.
+	Drops     uint64
+	ECNMarks  uint64
+	PFCPauses uint64
+	BFCFrames uint64
+
+	// Collisions aggregates BFC queue-assignment statistics across switches.
+	Assignments          uint64
+	CollidedAssignments  uint64
+	VFIDCollisions       uint64
+	TableOverflowPackets uint64
+	DataPackets          uint64
+	Pauses               uint64
+	Resumes              uint64
+	MaxActiveFlows       int
+
+	// Events is the number of simulator events executed (performance metric).
+	Events uint64
+	// Elapsed is the simulated time covered by the run.
+	Elapsed units.Time
+}
+
+// CollisionFraction returns the fraction of queue assignments that collided
+// with an already-occupied queue (Fig 7b, 12a).
+func (r *Result) CollisionFraction() float64 {
+	if r.Assignments == 0 {
+		return 0
+	}
+	return float64(r.CollidedAssignments) / float64(r.Assignments)
+}
+
+// VFIDCollisionFraction returns per-packet VFID aliasing frequency (Fig 13a).
+func (r *Result) VFIDCollisionFraction() float64 {
+	if r.DataPackets == 0 {
+		return 0
+	}
+	return float64(r.VFIDCollisions) / float64(r.DataPackets)
+}
+
+// OverflowFraction returns the fraction of data packets handled through the
+// overflow queue because the flow table was full (Fig 13a).
+func (r *Result) OverflowFraction() float64 {
+	if r.DataPackets == 0 {
+		return 0
+	}
+	return float64(r.TableOverflowPackets) / float64(r.DataPackets)
+}
+
+// Run executes one simulation of the given flows under the options.
+func Run(opts Options, flows []*packet.Flow) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRunner(opts)
+	return r.run(flows)
+}
+
+type runner struct {
+	opts  Options
+	sched *eventsim.Scheduler
+	topo  *topology.Topology
+
+	switches map[packet.NodeID]*switchsim.Switch
+	nics     map[packet.NodeID]*nic.NIC
+	devices  map[packet.NodeID]netsim.Device
+
+	result *Result
+}
+
+func newRunner(opts Options) *runner {
+	return &runner{
+		opts:     opts,
+		sched:    eventsim.New(),
+		topo:     opts.Topo,
+		switches: map[packet.NodeID]*switchsim.Switch{},
+		nics:     map[packet.NodeID]*nic.NIC{},
+		devices:  map[packet.NodeID]netsim.Device{},
+		result: &Result{
+			Scheme:            opts.Scheme,
+			FCT:               stats.NewFCTCollector(nil),
+			FCTIncast:         stats.NewFCTCollector(nil),
+			PauseTimeFraction: map[string]float64{},
+		},
+	}
+}
+
+// hopRTT returns the one-hop round-trip time used by BFC: twice the
+// propagation plus MTU serialization of the fastest fabric link.
+func (r *runner) hopRTT() units.Time {
+	var delay units.Time
+	var rate units.Rate
+	for _, n := range r.topo.Nodes() {
+		for _, p := range n.Ports {
+			if p.Delay > delay {
+				delay = p.Delay
+			}
+			if rate == 0 || p.Rate < rate {
+				rate = p.Rate
+			}
+		}
+	}
+	if rate == 0 {
+		rate = 100 * units.Gbps
+	}
+	return 2 * (delay + units.SerializationTime(r.opts.MTU+packet.DataHeaderSize, rate))
+}
+
+func (r *runner) run(flows []*packet.Flow) (*Result, error) {
+	opts := r.opts
+	hopRTT := r.hopRTT()
+	baseRTT := r.topo.MaxBaseRTT(opts.MTU + packet.DataHeaderSize)
+	hostRate := r.topo.HostRate(r.topo.Hosts()[0])
+	windowCap := opts.WindowCap
+	if windowCap == 0 {
+		windowCap = units.BDP(hostRate, baseRTT)
+	}
+
+	r.buildSwitches(hopRTT)
+	r.buildNICs(hostRate, baseRTT, windowCap)
+	r.wireLinks()
+	r.scheduleFlows(flows)
+	r.startSampling()
+
+	horizon := opts.Duration + opts.Drain
+	r.sched.RunUntil(horizon)
+
+	r.collect(horizon, flows)
+	return r.result, nil
+}
+
+func (r *runner) bfcConfig(hopRTT units.Time) *core.Config {
+	opts := r.opts
+	cfg := core.DefaultConfig()
+	cfg.NumVFIDs = opts.NumVFIDs
+	cfg.QueuesPerPort = opts.NumQueues
+	cfg.Bloom = bloom.Params{SizeBytes: opts.BloomBytes, Hashes: bloom.DefaultHashes}
+	cfg.HRTT = hopRTT
+	cfg.Tau = hopRTT / 2
+	cfg.DynamicAssignment = opts.Scheme != SchemeBFCStatic
+	cfg.UseHighPriorityQueue = opts.HighPriorityQueue
+	cfg.ResumeAll = opts.ResumeAll
+	cfg.Seed = opts.Seed
+	return &cfg
+}
+
+func (r *runner) buildSwitches(hopRTT units.Time) {
+	opts := r.opts
+	for _, node := range r.topo.Nodes() {
+		if node.Kind != topology.Switch {
+			continue
+		}
+		cfg := switchsim.Config{
+			Scheduler:        r.sched,
+			Topo:             r.topo,
+			Node:             node,
+			MTU:              opts.MTU,
+			NumQueues:        opts.NumQueues,
+			BufferSize:       opts.SwitchBuffer,
+			EnablePFC:        !opts.DisablePFC,
+			PFCThresholdFrac: 0.11,
+			Seed:             opts.Seed,
+		}
+		switch opts.Scheme {
+		case SchemeBFC, SchemeBFCStatic:
+			cfg.BFC = r.bfcConfig(hopRTT)
+		case SchemeDCQCN, SchemeDCQCNWin:
+			cfg.NumQueues = 1
+			cfg.EnableECN = true
+			cfg.ECNKmin, cfg.ECNKmax, cfg.ECNPmax = 100*units.KB, 400*units.KB, 1.0
+		case SchemeDCQCNWinSFQ:
+			cfg.SFQ = true
+			cfg.EnableECN = true
+			cfg.ECNKmin, cfg.ECNKmax, cfg.ECNPmax = 100*units.KB, 400*units.KB, 1.0
+		case SchemeHPCC:
+			cfg.NumQueues = 1
+			cfg.EnableINT = true
+		case SchemeIdealFQ:
+			cfg.SFQ = true
+			cfg.NumQueues = opts.IdealFQQueues
+			cfg.InfiniteBuffer = true
+			cfg.EnablePFC = false
+		}
+		sw := switchsim.New(cfg)
+		r.switches[node.ID] = sw
+		r.devices[node.ID] = sw
+	}
+}
+
+func (r *runner) buildNICs(hostRate units.Rate, baseRTT units.Time, windowCap units.Bytes) {
+	opts := r.opts
+	for _, node := range r.topo.Nodes() {
+		if node.Kind != topology.Host {
+			continue
+		}
+		cfg := nic.Config{
+			Scheduler:      r.sched,
+			Topo:           r.topo,
+			Node:           node,
+			MTU:            opts.MTU,
+			RTO:            4 * units.Millisecond,
+			OnFlowComplete: r.onFlowComplete,
+		}
+		switch opts.Scheme {
+		case SchemeBFC, SchemeBFCStatic:
+			cfg.VFIDSpace = opts.NumVFIDs
+		case SchemeDCQCN:
+			cfg.GenerateCNP = true
+			cfg.CNPInterval = 50 * units.Microsecond
+			cfg.NewController = func(f *packet.Flow) cc.Controller {
+				return dcqcn.New(dcqcn.DefaultParams(hostRate))
+			}
+		case SchemeDCQCNWin, SchemeDCQCNWinSFQ:
+			cfg.GenerateCNP = true
+			cfg.CNPInterval = 50 * units.Microsecond
+			cfg.NewController = func(f *packet.Flow) cc.Controller {
+				p := dcqcn.DefaultParams(hostRate)
+				p.Window = windowCap
+				return dcqcn.New(p)
+			}
+		case SchemeHPCC:
+			cfg.EchoINT = true
+			cfg.NewController = func(f *packet.Flow) cc.Controller {
+				return hpcc.New(hpcc.DefaultParams(hostRate, baseRTT))
+			}
+		case SchemeIdealFQ:
+			cfg.NewController = func(f *packet.Flow) cc.Controller {
+				return cc.FixedWindow{W: windowCap}
+			}
+		}
+		n := nic.New(cfg)
+		r.nics[node.ID] = n
+		r.devices[node.ID] = n
+	}
+}
+
+// wireLinks creates the unidirectional links for every topology port pair and
+// attaches them to the devices.
+func (r *runner) wireLinks() {
+	for _, node := range r.topo.Nodes() {
+		dev := r.devices[node.ID]
+		for portIdx, port := range node.Ports {
+			peer := r.devices[port.Peer]
+			name := fmt.Sprintf("%s:p%d->%s", node.Name, portIdx, r.topo.Node(port.Peer).Name)
+			link := netsim.NewLink(r.sched, name, port.Rate, port.Delay, peer, port.PeerPort)
+			dev.AttachLink(portIdx, link)
+		}
+	}
+}
+
+func (r *runner) scheduleFlows(flows []*packet.Flow) {
+	for _, f := range flows {
+		f := f
+		r.sched.Schedule(f.StartTime, func() {
+			r.nics[f.Src].StartFlow(f)
+		})
+		if !f.IsIncast && !f.LongLived {
+			r.result.FlowsTotal++
+		}
+	}
+}
+
+func (r *runner) onFlowComplete(f *packet.Flow) {
+	if f.LongLived {
+		return
+	}
+	ideal := r.idealFCT(f)
+	fct := f.FCT()
+	if f.IsIncast {
+		r.result.FCTIncast.Record(f.Size, fct, ideal)
+		return
+	}
+	r.result.FlowsCompleted++
+	r.result.FCT.Record(f.Size, fct, ideal)
+}
+
+func (r *runner) idealFCT(f *packet.Flow) units.Time {
+	return IdealFCT(r.topo, r.opts.MTU, f)
+}
+
+// IdealFCT is the best possible completion time for a flow on an unloaded
+// network: the one-way path latency of its first packet plus the time to
+// stream the remaining bytes (with per-packet headers) at the slowest link on
+// the path. It is the denominator of every FCT-slowdown the evaluation
+// reports.
+func IdealFCT(topo *topology.Topology, mtu units.Bytes, f *packet.Flow) units.Time {
+	rate := topo.MinPathRate(f.Src, f.Dst)
+	firstPkt := minBytes(f.Size, mtu) + packet.DataHeaderSize
+	wireBytes := f.Size + units.Bytes(f.NumPackets(mtu))*packet.DataHeaderSize
+	oneWay := topo.PathOneWay(f.Src, f.Dst, firstPkt)
+	return oneWay + units.SerializationTime(wireBytes, rate) - units.SerializationTime(firstPkt, rate)
+}
+
+func minBytes(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (r *runner) startSampling() {
+	eventsim.NewTicker(r.sched, r.opts.BufferSampleInterval, func() {
+		for _, sw := range r.switches {
+			occ := sw.BufferOccupancy()
+			r.result.BufferOccupancy.Add(float64(occ))
+			if occ > r.result.MaxBufferOccupancy {
+				r.result.MaxBufferOccupancy = occ
+			}
+			r.result.OccupiedQueues.Add(float64(sw.OccupiedDataQueues()))
+			if q := sw.MaxPhysicalQueueBytes(); q > r.result.MaxPhysicalQueueBytes {
+				r.result.MaxPhysicalQueueBytes = q
+			}
+		}
+	})
+}
+
+func (r *runner) collect(horizon units.Time, flows []*packet.Flow) {
+	res := r.result
+	res.Elapsed = horizon
+	res.Events = r.sched.Executed
+
+	// Utilization over all hosts, and over receivers only.
+	var delivered units.Bytes
+	receivers := map[packet.NodeID]bool{}
+	for _, f := range flows {
+		receivers[f.Dst] = true
+	}
+	var receiverDelivered units.Bytes
+	for id, n := range r.nics {
+		st := n.Stats()
+		delivered += st.DeliveredBytes
+		if receivers[id] {
+			receiverDelivered += st.DeliveredBytes
+		}
+	}
+	hostRate := r.topo.HostRate(r.topo.Hosts()[0])
+	capacityAll := stats.NewUtilization(hostRate*units.Rate(len(r.topo.Hosts())), horizon)
+	capacityAll.AddBytes(delivered)
+	res.Utilization = capacityAll.Value()
+	if len(receivers) > 0 {
+		capRecv := stats.NewUtilization(hostRate*units.Rate(len(receivers)), horizon)
+		capRecv.AddBytes(receiverDelivered)
+		res.ReceiverUtilization = capRecv.Value()
+	}
+
+	// Switch counters and pause-time accounting.
+	tracker := stats.NewPauseTracker(horizon)
+	for id, sw := range r.switches {
+		st := sw.Stats()
+		res.Drops += st.Drops
+		res.ECNMarks += st.ECNMarks
+		res.PFCPauses += st.PFCPausesSent
+		res.BFCFrames += st.BFCFramesSent
+		node := r.topo.Node(id)
+		for portIdx, port := range node.Ports {
+			peerTier := r.topo.Node(port.Peer).Tier
+			key := fmt.Sprintf("%s->%s", node.Tier, peerTier)
+			tracker.RegisterLink(key)
+			if link := sw.Link(portIdx); link != nil {
+				tracker.AddPaused(key, link.PausedTime())
+			}
+		}
+		if eng := sw.Engine(); eng != nil {
+			es := eng.Stats()
+			res.Assignments += es.Assignments
+			res.CollidedAssignments += es.CollidedAssignments
+			res.VFIDCollisions += es.VFIDCollisions
+			res.TableOverflowPackets += es.TableOverflowPackets
+			res.DataPackets += es.DataPackets
+			res.Pauses += es.Pauses
+			res.Resumes += es.Resumes
+			if es.MaxActiveFlows > res.MaxActiveFlows {
+				res.MaxActiveFlows = es.MaxActiveFlows
+			}
+		} else {
+			res.DataPackets += st.DataPacketsIn
+		}
+	}
+	// Host uplinks can also be PFC-paused (by the ToR); account them too.
+	for id, n := range r.nics {
+		node := r.topo.Node(id)
+		key := fmt.Sprintf("%s->%s", node.Tier, r.topo.Node(node.Ports[0].Peer).Tier)
+		tracker.RegisterLink(key)
+		if link := n.Link(); link != nil {
+			tracker.AddPaused(key, link.PausedTime())
+		}
+	}
+	for _, key := range tracker.Keys() {
+		res.PauseTimeFraction[key] = tracker.Fraction(key)
+	}
+}

@@ -1,0 +1,475 @@
+package switchsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bfc/internal/core"
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/packet"
+	"bfc/internal/queue"
+	"bfc/internal/units"
+)
+
+// popSource identifies which class a dequeued packet came from, so the
+// departure processing can reconstruct the BFC placement.
+type popSource struct {
+	ctrl     bool
+	highPrio bool
+	overflow bool
+	queue    int
+}
+
+// egressPort bundles the queue structures of one output port.
+type egressPort struct {
+	ctrl     *queue.FIFO
+	hiPrio   *queue.FIFO
+	data     []*queue.FIFO
+	overflow *queue.FIFO
+	drr      *queue.DRR
+
+	transmitting bool
+	// queuedDataBytes counts bytes across hiPrio + data + overflow (not ctrl),
+	// used for ECN marking and INT queue-length reporting.
+	queuedDataBytes units.Bytes
+	// txDataBytes is the cumulative data bytes transmitted (INT).
+	txDataBytes units.Bytes
+}
+
+// Switch is the simulated shared-buffer switch. It implements netsim.Device
+// and core.PortView.
+type Switch struct {
+	cfg   Config
+	sched *eventsim.Scheduler
+	rng   *rand.Rand
+
+	links []*netsim.Link
+	ports []*egressPort
+
+	// Shared buffer accounting.
+	bufferUsed      units.Bytes
+	perIngressBytes []units.Bytes
+	pfcPauseSent    []bool
+
+	// pfcPausedByPeer marks egress ports whose peer asked us to stop sending
+	// data (classic PFC head-of-line blocking).
+	pfcPausedByPeer []bool
+
+	// BFC state: the downstream-side engine plus, per egress port, the most
+	// recent filter received from the device downstream of that port.
+	engine   *core.Engine
+	upstream []*core.UpstreamState
+	ticker   *eventsim.Ticker
+
+	stats Stats
+}
+
+// New creates a switch. Links must be attached (AttachLink) for every port
+// before traffic arrives; the sim package does this while wiring the network.
+func New(cfg Config) *Switch {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numPorts := len(cfg.Node.Ports)
+	s := &Switch{
+		cfg:             cfg,
+		sched:           cfg.Scheduler,
+		rng:             rand.New(rand.NewSource(cfg.Seed + int64(cfg.Node.ID))),
+		links:           make([]*netsim.Link, numPorts),
+		ports:           make([]*egressPort, numPorts),
+		perIngressBytes: make([]units.Bytes, numPorts),
+		pfcPauseSent:    make([]bool, numPorts),
+		pfcPausedByPeer: make([]bool, numPorts),
+	}
+	for i := 0; i < numPorts; i++ {
+		p := &egressPort{
+			ctrl:     queue.NewFIFO(fmt.Sprintf("p%d-ctrl", i)),
+			hiPrio:   queue.NewFIFO(fmt.Sprintf("p%d-hiprio", i)),
+			overflow: queue.NewFIFO(fmt.Sprintf("p%d-overflow", i)),
+		}
+		p.data = make([]*queue.FIFO, cfg.NumQueues)
+		for q := range p.data {
+			p.data[q] = queue.NewFIFO(fmt.Sprintf("p%d-q%d", i, q))
+		}
+		drrSet := append(append([]*queue.FIFO{}, p.data...), p.overflow)
+		p.drr = queue.NewDRR(drrSet, cfg.MTU+packet.DataHeaderSize)
+		s.ports[i] = p
+	}
+	if cfg.BFC != nil {
+		s.engine = core.NewEngine(*cfg.BFC, numPorts, s)
+		s.upstream = make([]*core.UpstreamState, numPorts)
+		for i := range s.upstream {
+			s.upstream[i] = core.NewUpstreamState(cfg.BFC.NumVFIDs)
+		}
+		s.ticker = eventsim.NewTicker(s.sched, cfg.BFC.Tau, s.bfcTick)
+	}
+	return s
+}
+
+// ID implements netsim.Device.
+func (s *Switch) ID() packet.NodeID { return s.cfg.Node.ID }
+
+// AttachLink implements netsim.Device.
+func (s *Switch) AttachLink(port int, link *netsim.Link) {
+	if port < 0 || port >= len(s.links) {
+		panic(fmt.Sprintf("switchsim: port %d out of range", port))
+	}
+	s.links[port] = link
+}
+
+// Link returns the outgoing link for a port (for statistics collection).
+func (s *Switch) Link(port int) *netsim.Link { return s.links[port] }
+
+// Stats returns a copy of the switch counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// Engine returns the BFC engine (nil unless BFC is enabled).
+func (s *Switch) Engine() *core.Engine { return s.engine }
+
+// BufferOccupancy returns the shared buffer bytes currently in use.
+func (s *Switch) BufferOccupancy() units.Bytes { return s.bufferUsed }
+
+// OccupiedDataQueues returns the number of non-empty physical data queues
+// across all egress ports (Fig 11a).
+func (s *Switch) OccupiedDataQueues() int {
+	n := 0
+	for _, p := range s.ports {
+		for _, q := range p.data {
+			if !q.Empty() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxPhysicalQueueBytes returns the largest per-physical-queue byte count
+// across the switch (Fig 10).
+func (s *Switch) MaxPhysicalQueueBytes() units.Bytes {
+	var max units.Bytes
+	for _, p := range s.ports {
+		for _, q := range p.data {
+			if q.Bytes() > max {
+				max = q.Bytes()
+			}
+		}
+	}
+	return max
+}
+
+// core.PortView implementation -------------------------------------------------
+
+// ActiveQueues implements core.PortView.
+func (s *Switch) ActiveQueues(egress int) int {
+	n := 0
+	for _, q := range s.ports[egress].data {
+		if !q.Empty() && !q.Paused() {
+			n++
+		}
+	}
+	return n
+}
+
+// QueuePausedByDownstream implements core.PortView.
+func (s *Switch) QueuePausedByDownstream(egress, q int) bool {
+	return s.ports[egress].data[q].Paused()
+}
+
+// LinkRate implements core.PortView.
+func (s *Switch) LinkRate(egress int) units.Rate {
+	return s.cfg.Node.Ports[egress].Rate
+}
+
+// Packet path -------------------------------------------------------------------
+
+// ReceivePacket implements netsim.Device.
+func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
+	now := s.sched.Now()
+	p.ArrivalPort = ingress
+	p.EnqueueTime = now
+	egress := s.routePort(p)
+	port := s.ports[egress]
+
+	if p.IsControl() {
+		// ACK/NACK/CNP travel in the unpausable, undroppable control class.
+		port.ctrl.Push(p)
+		s.tryTransmit(egress)
+		return
+	}
+
+	s.stats.DataPacketsIn++
+
+	// Shared-buffer admission.
+	if !s.cfg.InfiniteBuffer && s.bufferUsed+p.Size > s.cfg.BufferSize {
+		s.stats.Drops++
+		return
+	}
+	s.bufferUsed += p.Size
+	if s.bufferUsed > s.stats.MaxBufferUsed {
+		s.stats.MaxBufferUsed = s.bufferUsed
+	}
+	s.perIngressBytes[ingress] += p.Size
+
+	// ECN marking against the egress port occupancy (RED on the instantaneous
+	// queue, as in the DCQCN ns-3 model).
+	if s.cfg.EnableECN {
+		s.maybeMarkECN(port, p)
+	}
+
+	// Placement.
+	switch {
+	case s.engine != nil:
+		pl := s.engine.OnArrival(now, ingress, egress, p)
+		switch {
+		case pl.HighPriority:
+			port.hiPrio.Push(p)
+		case pl.Overflow:
+			port.overflow.Push(p)
+		default:
+			port.data[pl.Queue].Push(p)
+			// The queue's pause state depends on its head packet; if this
+			// packet became the head (queue was empty), refresh the state.
+			if port.data[pl.Queue].Len() == 1 {
+				s.refreshQueuePause(egress, pl.Queue)
+			}
+		}
+	case s.cfg.SFQ:
+		q := packet.HashQueue(p.Flow.Tuple(), s.cfg.NumQueues)
+		port.data[q].Push(p)
+	default:
+		port.data[0].Push(p)
+	}
+	port.queuedDataBytes += p.Size
+
+	// PFC toward the upstream device on the ingress link.
+	if s.cfg.EnablePFC {
+		s.checkPFCPause(ingress)
+	}
+	s.tryTransmit(egress)
+}
+
+// routePort picks the egress port for a packet: data packets route toward the
+// flow destination, control packets back toward the flow source. ECMP hashes
+// the flow 5-tuple so a flow's packets stay on one path.
+func (s *Switch) routePort(p *packet.Packet) int {
+	dst := p.Flow.Dst
+	if p.Kind != packet.Data {
+		dst = p.Flow.Src
+	}
+	ports := s.cfg.Topo.NextHops(s.ID(), dst)
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	h := packet.HashVFID(p.Flow.Tuple(), 1<<30)
+	return ports[int(h)%len(ports)]
+}
+
+func (s *Switch) maybeMarkECN(port *egressPort, p *packet.Packet) {
+	qlen := port.queuedDataBytes
+	switch {
+	case qlen <= s.cfg.ECNKmin:
+		return
+	case qlen >= s.cfg.ECNKmax:
+		p.ECN = true
+	default:
+		prob := s.cfg.ECNPmax * float64(qlen-s.cfg.ECNKmin) / float64(s.cfg.ECNKmax-s.cfg.ECNKmin)
+		if s.rng.Float64() < prob {
+			p.ECN = true
+		}
+	}
+	if p.ECN {
+		s.stats.ECNMarks++
+	}
+}
+
+// PFC -----------------------------------------------------------------------------
+
+// pfcThreshold returns the dynamic per-ingress pause threshold: a fraction of
+// the currently free shared buffer.
+func (s *Switch) pfcThreshold() units.Bytes {
+	free := s.cfg.BufferSize - s.bufferUsed
+	if free < 0 {
+		free = 0
+	}
+	return units.Bytes(s.cfg.PFCThresholdFrac * float64(free))
+}
+
+func (s *Switch) checkPFCPause(ingress int) {
+	if s.pfcPauseSent[ingress] || s.links[ingress] == nil {
+		return
+	}
+	if s.perIngressBytes[ingress] > s.pfcThreshold() {
+		s.pfcPauseSent[ingress] = true
+		s.stats.PFCPausesSent++
+		s.links[ingress].SendControl(netsim.PFCFrame{Pause: true}, 64)
+	}
+}
+
+func (s *Switch) checkPFCResume(ingress int) {
+	if !s.pfcPauseSent[ingress] || s.links[ingress] == nil {
+		return
+	}
+	// Resume with a small hysteresis below the (dynamic) threshold so the
+	// pause/resume pair does not oscillate per packet.
+	th := s.pfcThreshold()
+	hysteresis := 2 * (s.cfg.MTU + packet.DataHeaderSize)
+	if s.perIngressBytes[ingress]+hysteresis < th || s.perIngressBytes[ingress] == 0 {
+		s.pfcPauseSent[ingress] = false
+		s.links[ingress].SendControl(netsim.PFCFrame{Pause: false}, 64)
+	}
+}
+
+// Control frames -------------------------------------------------------------------
+
+// ReceiveControl implements netsim.Device.
+func (s *Switch) ReceiveControl(port int, frame netsim.ControlFrame) {
+	switch f := frame.(type) {
+	case netsim.PFCFrame:
+		s.pfcPausedByPeer[port] = f.Pause
+		if s.links[port] != nil {
+			s.links[port].MarkPaused(f.Pause)
+		}
+		if !f.Pause {
+			s.tryTransmit(port)
+		}
+	case netsim.BFCPauseFrame:
+		if s.upstream == nil {
+			return // BFC frames ignored by non-BFC switches
+		}
+		s.upstream[port].Update(f.Filter)
+		for q := range s.ports[port].data {
+			s.refreshQueuePause(port, q)
+		}
+		s.refreshOverflowPause(port)
+		s.tryTransmit(port)
+	default:
+		panic(fmt.Sprintf("switchsim: unknown control frame %T", frame))
+	}
+}
+
+// refreshQueuePause re-evaluates the pause flag of one physical queue against
+// the most recent downstream filter: the queue is paused iff its head packet
+// belongs to a paused flow (§3.6).
+func (s *Switch) refreshQueuePause(egress, q int) {
+	if s.upstream == nil {
+		return
+	}
+	fifo := s.ports[egress].data[q]
+	head := fifo.Head()
+	fifo.SetPaused(head != nil && s.upstream[egress].PacketPaused(head))
+}
+
+func (s *Switch) refreshOverflowPause(egress int) {
+	if s.upstream == nil {
+		return
+	}
+	fifo := s.ports[egress].overflow
+	head := fifo.Head()
+	fifo.SetPaused(head != nil && s.upstream[egress].PacketPaused(head))
+}
+
+// bfcTick runs every Tau: advances the engine (throttled resumes) and sends
+// the per-ingress bloom-filter pause frames upstream.
+func (s *Switch) bfcTick() {
+	frames := s.engine.Tick(s.sched.Now())
+	for _, fr := range frames {
+		if s.links[fr.Ingress] == nil {
+			continue
+		}
+		s.stats.BFCFramesSent++
+		s.links[fr.Ingress].SendControl(netsim.BFCPauseFrame{Filter: fr.Filter},
+			units.Bytes(fr.Filter.WireSize())+packet.ControlPacketSize)
+	}
+}
+
+// Egress scheduling ------------------------------------------------------------------
+
+func (s *Switch) tryTransmit(portIdx int) {
+	port := s.ports[portIdx]
+	link := s.links[portIdx]
+	if link == nil || port.transmitting || link.Busy() {
+		return
+	}
+	p, src := s.selectPacket(portIdx)
+	if p == nil {
+		return
+	}
+	s.onDequeue(portIdx, p, src)
+	port.transmitting = true
+	link.Transmit(p, func() {
+		port.transmitting = false
+		s.tryTransmit(portIdx)
+	})
+}
+
+// selectPacket applies the strict-priority + DRR scheduling policy: control
+// first (never paused), then — unless the peer PFC-paused us — the BFC
+// high-priority queue, then deficit round robin over the data queues and the
+// overflow queue, skipping queues whose head is BFC-paused.
+func (s *Switch) selectPacket(portIdx int) (*packet.Packet, popSource) {
+	port := s.ports[portIdx]
+	if !port.ctrl.Empty() {
+		return port.ctrl.Pop(), popSource{ctrl: true}
+	}
+	if s.pfcPausedByPeer[portIdx] {
+		return nil, popSource{}
+	}
+	if !port.hiPrio.Empty() {
+		return port.hiPrio.Pop(), popSource{highPrio: true}
+	}
+	p, idx := port.drr.Dequeue()
+	if p == nil {
+		return nil, popSource{}
+	}
+	if idx == len(port.data) {
+		return p, popSource{overflow: true}
+	}
+	return p, popSource{queue: idx}
+}
+
+// onDequeue performs the departure-side bookkeeping for a packet about to be
+// transmitted.
+func (s *Switch) onDequeue(portIdx int, p *packet.Packet, src popSource) {
+	if src.ctrl {
+		return
+	}
+	now := s.sched.Now()
+	port := s.ports[portIdx]
+	s.stats.DataPacketsOut++
+
+	// Release shared buffer and per-ingress accounting; possibly resume PFC.
+	s.bufferUsed -= p.Size
+	s.perIngressBytes[p.ArrivalPort] -= p.Size
+	if s.bufferUsed < 0 || s.perIngressBytes[p.ArrivalPort] < 0 {
+		panic("switchsim: negative buffer accounting")
+	}
+	port.queuedDataBytes -= p.Size
+	if s.cfg.EnablePFC {
+		s.checkPFCResume(p.ArrivalPort)
+	}
+
+	// BFC departure processing and head re-evaluation.
+	if s.engine != nil {
+		pl := core.Placement{HighPriority: src.highPrio, Overflow: src.overflow, Queue: src.queue}
+		s.engine.OnDeparture(now, p.ArrivalPort, portIdx, pl, p)
+		if !src.highPrio && !src.overflow {
+			s.refreshQueuePause(portIdx, src.queue)
+		}
+		if src.overflow {
+			s.refreshOverflowPause(portIdx)
+		}
+	}
+
+	// HPCC telemetry: stamp the post-dequeue queue length and cumulative
+	// transmitted bytes for this egress port.
+	if s.cfg.EnableINT {
+		p.INT = append(p.INT, packet.INTHop{
+			QLen:    port.queuedDataBytes,
+			TxBytes: port.txDataBytes,
+			Rate:    s.LinkRate(portIdx),
+			TS:      now,
+		})
+	}
+	port.txDataBytes += p.Size
+}

@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"fmt"
+
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// ClosConfig parameterizes a two-tier leaf-spine (folded Clos) topology like
+// the paper's T1 and T2.
+type ClosConfig struct {
+	Name        string
+	NumToR      int
+	NumSpine    int
+	HostsPerToR int
+	// LinkRate applies to every link (host-ToR and ToR-spine), as in §4.1.
+	LinkRate units.Rate
+	// LinkDelay is the per-link propagation delay.
+	LinkDelay units.Time
+}
+
+// Validate checks the configuration.
+func (c ClosConfig) Validate() error {
+	if c.NumToR <= 0 || c.NumSpine <= 0 || c.HostsPerToR <= 0 {
+		return fmt.Errorf("topology: Clos dimensions must be positive (got ToR=%d spine=%d hosts/ToR=%d)",
+			c.NumToR, c.NumSpine, c.HostsPerToR)
+	}
+	if c.LinkRate <= 0 {
+		return fmt.Errorf("topology: link rate must be positive")
+	}
+	if c.LinkDelay < 0 {
+		return fmt.Errorf("topology: link delay must be non-negative")
+	}
+	return nil
+}
+
+// NewClos builds a two-tier Clos: every ToR connects to every spine with a
+// single link, and HostsPerToR hosts hang off each ToR.
+func NewClos(c ClosConfig) *Topology {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	b := newBuilder(c.Name)
+	spines := make([]packet.NodeID, 0, c.NumSpine)
+	for s := 0; s < c.NumSpine; s++ {
+		spines = append(spines, b.addNode(Switch, TierSpine, fmt.Sprintf("spine%d", s)))
+	}
+	for r := 0; r < c.NumToR; r++ {
+		tor := b.addNode(Switch, TierToR, fmt.Sprintf("tor%d", r))
+		for _, s := range spines {
+			b.addLink(tor, s, c.LinkRate, c.LinkDelay)
+		}
+		for h := 0; h < c.HostsPerToR; h++ {
+			host := b.addNode(Host, TierHost, fmt.Sprintf("h%d-%d", r, h))
+			b.addLink(host, tor, c.LinkRate, c.LinkDelay)
+		}
+	}
+	return b.build()
+}
+
+// The paper's evaluation topologies (§4.1): all links 100 Gbps with 1 us
+// propagation delay; 2:1 oversubscription.
+
+// T1Config returns the large topology: 128 hosts, 8 ToRs x 16 hosts, 8
+// spines.
+func T1Config() ClosConfig {
+	return ClosConfig{
+		Name:        "T1",
+		NumToR:      8,
+		NumSpine:    8,
+		HostsPerToR: 16,
+		LinkRate:    100 * units.Gbps,
+		LinkDelay:   1 * units.Microsecond,
+	}
+}
+
+// T2Config returns the small topology: 64 hosts, 4 ToRs x 16 hosts, 8 spines.
+func T2Config() ClosConfig {
+	return ClosConfig{
+		Name:        "T2",
+		NumToR:      4,
+		NumSpine:    8,
+		HostsPerToR: 16,
+		LinkRate:    100 * units.Gbps,
+		LinkDelay:   1 * units.Microsecond,
+	}
+}
+
+// NewT1 builds the paper's T1 topology.
+func NewT1() *Topology { return NewClos(T1Config()) }
+
+// NewT2 builds the paper's T2 topology.
+func NewT2() *Topology { return NewClos(T2Config()) }
+
+// ScaledClos returns a Clos with the same shape as cfg but with hostsPerToR
+// and numToR scaled down; used by the benchmark harness to run every figure
+// at reduced scale while preserving the topology structure.
+func ScaledClos(cfg ClosConfig, numToR, hostsPerToR int) ClosConfig {
+	cfg.NumToR = numToR
+	cfg.HostsPerToR = hostsPerToR
+	cfg.Name = fmt.Sprintf("%s-scaled-%dx%d", cfg.Name, numToR, hostsPerToR)
+	return cfg
+}
+
+// SingleSwitchConfig parameterizes a star topology: n hosts attached to one
+// switch. Used by micro-benchmarks and the Fig 10 buffer-management
+// experiment.
+type SingleSwitchConfig struct {
+	NumHosts  int
+	LinkRate  units.Rate
+	LinkDelay units.Time
+}
+
+// NewSingleSwitch builds a star topology.
+func NewSingleSwitch(c SingleSwitchConfig) *Topology {
+	if c.NumHosts < 2 {
+		panic("topology: single-switch topology needs at least 2 hosts")
+	}
+	if c.LinkRate <= 0 {
+		panic("topology: link rate must be positive")
+	}
+	b := newBuilder(fmt.Sprintf("star-%d", c.NumHosts))
+	sw := b.addNode(Switch, TierToR, "sw0")
+	for h := 0; h < c.NumHosts; h++ {
+		host := b.addNode(Host, TierHost, fmt.Sprintf("h%d", h))
+		b.addLink(host, sw, c.LinkRate, c.LinkDelay)
+	}
+	return b.build()
+}
+
+// DumbbellConfig parameterizes a two-switch dumbbell: half the hosts on each
+// side, a single inter-switch bottleneck link. Useful for unit-level protocol
+// tests where a single, known bottleneck is wanted.
+type DumbbellConfig struct {
+	HostsPerSide   int
+	EdgeRate       units.Rate
+	BottleneckRate units.Rate
+	LinkDelay      units.Time
+}
+
+// NewDumbbell builds the dumbbell topology.
+func NewDumbbell(c DumbbellConfig) *Topology {
+	if c.HostsPerSide < 1 {
+		panic("topology: dumbbell needs at least 1 host per side")
+	}
+	if c.EdgeRate <= 0 || c.BottleneckRate <= 0 {
+		panic("topology: rates must be positive")
+	}
+	b := newBuilder("dumbbell")
+	left := b.addNode(Switch, TierToR, "left")
+	right := b.addNode(Switch, TierToR, "right")
+	b.addLink(left, right, c.BottleneckRate, c.LinkDelay)
+	for h := 0; h < c.HostsPerSide; h++ {
+		hostL := b.addNode(Host, TierHost, fmt.Sprintf("l%d", h))
+		b.addLink(hostL, left, c.EdgeRate, c.LinkDelay)
+		hostR := b.addNode(Host, TierHost, fmt.Sprintf("r%d", h))
+		b.addLink(hostR, right, c.EdgeRate, c.LinkDelay)
+	}
+	return b.build()
+}
+
+// CrossDCConfig parameterizes the §4.2 cross-data-center topology: two Clos
+// data centers, each with a gateway switch; the gateways are connected by a
+// long high-capacity link.
+type CrossDCConfig struct {
+	DC ClosConfig
+	// GatewayRate and GatewayDelay describe the inter-DC link (the paper uses
+	// 100 Gbps with 200 us one-way delay).
+	GatewayRate  units.Rate
+	GatewayDelay units.Time
+	// DCToGatewayRate is the rate of the links from each spine to its DC's
+	// gateway (defaults to the DC link rate when zero).
+	DCToGatewayRate units.Rate
+}
+
+// CrossDC holds the built topology plus the host partition, so workloads can
+// distinguish intra- from inter-DC flows.
+type CrossDC struct {
+	*Topology
+	// HostsDC1 and HostsDC2 are the hosts in each data center.
+	HostsDC1, HostsDC2 []packet.NodeID
+	// Gateways are the two gateway switch node IDs.
+	Gateways [2]packet.NodeID
+}
+
+// NewCrossDC builds two copies of the DC config joined by gateway switches.
+func NewCrossDC(c CrossDCConfig) *CrossDC {
+	if err := c.DC.Validate(); err != nil {
+		panic(err)
+	}
+	if c.GatewayRate <= 0 || c.GatewayDelay < 0 {
+		panic("topology: invalid gateway link")
+	}
+	dcToGw := c.DCToGatewayRate
+	if dcToGw == 0 {
+		dcToGw = c.DC.LinkRate
+	}
+	b := newBuilder("crossdc")
+	out := &CrossDC{}
+
+	buildDC := func(dcIdx int) (hosts []packet.NodeID, gateway packet.NodeID) {
+		gw := b.addNode(Switch, TierGateway, fmt.Sprintf("gw%d", dcIdx))
+		spines := make([]packet.NodeID, 0, c.DC.NumSpine)
+		for s := 0; s < c.DC.NumSpine; s++ {
+			spine := b.addNode(Switch, TierSpine, fmt.Sprintf("dc%d-spine%d", dcIdx, s))
+			b.addLink(spine, gw, dcToGw, c.DC.LinkDelay)
+			spines = append(spines, spine)
+		}
+		for r := 0; r < c.DC.NumToR; r++ {
+			tor := b.addNode(Switch, TierToR, fmt.Sprintf("dc%d-tor%d", dcIdx, r))
+			for _, spine := range spines {
+				b.addLink(tor, spine, c.DC.LinkRate, c.DC.LinkDelay)
+			}
+			for h := 0; h < c.DC.HostsPerToR; h++ {
+				host := b.addNode(Host, TierHost, fmt.Sprintf("dc%d-h%d-%d", dcIdx, r, h))
+				b.addLink(host, tor, c.DC.LinkRate, c.DC.LinkDelay)
+				hosts = append(hosts, host)
+			}
+		}
+		return hosts, gw
+	}
+
+	h1, g1 := buildDC(0)
+	h2, g2 := buildDC(1)
+	b.addLink(g1, g2, c.GatewayRate, c.GatewayDelay)
+	out.HostsDC1, out.HostsDC2 = h1, h2
+	out.Gateways = [2]packet.NodeID{g1, g2}
+	out.Topology = b.build()
+	return out
+}

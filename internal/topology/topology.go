@@ -1,0 +1,317 @@
+// Package topology describes simulated network topologies: the nodes (hosts
+// and switches), the links between them (rate and propagation delay), and the
+// routing tables the switches use.
+//
+// Routing is computed once at construction time as equal-cost shortest paths
+// toward every host; a flow picks among equal-cost egress ports by hashing
+// its 5-tuple (ECMP), which keeps all packets of a flow on one path — a
+// requirement for both BFC's per-flow pausing and Go-Back-N at the NIC.
+package topology
+
+import (
+	"fmt"
+
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// Kind distinguishes hosts from switches.
+type Kind uint8
+
+const (
+	// Host is a server with a NIC and a single uplink.
+	Host Kind = iota
+	// Switch is a multi-port switch.
+	Switch
+)
+
+// Tier labels switch roles for statistics (the paper reports PFC pause time
+// separately for ToR→Spine and Spine→ToR links).
+type Tier uint8
+
+const (
+	// TierHost marks host nodes.
+	TierHost Tier = iota
+	// TierToR marks top-of-rack switches.
+	TierToR
+	// TierSpine marks spine switches.
+	TierSpine
+	// TierGateway marks cross-data-center gateway switches.
+	TierGateway
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierHost:
+		return "Host"
+	case TierToR:
+		return "ToR"
+	case TierSpine:
+		return "Spine"
+	case TierGateway:
+		return "Gateway"
+	default:
+		return fmt.Sprintf("Tier(%d)", uint8(t))
+	}
+}
+
+// Port is one side of a link attached to a node.
+type Port struct {
+	// Peer is the node at the other end, and PeerPort the port index there.
+	Peer     packet.NodeID
+	PeerPort int
+	// Rate and Delay describe the link (both directions are symmetric).
+	Rate  units.Rate
+	Delay units.Time
+}
+
+// Node is a host or switch.
+type Node struct {
+	ID    packet.NodeID
+	Kind  Kind
+	Tier  Tier
+	Name  string
+	Ports []Port
+}
+
+// Topology is an immutable description of a network.
+type Topology struct {
+	Name  string
+	nodes []*Node
+	hosts []packet.NodeID
+
+	// routes[node][host] lists the egress ports on equal-cost shortest paths
+	// from node toward host.
+	routes [][][]int
+	// dist[node][host] is the hop count of those paths.
+	dist [][]int
+}
+
+// Nodes returns all nodes, indexed by NodeID.
+func (t *Topology) Nodes() []*Node { return t.nodes }
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id packet.NodeID) *Node { return t.nodes[id] }
+
+// Hosts returns the IDs of all host nodes.
+func (t *Topology) Hosts() []packet.NodeID { return t.hosts }
+
+// NumNodes returns the total node count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// builder accumulates nodes and links before routing is computed.
+type builder struct {
+	name  string
+	nodes []*Node
+}
+
+func newBuilder(name string) *builder { return &builder{name: name} }
+
+func (b *builder) addNode(kind Kind, tier Tier, name string) packet.NodeID {
+	id := packet.NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, &Node{ID: id, Kind: kind, Tier: tier, Name: name})
+	return id
+}
+
+// addLink connects a and b with a bidirectional link.
+func (b *builder) addLink(x, y packet.NodeID, rate units.Rate, delay units.Time) {
+	if rate <= 0 || delay < 0 {
+		panic("topology: invalid link parameters")
+	}
+	nx, ny := b.nodes[x], b.nodes[y]
+	px, py := len(nx.Ports), len(ny.Ports)
+	nx.Ports = append(nx.Ports, Port{Peer: y, PeerPort: py, Rate: rate, Delay: delay})
+	ny.Ports = append(ny.Ports, Port{Peer: x, PeerPort: px, Rate: rate, Delay: delay})
+}
+
+// build computes routing tables and returns the immutable topology.
+func (b *builder) build() *Topology {
+	t := &Topology{Name: b.name, nodes: b.nodes}
+	for _, n := range b.nodes {
+		if n.Kind == Host {
+			t.hosts = append(t.hosts, n.ID)
+			if len(n.Ports) != 1 {
+				panic(fmt.Sprintf("topology: host %s must have exactly one uplink, has %d", n.Name, len(n.Ports)))
+			}
+		}
+	}
+	t.computeRoutes()
+	return t
+}
+
+// computeRoutes runs a reverse BFS from every host, recording for each node
+// the set of egress ports that lie on a shortest path toward that host.
+func (t *Topology) computeRoutes() {
+	n := len(t.nodes)
+	t.routes = make([][][]int, n)
+	t.dist = make([][]int, n)
+	for i := range t.routes {
+		t.routes[i] = make([][]int, n)
+		t.dist[i] = make([]int, n)
+		for j := range t.dist[i] {
+			t.dist[i][j] = -1
+		}
+	}
+	for _, host := range t.hosts {
+		t.bfsFrom(host)
+	}
+}
+
+func (t *Topology) bfsFrom(host packet.NodeID) {
+	n := len(t.nodes)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[host] = 0
+	queue := []packet.NodeID{host}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range t.nodes[cur].Ports {
+			if dist[p.Peer] == -1 {
+				dist[p.Peer] = dist[cur] + 1
+				queue = append(queue, p.Peer)
+			}
+		}
+	}
+	// A node's next hops toward host are the neighbors one step closer.
+	for _, node := range t.nodes {
+		if node.ID == host {
+			continue
+		}
+		if dist[node.ID] == -1 {
+			continue // unreachable (never happens in the built-in topologies)
+		}
+		var ports []int
+		for pi, p := range node.Ports {
+			if dist[p.Peer] == dist[node.ID]-1 {
+				ports = append(ports, pi)
+			}
+		}
+		t.routes[node.ID][host] = ports
+		t.dist[node.ID][host] = dist[node.ID]
+	}
+}
+
+// NextHops returns the equal-cost egress ports from node toward dst. dst must
+// be a host.
+func (t *Topology) NextHops(node, dst packet.NodeID) []int {
+	ports := t.routes[node][dst]
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("topology: no route from %s to %s", t.nodes[node].Name, t.nodes[dst].Name))
+	}
+	return ports
+}
+
+// EgressPort picks the egress port for a flow at the given node using ECMP:
+// the flow's 5-tuple hash selects one of the equal-cost ports, so all packets
+// of the flow take the same path.
+func (t *Topology) EgressPort(node packet.NodeID, f *packet.Flow) int {
+	ports := t.NextHops(node, f.Dst)
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	h := packet.HashVFID(f.Tuple(), 1<<30)
+	return ports[int(h)%len(ports)]
+}
+
+// HopCount returns the number of links on the shortest path from src to dst.
+func (t *Topology) HopCount(src, dst packet.NodeID) int {
+	if src == dst {
+		return 0
+	}
+	d := t.dist[src][dst]
+	if d < 0 {
+		panic(fmt.Sprintf("topology: no path from %d to %d", src, dst))
+	}
+	return d
+}
+
+// PathRTT returns the base (unloaded) round-trip time between two hosts:
+// twice the sum of propagation delays plus one MTU serialization per hop in
+// each direction. This is the "best possible" latency used for FCT slowdown
+// normalization.
+func (t *Topology) PathRTT(src, dst packet.NodeID, mtu units.Bytes) units.Time {
+	return 2 * t.PathOneWay(src, dst, mtu)
+}
+
+// PathOneWay returns the unloaded one-way delay from src to dst for an
+// MTU-sized packet (store-and-forward at every hop).
+func (t *Topology) PathOneWay(src, dst packet.NodeID, mtu units.Bytes) units.Time {
+	if src == dst {
+		return 0
+	}
+	var total units.Time
+	cur := src
+	for cur != dst {
+		ports := t.NextHops(cur, dst)
+		p := t.nodes[cur].Ports[ports[0]]
+		total += p.Delay + units.SerializationTime(mtu, p.Rate)
+		cur = p.Peer
+	}
+	return total
+}
+
+// MinPathRate returns the smallest link rate on the (first equal-cost) path
+// from src to dst; used to compute the ideal transfer time of a flow.
+func (t *Topology) MinPathRate(src, dst packet.NodeID) units.Rate {
+	if src == dst {
+		panic("topology: src == dst")
+	}
+	min := units.Rate(0)
+	cur := src
+	for cur != dst {
+		ports := t.NextHops(cur, dst)
+		p := t.nodes[cur].Ports[ports[0]]
+		if min == 0 || p.Rate < min {
+			min = p.Rate
+		}
+		cur = p.Peer
+	}
+	return min
+}
+
+// HostRate returns the uplink rate of a host.
+func (t *Topology) HostRate(host packet.NodeID) units.Rate {
+	n := t.nodes[host]
+	if n.Kind != Host {
+		panic("topology: HostRate on non-host")
+	}
+	return n.Ports[0].Rate
+}
+
+// MaxBaseRTT returns the largest base RTT between any pair of hosts; useful
+// for sizing end-to-end windows (1 BDP caps in DCQCN+Win and Ideal-FQ).
+func (t *Topology) MaxBaseRTT(mtu units.Bytes) units.Time {
+	var max units.Time
+	// The diameter pair is always (first host, last host) in the built-in
+	// regular topologies, but compute it properly over a sample to stay
+	// correct for irregular ones. For large host counts sample the first host
+	// of each "rack" to avoid quadratic cost.
+	hosts := t.hosts
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			if rtt := t.PathRTT(a, b, mtu); rtt > max {
+				max = rtt
+			}
+		}
+		if len(hosts) > 32 {
+			// one full row is enough for the symmetric built-in topologies
+			break
+		}
+	}
+	return max
+}
+
+// LinkCount returns the number of (bidirectional) links.
+func (t *Topology) LinkCount() int {
+	total := 0
+	for _, n := range t.nodes {
+		total += len(n.Ports)
+	}
+	return total / 2
+}
