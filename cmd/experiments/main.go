@@ -2,27 +2,40 @@
 // has a named experiment (see DESIGN.md §3); the command prints the rows or
 // series the figure plots.
 //
+// Grid-shaped figures (5a/5b/5c/6, 8, 9, 12, 13, 14) run on the experiment
+// harness: their points are sharded across a worker pool (-parallel), each
+// completed point can be persisted as a JSONL artifact (-out), and an
+// interrupted run can be resumed without re-executing completed points
+// (-resume).
+//
 // Examples:
 //
-//	experiments -fig 5a            # headline result at reduced scale
-//	experiments -fig 8  -full      # incast fan-in sweep at paper scale
-//	experiments -fig all           # every figure, reduced scale
+//	experiments -fig 5a                       # headline result at reduced scale
+//	experiments -fig 8  -full -parallel 16    # paper-scale sweep on 16 workers
+//	experiments -fig all -out results/        # persist every point as JSONL
+//	experiments -fig all -out results/ -resume  # rerun only what is missing
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strings"
 
 	"bfc/internal/experiments"
+	"bfc/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		fig  = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14 or all")
-		full = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14 or all")
+		full     = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for harness-backed figures")
+		out      = flag.String("out", "", "results directory for per-job JSONL artifacts (empty = keep results in memory)")
+		resume   = flag.Bool("resume", false, "skip jobs whose artifact already exists under -out")
 	)
 	flag.Parse()
 
@@ -30,6 +43,20 @@ func main() {
 	if *full {
 		scale = experiments.Full()
 	}
+
+	runner := &harness.Runner{Parallel: *parallel, Progress: printProgress}
+	if *resume && *out == "" {
+		log.Fatal("experiments: -resume requires -out")
+	}
+	if *out != "" {
+		store, err := harness.NewStore(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runner.Store = store
+		runner.Resume = *resume
+	}
+
 	fmt.Printf("# scale: %s (%d ToR x %d hosts, %v horizon)\n\n",
 		scale.Name, scale.NumToR, scale.HostsPerToR, scale.Duration)
 
@@ -38,11 +65,46 @@ func main() {
 		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14"}
 	}
 	for _, f := range figs {
-		runFigure(strings.TrimSpace(f), scale)
+		runFigure(strings.TrimSpace(f), scale, runner)
 	}
 }
 
-func runFigure(fig string, scale experiments.Scale) {
+// printProgress reports each finished harness job on stderr, keeping stdout
+// clean for the figure rows.
+func printProgress(p harness.Progress) {
+	status := "ran"
+	if p.Cached {
+		status = "cached"
+	}
+	fmt.Fprintf(os.Stderr, "[%3d/%3d] %-56s %-6s %.2fs\n",
+		p.Done, p.Total, p.Job, status, p.Elapsed.Seconds())
+}
+
+// run executes a harness job list, aborting the command on failure.
+func run(runner *harness.Runner, jobs []harness.Job) []*harness.Record {
+	recs, err := runner.Run(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return recs
+}
+
+// fig05Cache memoizes Fig 5 panels within one invocation, so "-fig all"
+// renders Fig 6 from the records Fig 5a already produced instead of
+// re-simulating the six-scheme panel.
+var fig05Cache = map[experiments.Fig05Variant]*experiments.Fig05Result{}
+
+func fig05(scale experiments.Scale, variant experiments.Fig05Variant, runner *harness.Runner) *experiments.Fig05Result {
+	if res, ok := fig05Cache[variant]; ok {
+		return res
+	}
+	recs := run(runner, experiments.Fig05Jobs(scale, variant, nil))
+	res := experiments.Fig05FromRecords(variant, recs)
+	fig05Cache[variant] = res
+	return res
+}
+
+func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 	switch fig {
 	case "1":
 		fmt.Println("## Fig 1: switch hardware trend")
@@ -71,11 +133,11 @@ func runFigure(fig string, scale experiments.Scale) {
 			"5b": experiments.Fig05bFBHadoopIncast,
 			"5c": experiments.Fig05cGoogleNoIncast,
 		}[fig]
-		res := experiments.Fig05(scale, variant, nil)
+		res := fig05(scale, variant, runner)
 		fmt.Print(experiments.FormatSeries("## Fig "+fig+": p99 FCT slowdown by flow size", res.Series))
 	case "6":
 		fmt.Println("## Fig 6: buffer occupancy and PFC pause time (Fig 5a workload)")
-		res := experiments.Fig05(scale, experiments.Fig05aGoogleIncast, nil)
+		res := fig05(scale, experiments.Fig05aGoogleIncast, runner)
 		for _, s := range res.Series {
 			fmt.Printf("  %-14s p99 buffer=%-10v ToR->Spine paused=%.4f Spine->ToR paused=%.4f\n",
 				s.Label, res.BufferP99[s.Label],
@@ -89,12 +151,12 @@ func runFigure(fig string, scale experiments.Scale) {
 		}
 	case "8":
 		fmt.Println("## Fig 8: incast fan-in sweep")
-		for _, r := range experiments.Fig08IncastFanIn(scale) {
+		for _, r := range experiments.Fig08FromRecords(run(runner, experiments.Fig08Jobs(scale))) {
 			fmt.Printf("  %-10s fanin=%-4d utilization=%.2f p99buffer=%v\n", r.Scheme, r.FanIn, r.Utilization, r.BufferP99)
 		}
 	case "9":
 		fmt.Println("## Fig 9: cross-data-center tail latency")
-		for _, r := range experiments.Fig09CrossDC(scale) {
+		for _, r := range experiments.Fig09FromRecords(run(runner, experiments.Fig09Jobs(scale))) {
 			fmt.Printf("  %-10s intra-p99=%.2f inter-p99=%.2f\n", r.Scheme, r.IntraP99, r.InterP99)
 		}
 	case "10":
@@ -110,18 +172,18 @@ func runFigure(fig string, scale experiments.Scale) {
 		}
 	case "12":
 		fmt.Println("## Fig 12: sensitivity to number of physical queues")
-		for _, r := range experiments.Fig12NumPhysicalQueues(scale) {
+		for _, r := range experiments.SensitivityFromRecords(run(runner, experiments.Fig12NumPhysicalQueuesJobs(scale))) {
 			fmt.Printf("  queues=%-4d collisions=%.4f p99slowdown=%.2f\n", r.Parameter, r.CollisionFraction, r.Series.Overall)
 		}
 	case "13":
 		fmt.Println("## Fig 13: sensitivity to VFID table size")
-		for _, r := range experiments.Fig13NumVFIDs(scale) {
+		for _, r := range experiments.SensitivityFromRecords(run(runner, experiments.Fig13NumVFIDsJobs(scale))) {
 			fmt.Printf("  vfids=%-6d collisions=%.5f overflows=%.5f p99slowdown=%.2f\n",
 				r.Parameter, r.CollisionFraction, r.OverflowFraction, r.Series.Overall)
 		}
 	case "14":
 		fmt.Println("## Fig 14: sensitivity to bloom filter size")
-		for _, r := range experiments.Fig14BloomFilterSize(scale) {
+		for _, r := range experiments.SensitivityFromRecords(run(runner, experiments.Fig14BloomFilterSizeJobs(scale))) {
 			fmt.Printf("  bloom=%-4dB p99slowdown=%.2f\n", r.Parameter, r.Series.Overall)
 		}
 	default:

@@ -1,0 +1,3 @@
+module bfc
+
+go 1.24

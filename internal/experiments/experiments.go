@@ -12,8 +12,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
+	"bfc/internal/harness"
 	"bfc/internal/packet"
 	"bfc/internal/sim"
 	"bfc/internal/stats"
@@ -212,6 +214,13 @@ func seriesFromResult(label string, res *sim.Result) SlowdownSeries {
 	}
 }
 
+// applyOptions is the option mutator harness jobs use to adopt the scale's
+// horizon.
+func (s Scale) applyOptions(o *sim.Options) {
+	o.Duration = s.Duration
+	o.Drain = s.Drain
+}
+
 // runScheme is the shared helper: run one scheme over (a copy of) the flows.
 func runScheme(scale Scale, scheme sim.Scheme, topo *topology.Topology, flows []*packet.Flow, mutate func(*sim.Options)) *sim.Result {
 	opts := sim.DefaultOptions(scheme, topo)
@@ -272,7 +281,7 @@ func Fig02BufferVsLinkSpeed(scale Scale) []BufferCDFRow {
 	var rows []BufferCDFRow
 	for _, rate := range rates {
 		cfg := topology.ClosConfig{
-			Name: "T2", NumToR: maxInt(scale.NumToR/2, 1), NumSpine: scale.NumSpine,
+			Name: "T2", NumToR: max(scale.NumToR/2, 1), NumSpine: scale.NumSpine,
 			HostsPerToR: scale.HostsPerToR, LinkRate: rate, LinkDelay: 1 * units.Microsecond,
 		}
 		topo := topology.NewClos(cfg)
@@ -387,39 +396,83 @@ type Fig05Result struct {
 	Raw map[string]*sim.Result
 }
 
-// Fig05 reproduces one panel of Fig 5 (and collects the Fig 6 measurements).
-// schemes defaults to the paper's six when nil.
-func Fig05(scale Scale, variant Fig05Variant, schemes []sim.Scheme) *Fig05Result {
-	if schemes == nil {
-		schemes = sim.AllSchemes()
-	}
-	topo := scale.clos()
-	var flows []*packet.Flow
-	switch variant {
+// key names the variant in job names and artifact metadata.
+func (v Fig05Variant) key() string {
+	switch v {
 	case Fig05aGoogleIncast:
-		flows = scale.backgroundTrace(topo, workload.Google(), 0.60, true, 5)
+		return "fig05a"
 	case Fig05bFBHadoopIncast:
-		flows = scale.backgroundTrace(topo, workload.FBHadoop(), 0.60, true, 5)
+		return "fig05b"
 	case Fig05cGoogleNoIncast:
-		flows = scale.backgroundTrace(topo, workload.Google(), 0.65, false, 5)
+		return "fig05c"
 	default:
 		panic("experiments: unknown Fig 5 variant")
 	}
+}
+
+// Fig05Jobs declares one harness job per scheme for a Fig 5 panel. schemes
+// defaults to the paper's six when nil. Every scheme sees identical traffic:
+// the workload seed is derived from the panel key, which is shared across
+// schemes, while each job's simulation seed is derived from its own name.
+func Fig05Jobs(scale Scale, variant Fig05Variant, schemes []sim.Scheme) []harness.Job {
+	if schemes == nil {
+		schemes = sim.AllSchemes()
+	}
+	var (
+		cdf    *workload.CDF
+		load   float64
+		incast bool
+	)
+	switch variant {
+	case Fig05aGoogleIncast:
+		cdf, load, incast = workload.Google(), 0.60, true
+	case Fig05bFBHadoopIncast:
+		cdf, load, incast = workload.FBHadoop(), 0.60, true
+	case Fig05cGoogleNoIncast:
+		cdf, load, incast = workload.Google(), 0.65, false
+	default:
+		panic("experiments: unknown Fig 5 variant")
+	}
+	seed := harness.DeriveSeed(variant.key(), scale.Name, "workload")
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name:     scale.Name + "/" + variant.key(),
+			Meta:     map[string]string{"fig": variant.key(), "scale": scale.Name},
+			Topology: scale.clos,
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				return scale.backgroundTrace(topo, cdf, load, incast, seed)
+			},
+			Options: []func(*sim.Options){scale.applyOptions},
+		},
+		Axes: []harness.Axis{harness.SchemeAxis(schemes)},
+	}
+	return grid.Jobs()
+}
+
+// Fig05FromRecords assembles a Fig 5 panel from completed harness records.
+func Fig05FromRecords(variant Fig05Variant, recs []*harness.Record) *Fig05Result {
 	out := &Fig05Result{
 		Variant:       variant,
 		BufferP99:     map[string]units.Bytes{},
 		PauseFraction: map[string]map[string]float64{},
 		Raw:           map[string]*sim.Result{},
 	}
-	for _, scheme := range schemes {
-		res := runScheme(scale, scheme, topo, flows, nil)
-		label := scheme.String()
+	for _, rec := range recs {
+		res := rec.Result
+		label := rec.Scheme
 		out.Series = append(out.Series, seriesFromResult(label, res))
 		out.BufferP99[label] = units.Bytes(res.BufferOccupancy.Percentile(99))
 		out.PauseFraction[label] = res.PauseTimeFraction
 		out.Raw[label] = res
 	}
 	return out
+}
+
+// Fig05 reproduces one panel of Fig 5 (and collects the Fig 6 measurements),
+// sharding the schemes across all cores. schemes defaults to the paper's six
+// when nil.
+func Fig05(scale Scale, variant Fig05Variant, schemes []sim.Scheme) *Fig05Result {
+	return Fig05FromRecords(variant, harness.MustRun(Fig05Jobs(scale, variant, schemes)))
 }
 
 // ---------------------------------------------------------------------------
@@ -465,74 +518,103 @@ type FanInRow struct {
 	BufferP99   units.Bytes
 }
 
-// Fig08IncastFanIn reproduces Fig 8: long-lived flows to every receiver plus
-// a periodic 20 MB incast whose fan-in increases; DCQCN's utilization
-// collapses while BFC stays near full utilization.
-func Fig08IncastFanIn(scale Scale) []FanInRow {
-	fanIns := scale.sweep([]int{10, 50, 100, 200, 400, 800})
-	topo := scale.closT2()
-	hosts := topo.Hosts()
-	// The paper uses one incast every 500 us; scale the interval with the
-	// horizon so several events always occur even at reduced scale.
-	incastInterval := scale.Duration / 4
-	if incastInterval > 500*units.Microsecond {
-		incastInterval = 500 * units.Microsecond
-	}
-	var rows []FanInRow
-	for _, fanIn := range fanIns {
-		for _, scheme := range []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin} {
-			rng := rand.New(rand.NewSource(11))
-			var flows []*packet.Flow
-			// Four long-lived flows per receiver; keep the receiver count
-			// modest at reduced scale (a quarter of the hosts).
-			numReceivers := len(hosts) / 4
-			if numReceivers < 1 {
-				numReceivers = 1
-			}
-			id := packet.FlowID(1)
-			for i := 0; i < numReceivers; i++ {
-				dst := hosts[i]
-				ll := workload.LongLivedFlows(rng, hosts, dst, 4, id)
-				id += 4
-				flows = append(flows, ll...)
-			}
-			// Periodic incast every 500 us to a fixed victim.
-			incast, err := workload.Generate(workload.Config{
-				Hosts:    hosts,
-				CDF:      workload.Google(),
-				Load:     0,
-				HostRate: topo.HostRate(hosts[0]),
-				Duration: scale.Duration,
-				Seed:     13,
-				Incast: workload.IncastConfig{
-					Enabled:       true,
-					FanIn:         fanIn,
-					AggregateSize: scale.IncastAggregate,
-					Interval:      incastInterval,
-				},
-			})
-			if err != nil {
-				panic(err)
-			}
-			for _, f := range incast.Flows {
-				f.ID = id
-				id++
-			}
-			flows = append(flows, incast.Flows...)
-			// Long-lived flows never finish, so no drain period is needed;
-			// keeping it would dilute the utilization denominator.
-			res := runScheme(scale, scheme, topo, flows, func(o *sim.Options) {
-				o.Drain = 50 * units.Microsecond
-			})
-			rows = append(rows, FanInRow{
-				Scheme:      scheme.String(),
-				FanIn:       fanIn,
-				Utilization: res.ReceiverUtilization,
-				BufferP99:   units.Bytes(res.BufferOccupancy.Percentile(99)),
-			})
+// fig08Flows generates the Fig 8 workload for one fan-in: four long-lived
+// flows per receiver plus a periodic incast to a fixed victim.
+func (s Scale) fig08Flows(fanIn int) func(*topology.Topology) []*packet.Flow {
+	return func(topo *topology.Topology) []*packet.Flow {
+		hosts := topo.Hosts()
+		// The paper uses one incast every 500 us; scale the interval with the
+		// horizon so several events always occur even at reduced scale.
+		incastInterval := s.Duration / 4
+		if incastInterval > 500*units.Microsecond {
+			incastInterval = 500 * units.Microsecond
 		}
+		rng := rand.New(rand.NewSource(11))
+		var flows []*packet.Flow
+		// Four long-lived flows per receiver; keep the receiver count modest
+		// at reduced scale (a quarter of the hosts).
+		numReceivers := max(len(hosts)/4, 1)
+		id := packet.FlowID(1)
+		for i := 0; i < numReceivers; i++ {
+			dst := hosts[i]
+			ll := workload.LongLivedFlows(rng, hosts, dst, 4, id)
+			id += 4
+			flows = append(flows, ll...)
+		}
+		incast, err := workload.Generate(workload.Config{
+			Hosts:    hosts,
+			CDF:      workload.Google(),
+			Load:     0,
+			HostRate: topo.HostRate(hosts[0]),
+			Duration: s.Duration,
+			Seed:     harness.DeriveSeed("fig08", s.Name, "incast"),
+			Incast: workload.IncastConfig{
+				Enabled:       true,
+				FanIn:         fanIn,
+				AggregateSize: s.IncastAggregate,
+				Interval:      incastInterval,
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		for _, f := range incast.Flows {
+			f.ID = id
+			id++
+		}
+		return append(flows, incast.Flows...)
+	}
+}
+
+// Fig08Jobs declares the Fig 8 grid: incast fan-in x scheme.
+func Fig08Jobs(scale Scale) []harness.Job {
+	fanIns := scale.sweep([]int{10, 50, 100, 200, 400, 800})
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name:     scale.Name + "/fig08",
+			Meta:     map[string]string{"fig": "fig08", "scale": scale.Name},
+			Topology: scale.closT2,
+			Options: []func(*sim.Options){scale.applyOptions, func(o *sim.Options) {
+				// Long-lived flows never finish, so no drain period is
+				// needed; keeping it would dilute the utilization
+				// denominator.
+				o.Drain = 50 * units.Microsecond
+			}},
+		},
+		Axes: []harness.Axis{
+			harness.IntAxis("fanin", fanIns, func(j *harness.Job, fanIn int) {
+				j.Flows = scale.fig08Flows(fanIn)
+			}),
+			harness.SchemeAxis([]sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin}),
+		},
+	}
+	return grid.Jobs()
+}
+
+// Fig08FromRecords assembles the fan-in sweep rows from harness records.
+func Fig08FromRecords(recs []*harness.Record) []FanInRow {
+	rows := make([]FanInRow, 0, len(recs))
+	for _, rec := range recs {
+		fanIn, err := strconv.Atoi(rec.Meta["fanin"])
+		if err != nil {
+			panic(fmt.Sprintf("experiments: record %q has no fan-in: %v", rec.Name, err))
+		}
+		rows = append(rows, FanInRow{
+			Scheme:      rec.Scheme,
+			FanIn:       fanIn,
+			Utilization: rec.Result.ReceiverUtilization,
+			BufferP99:   units.Bytes(rec.Result.BufferOccupancy.Percentile(99)),
+		})
 	}
 	return rows
+}
+
+// Fig08IncastFanIn reproduces Fig 8: long-lived flows to every receiver plus
+// a periodic 20 MB incast whose fan-in increases; DCQCN's utilization
+// collapses while BFC stays near full utilization. The grid points are
+// sharded across all cores.
+func Fig08IncastFanIn(scale Scale) []FanInRow {
+	return Fig08FromRecords(harness.MustRun(Fig08Jobs(scale)))
 }
 
 // ---------------------------------------------------------------------------
@@ -545,71 +627,108 @@ type CrossDCRow struct {
 	InterP99 float64
 }
 
-// Fig09CrossDC reproduces Fig 9: two data centers joined by a 100 Gbps link
-// with 200 us one-way delay, FB_Hadoop traffic with 20% inter-DC flows.
-func Fig09CrossDC(scale Scale) []CrossDCRow {
-	dcCfg := topology.ClosConfig{
-		Name:        "crossdc-dc",
-		NumToR:      maxInt(scale.NumToR/2, 1),
-		NumSpine:    maxInt(scale.NumSpine/2, 1),
-		HostsPerToR: maxInt(scale.HostsPerToR/2, 2),
-		LinkRate:    10 * units.Gbps,
-		LinkDelay:   1 * units.Microsecond,
-	}
-	x := topology.NewCrossDC(topology.CrossDCConfig{
-		DC:           dcCfg,
-		GatewayRate:  100 * units.Gbps,
-		GatewayDelay: 200 * units.Microsecond,
-	})
-	inter := &workload.InterDCConfig{HostsDC1: x.HostsDC1, HostsDC2: x.HostsDC2, Fraction: 0.2}
+// Fig09Jobs declares one job per scheme for the cross-DC experiment. The
+// intra/inter split needs the completed flow list, so it is computed
+// in-worker by each job's Extract hook and carried in Record.Extra.
+func Fig09Jobs(scale Scale) []harness.Job {
 	duration := scale.Duration * 10 // 10 Gbps links need a longer horizon
-	tr, err := workload.Generate(workload.Config{
-		Hosts:    x.Hosts(),
-		CDF:      workload.FBHadoop(),
-		Load:     0.65,
-		HostRate: 10 * units.Gbps,
-		Duration: duration,
-		Seed:     17,
-		InterDC:  inter,
-	})
-	if err != nil {
-		panic(err)
-	}
-	var rows []CrossDCRow
+	seed := harness.DeriveSeed("fig09", scale.Name, "workload")
+	var jobs []harness.Job
 	for _, scheme := range []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin} {
-		flows := cloneFlows(tr.Flows)
-		opts := sim.DefaultOptions(scheme, x.Topology)
-		opts.Duration = duration
-		opts.Drain = 5 * units.Millisecond
-		opts.SwitchBuffer = 9 * units.MB
-		res, err := sim.Run(opts, flows)
-		if err != nil {
-			panic(err)
+		// The Topology builder fills in the cross-DC host partition the
+		// Flows and Extract closures need; the harness guarantees it runs
+		// first within each execution.
+		var inter *workload.InterDCConfig
+		jobs = append(jobs, harness.Job{
+			Name:   fmt.Sprintf("%s/fig09/scheme=%s", scale.Name, scheme),
+			Scheme: scheme,
+			Meta:   map[string]string{"fig": "fig09", "scale": scale.Name, "scheme": scheme.String()},
+			Topology: func() *topology.Topology {
+				x := topology.NewCrossDC(topology.CrossDCConfig{
+					DC: topology.ClosConfig{
+						Name:        "crossdc-dc",
+						NumToR:      max(scale.NumToR/2, 1),
+						NumSpine:    max(scale.NumSpine/2, 1),
+						HostsPerToR: max(scale.HostsPerToR/2, 2),
+						LinkRate:    10 * units.Gbps,
+						LinkDelay:   1 * units.Microsecond,
+					},
+					GatewayRate:  100 * units.Gbps,
+					GatewayDelay: 200 * units.Microsecond,
+				})
+				inter = &workload.InterDCConfig{HostsDC1: x.HostsDC1, HostsDC2: x.HostsDC2, Fraction: 0.2}
+				return x.Topology
+			},
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				tr, err := workload.Generate(workload.Config{
+					Hosts:    topo.Hosts(),
+					CDF:      workload.FBHadoop(),
+					Load:     0.65,
+					HostRate: 10 * units.Gbps,
+					Duration: duration,
+					Seed:     seed,
+					InterDC:  inter,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return tr.Flows
+			},
+			Options: []func(*sim.Options){func(o *sim.Options) {
+				o.Duration = duration
+				o.Drain = 5 * units.Millisecond
+				o.SwitchBuffer = 9 * units.MB
+			}},
+			Extract: func(topo *topology.Topology, opts *sim.Options, flows []*packet.Flow, res *sim.Result) map[string]float64 {
+				// Re-bucket completions into intra vs inter using the flow
+				// list.
+				var intraD, interD stats.Distribution
+				for _, f := range flows {
+					if f.FinishTime == 0 || f.IsIncast || f.LongLived {
+						continue
+					}
+					slow := float64(f.FCT()) / float64(sim.IdealFCT(topo, opts.MTU, f))
+					if slow < 1 {
+						slow = 1
+					}
+					if inter.IsInterDC(f) {
+						interD.Add(slow)
+					} else {
+						intraD.Add(slow)
+					}
+				}
+				return map[string]float64{
+					"intra_p99": intraD.Percentile(99),
+					"inter_p99": interD.Percentile(99),
+				}
+			},
+		})
+	}
+	return jobs
+}
+
+// Fig09FromRecords assembles the cross-DC rows from harness records.
+func Fig09FromRecords(recs []*harness.Record) []CrossDCRow {
+	rows := make([]CrossDCRow, 0, len(recs))
+	for _, rec := range recs {
+		intra, okIntra := rec.Extra["intra_p99"]
+		inter, okInter := rec.Extra["inter_p99"]
+		if !okIntra || !okInter {
+			panic(fmt.Sprintf("experiments: record %q lacks the intra/inter p99 metrics", rec.Name))
 		}
-		// Re-bucket completions into intra vs inter using the flow list.
-		var intraD, interD stats.Distribution
-		for _, f := range flows {
-			if f.FinishTime == 0 || f.IsIncast || f.LongLived {
-				continue
-			}
-			slow := float64(f.FCT()) / float64(sim.IdealFCT(x.Topology, opts.MTU, f))
-			if slow < 1 {
-				slow = 1
-			}
-			if inter.IsInterDC(f) {
-				interD.Add(slow)
-			} else {
-				intraD.Add(slow)
-			}
-		}
-		_ = res
 		rows = append(rows, CrossDCRow{
-			Scheme:   scheme.String(),
-			IntraP99: intraD.Percentile(99),
-			InterP99: interD.Percentile(99),
+			Scheme:   rec.Scheme,
+			IntraP99: intra,
+			InterP99: inter,
 		})
 	}
 	return rows
+}
+
+// Fig09CrossDC reproduces Fig 9: two data centers joined by a 100 Gbps link
+// with 200 us one-way delay, FB_Hadoop traffic with 20% inter-DC flows.
+func Fig09CrossDC(scale Scale) []CrossDCRow {
+	return Fig09FromRecords(harness.MustRun(Fig09Jobs(scale)))
 }
 
 // ---------------------------------------------------------------------------
@@ -699,50 +818,81 @@ type SensitivityRow struct {
 	OverflowFraction  float64
 }
 
+// Fig12NumPhysicalQueuesJobs declares the Fig 12 sweep grid.
+func Fig12NumPhysicalQueuesJobs(scale Scale) []harness.Job {
+	return sensitivityJobs(scale, "fig12", scale.sweep([]int{8, 16, 32, 64, 128}), func(o *sim.Options, v int) {
+		o.NumQueues = v
+	})
+}
+
 // Fig12NumPhysicalQueues sweeps the number of physical queues per port.
 func Fig12NumPhysicalQueues(scale Scale) []SensitivityRow {
-	return sensitivitySweep(scale, scale.sweep([]int{8, 16, 32, 64, 128}), func(o *sim.Options, v int) {
-		o.NumQueues = v
+	return SensitivityFromRecords(harness.MustRun(Fig12NumPhysicalQueuesJobs(scale)))
+}
+
+// Fig13NumVFIDsJobs declares the Fig 13 sweep grid.
+func Fig13NumVFIDsJobs(scale Scale) []harness.Job {
+	return sensitivityJobs(scale, "fig13", scale.sweep([]int{1024, 4096, 16384, 65536}), func(o *sim.Options, v int) {
+		o.NumVFIDs = v
 	})
 }
 
 // Fig13NumVFIDs sweeps the VFID table size.
 func Fig13NumVFIDs(scale Scale) []SensitivityRow {
-	return sensitivitySweep(scale, scale.sweep([]int{1024, 4096, 16384, 65536}), func(o *sim.Options, v int) {
-		o.NumVFIDs = v
+	return SensitivityFromRecords(harness.MustRun(Fig13NumVFIDsJobs(scale)))
+}
+
+// Fig14BloomFilterSizeJobs declares the Fig 14 sweep grid.
+func Fig14BloomFilterSizeJobs(scale Scale) []harness.Job {
+	return sensitivityJobs(scale, "fig14", scale.sweep([]int{16, 32, 64, 128}), func(o *sim.Options, v int) {
+		o.BloomBytes = v
 	})
 }
 
 // Fig14BloomFilterSize sweeps the pause-frame bloom filter size in bytes.
 func Fig14BloomFilterSize(scale Scale) []SensitivityRow {
-	return sensitivitySweep(scale, scale.sweep([]int{16, 32, 64, 128}), func(o *sim.Options, v int) {
-		o.BloomBytes = v
-	})
+	return SensitivityFromRecords(harness.MustRun(Fig14BloomFilterSizeJobs(scale)))
 }
 
-func sensitivitySweep(scale Scale, values []int, apply func(*sim.Options, int)) []SensitivityRow {
-	topo := scale.clos()
-	flows := scale.backgroundTrace(topo, workload.Google(), 0.60, true, 31)
-	var rows []SensitivityRow
-	for _, v := range values {
-		v := v
-		res := runScheme(scale, sim.SchemeBFC, topo, flows, func(o *sim.Options) { apply(o, v) })
+// sensitivityJobs declares a BFC resource sweep (Figs 12-14): the same
+// high-load Google workload at every sweep point, one job per parameter
+// value.
+func sensitivityJobs(scale Scale, fig string, values []int, apply func(*sim.Options, int)) []harness.Job {
+	seed := harness.DeriveSeed(fig, scale.Name, "workload")
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name:     scale.Name + "/" + fig,
+			Scheme:   sim.SchemeBFC,
+			Meta:     map[string]string{"fig": fig, "scale": scale.Name, "scheme": sim.SchemeBFC.String()},
+			Topology: scale.clos,
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				return scale.backgroundTrace(topo, workload.Google(), 0.60, true, seed)
+			},
+			Options: []func(*sim.Options){scale.applyOptions},
+		},
+		Axes: []harness.Axis{
+			harness.IntAxis("param", values, func(j *harness.Job, v int) {
+				j.Options = append(j.Options, func(o *sim.Options) { apply(o, v) })
+			}),
+		},
+	}
+	return grid.Jobs()
+}
+
+// SensitivityFromRecords assembles resource-sweep rows from harness records.
+func SensitivityFromRecords(recs []*harness.Record) []SensitivityRow {
+	rows := make([]SensitivityRow, 0, len(recs))
+	for _, rec := range recs {
+		v, err := strconv.Atoi(rec.Meta["param"])
+		if err != nil {
+			panic(fmt.Sprintf("experiments: record %q has no sweep parameter: %v", rec.Name, err))
+		}
 		rows = append(rows, SensitivityRow{
 			Parameter:         v,
-			Series:            seriesFromResult(fmt.Sprintf("%d", v), res),
-			CollisionFraction: res.CollisionFraction(),
-			OverflowFraction:  res.OverflowFraction(),
+			Series:            seriesFromResult(rec.Meta["param"], rec.Result),
+			CollisionFraction: rec.Result.CollisionFraction(),
+			OverflowFraction:  rec.Result.OverflowFraction(),
 		})
 	}
 	return rows
-}
-
-// ---------------------------------------------------------------------------
-// helpers
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"bfc/internal/harness"
 	"bfc/internal/sim"
 	"bfc/internal/units"
 )
@@ -91,6 +93,72 @@ func TestFig05TinyRun(t *testing.T) {
 	}
 	if res.BufferP99["BFC"] < 0 {
 		t.Fatal("missing buffer stats")
+	}
+}
+
+// TestFig05ParallelMatchesSerial is the harness determinism gate at figure
+// level: the Fig 5a panel produced by 8 workers must be byte-identical to a
+// serial run — both the persisted records and the rendered rows.
+func TestFig05ParallelMatchesSerial(t *testing.T) {
+	schemes := []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN}
+	run := func(workers int) ([]byte, string) {
+		recs, err := (&harness.Runner{Parallel: workers}).Run(Fig05Jobs(Tiny(), Fig05aGoogleIncast, schemes))
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Fig05FromRecords(Fig05aGoogleIncast, recs)
+		return b, FormatSeries("fig5a", res.Series)
+	}
+	serialRecs, serialRows := run(1)
+	parallelRecs, parallelRows := run(8)
+	if string(serialRecs) != string(parallelRecs) {
+		t.Fatal("parallel records differ from serial records")
+	}
+	if serialRows != parallelRows {
+		t.Fatalf("parallel rows differ from serial rows:\n%s\nvs\n%s", parallelRows, serialRows)
+	}
+}
+
+// TestFig09ExtractSurvivesResume checks that the figure-specific Extra
+// metrics (Fig 9's intra/inter split needs the in-worker flow list) are
+// persisted and that re-assembling the figure from stored artifacts executes
+// nothing.
+func TestFig09ExtractSurvivesResume(t *testing.T) {
+	store, err := harness.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &harness.Runner{Store: store}
+	recs, err := first.Run(Fig09Jobs(Tiny()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Fig09FromRecords(recs)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.IntraP99 < 1 {
+			t.Fatalf("row %+v has no intra-DC completions", r)
+		}
+	}
+	resumed := &harness.Runner{Store: store, Resume: true}
+	recs2, err := resumed.Run(Fig09Jobs(Tiny()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Executed != 0 || resumed.Skipped != 2 {
+		t.Fatalf("resume executed/skipped = %d/%d, want 0/2", resumed.Executed, resumed.Skipped)
+	}
+	rows2 := Fig09FromRecords(recs2)
+	for i := range rows {
+		if rows[i] != rows2[i] {
+			t.Fatalf("resumed row %d = %+v, want %+v", i, rows2[i], rows[i])
+		}
 	}
 }
 

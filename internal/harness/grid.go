@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+
+	"bfc/internal/sim"
+)
+
+// Value is one point of a sweep axis. Apply specializes a copy of the grid's
+// base job for this value; Label names the value in the job name and
+// metadata (and therefore in the content hash).
+type Value struct {
+	Label string
+	Apply func(*Job)
+}
+
+// Axis is one dimension of a parameter sweep.
+type Axis struct {
+	// Name labels the axis in job names ("scheme", "fanin", ...).
+	Name string
+	// Values are the points swept along this axis.
+	Values []Value
+}
+
+// IntAxis builds an axis over integer parameter values.
+func IntAxis(name string, values []int, apply func(*Job, int)) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		v := v
+		ax.Values = append(ax.Values, Value{
+			Label: strconv.Itoa(v),
+			Apply: func(j *Job) { apply(j, v) },
+		})
+	}
+	return ax
+}
+
+// SchemeAxis builds an axis over congestion-control schemes.
+func SchemeAxis(schemes []sim.Scheme) Axis {
+	ax := Axis{Name: "scheme"}
+	for _, s := range schemes {
+		s := s
+		ax.Values = append(ax.Values, Value{
+			Label: s.String(),
+			Apply: func(j *Job) { j.Scheme = s },
+		})
+	}
+	return ax
+}
+
+// Grid expands a base job over the cartesian product of its axes. The first
+// axis varies slowest, matching the natural reading order of the paper's
+// sweep tables.
+type Grid struct {
+	// Base is the job template. Its Name prefixes every expanded job name.
+	Base Job
+	// Axes are the sweep dimensions.
+	Axes []Axis
+}
+
+// Jobs returns one job per point of the cartesian product. Each job gets a
+// unique name ("<base>/<axis>=<label>/..."), a Meta entry per axis, and the
+// Apply mutations of its axis values (applied in axis order).
+func (g *Grid) Jobs() []Job {
+	jobs := []Job{g.cloneBase()}
+	for _, ax := range g.Axes {
+		if len(ax.Values) == 0 {
+			panic(fmt.Sprintf("harness: axis %q of grid %q has no values", ax.Name, g.Base.Name))
+		}
+		next := make([]Job, 0, len(jobs)*len(ax.Values))
+		for _, j := range jobs {
+			for _, v := range ax.Values {
+				nj := cloneJob(j)
+				nj.Name = fmt.Sprintf("%s/%s=%s", j.Name, ax.Name, v.Label)
+				nj.Meta[ax.Name] = v.Label
+				if v.Apply != nil {
+					v.Apply(&nj)
+				}
+				next = append(next, nj)
+			}
+		}
+		jobs = next
+	}
+	return jobs
+}
+
+// cloneBase deep-copies the template's shared reference fields so axis
+// mutations never alias across expanded jobs.
+func (g *Grid) cloneBase() Job { return cloneJob(g.Base) }
+
+func cloneJob(j Job) Job {
+	meta := make(map[string]string, len(j.Meta))
+	for k, v := range j.Meta {
+		meta[k] = v
+	}
+	j.Meta = meta
+	j.Options = append([]func(*sim.Options){}, j.Options...)
+	return j
+}

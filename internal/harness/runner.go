@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress describes one completed (or skipped) job for progress reporting.
+type Progress struct {
+	// Done counts finished jobs so far; Total is the suite size.
+	Done, Total int
+	// Job is the finished job's name.
+	Job string
+	// Cached is true when the job was skipped because its artifact already
+	// existed (resume).
+	Cached bool
+	// Elapsed is the wall-clock execution time (zero for cached jobs). It is
+	// reported but never persisted, keeping artifacts byte-stable.
+	Elapsed time.Duration
+}
+
+// Runner executes a list of jobs over a bounded worker pool.
+type Runner struct {
+	// Parallel bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Parallel int
+	// Store, when non-nil, persists every completed job.
+	Store *Store
+	// Resume, with a Store, skips jobs whose artifact already exists and
+	// returns the stored record instead of re-executing.
+	Resume bool
+	// Progress, when non-nil, is invoked (serialized) after each job.
+	Progress func(Progress)
+
+	// Executed and Skipped count, after Run returns, the jobs that were
+	// actually simulated vs satisfied from the store.
+	Executed, Skipped int
+}
+
+// Run executes the jobs and returns their records in job order (independent
+// of worker count and completion order, so downstream row assembly is
+// deterministic). The first failure aborts dispatch of not-yet-started jobs
+// and is returned after in-flight jobs finish.
+func (r *Runner) Run(jobs []Job) ([]*Record, error) {
+	r.Executed, r.Skipped = 0, 0
+	if err := validateSuite(jobs); err != nil {
+		return nil, err
+	}
+	workers := r.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		next     int
+		records  = make([]*Record, len(jobs))
+		wg       sync.WaitGroup
+	)
+
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= len(jobs) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	finish := func(i int, rec *Record, elapsed time.Duration, wasCached bool, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		records[i] = rec
+		if wasCached {
+			r.Skipped++
+		} else {
+			r.Executed++
+		}
+		done++
+		if r.Progress != nil {
+			r.Progress(Progress{
+				Done: done, Total: len(jobs),
+				Job: jobs[i].Name, Cached: wasCached, Elapsed: elapsed,
+			})
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				rec, elapsed, wasCached, err := r.runOne(&jobs[i])
+				finish(i, rec, elapsed, wasCached, err)
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return records, nil
+}
+
+// runOne satisfies a single job from its stored artifact (resume) or by
+// executing it. Artifacts are looked up per job hash, so resuming a small
+// figure against a large store never reads unrelated records. Workload and
+// experiment builders panic on misconfiguration; recover those into errors
+// so one bad sweep point cannot take down a multi-hour suite.
+func (r *Runner) runOne(j *Job) (rec *Record, elapsed time.Duration, wasCached bool, err error) {
+	hash := j.Hash()
+	if r.Resume && r.Store != nil {
+		c, ok, err := r.Store.Get(hash)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if ok {
+			return c, 0, true, nil
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: job %q panicked: %v", j.Name, p)
+		}
+	}()
+	start := time.Now()
+	rec, err = j.execute()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	elapsed = time.Since(start)
+	if r.Store != nil {
+		if err := r.Store.Put(rec); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	return rec, elapsed, false, nil
+}
+
+// validateSuite checks specs and rejects duplicate content hashes, which
+// would make two jobs silently share one artifact.
+func validateSuite(jobs []Job) error {
+	seen := make(map[string]string, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		h := j.Hash()
+		if prev, dup := seen[h]; dup {
+			return fmt.Errorf("harness: jobs %q and %q have the same content hash %s", prev, j.Name, h)
+		}
+		seen[h] = j.Name
+	}
+	return nil
+}
+
+// MustRun executes the jobs on a default parallel runner (all cores, no
+// persistence) and panics on failure. It is the one-liner the experiments
+// package uses for its figure entry points.
+func MustRun(jobs []Job) []*Record {
+	recs, err := (&Runner{}).Run(jobs)
+	if err != nil {
+		panic(err)
+	}
+	return recs
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists one JSONL record per completed job under a results
+// directory. Files are keyed by the job's content hash ("<hash>.jsonl", one
+// JSON line each), so a rerun of the same job spec lands on the same
+// artifact, concurrent workers never interleave writes, and Resume can skip
+// completed work with one lookup per job hash.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a results directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("harness: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: creating store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".jsonl")
+}
+
+// Put writes the record's artifact atomically (temp file + rename), so an
+// interrupted run never leaves a truncated artifact for Resume to trust.
+func (s *Store) Put(rec *Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("harness: encoding record %q: %w", rec.Name, err)
+	}
+	b = append(b, '\n')
+	tmp, err := os.CreateTemp(s.dir, "."+rec.Hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("harness: writing record %q: %w", rec.Name, err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing record %q: %w", rec.Name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing record %q: %w", rec.Name, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(rec.Hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing record %q: %w", rec.Name, err)
+	}
+	return nil
+}
+
+// Get loads the record for a job hash; ok is false when no artifact exists.
+func (s *Store) Get(hash string) (rec *Record, ok bool, err error) {
+	b, err := os.ReadFile(s.path(hash))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("harness: reading record %s: %w", hash, err)
+	}
+	rec = &Record{}
+	if err := json.Unmarshal(b, rec); err != nil {
+		return nil, false, fmt.Errorf("harness: decoding record %s: %w", hash, err)
+	}
+	return rec, true, nil
+}
+
+// Load reads every artifact in the store, keyed by content hash.
+func (s *Store) Load() (map[string]*Record, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("harness: listing store: %w", err)
+	}
+	out := map[string]*Record{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		hash := strings.TrimSuffix(name, ".jsonl")
+		rec, ok, err := s.Get(hash)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[hash] = rec
+		}
+	}
+	return out, nil
+}
+
+// WriteCombined concatenates the given records into one results.jsonl file
+// (sorted by job name for stable output), a convenient export of a whole run.
+func (s *Store) WriteCombined(name string, recs []*Record) error {
+	sorted := append([]*Record{}, recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var sb strings.Builder
+	for _, rec := range sorted {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("harness: encoding record %q: %w", rec.Name, err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(s.dir, name), []byte(sb.String()), 0o644)
+}

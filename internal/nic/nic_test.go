@@ -1,0 +1,191 @@
+package nic_test
+
+import (
+	"testing"
+
+	"bfc/internal/bloom"
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/nic"
+	"bfc/internal/packet"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// fakePeer is a netsim.Device that records everything delivered to it.
+type fakePeer struct {
+	id   packet.NodeID
+	pkts []*packet.Packet
+	ctrl []netsim.ControlFrame
+}
+
+func (f *fakePeer) ID() packet.NodeID                           { return f.id }
+func (f *fakePeer) AttachLink(port int, link *netsim.Link)      {}
+func (f *fakePeer) ReceivePacket(in int, p *packet.Packet)      { f.pkts = append(f.pkts, p) }
+func (f *fakePeer) ReceiveControl(p int, c netsim.ControlFrame) { f.ctrl = append(f.ctrl, c) }
+
+func (f *fakePeer) kind(k packet.Kind) []*packet.Packet {
+	var out []*packet.Packet
+	for _, p := range f.pkts {
+		if p.Kind == k {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// testNIC wires a NIC's uplink to a fakePeer standing in for the ToR.
+type testNIC struct {
+	sched     *eventsim.Scheduler
+	topo      *topology.Topology
+	nic       *nic.NIC
+	peer      *fakePeer
+	completed []*packet.Flow
+}
+
+func newTestNIC(t *testing.T, mutate func(*nic.Config)) *testNIC {
+	t.Helper()
+	tn := &testNIC{sched: eventsim.New()}
+	tn.topo = topology.NewSingleSwitch(topology.SingleSwitchConfig{
+		NumHosts: 2, LinkRate: 100 * units.Gbps, LinkDelay: 1 * units.Microsecond,
+	})
+	host := tn.topo.Node(tn.topo.Hosts()[0])
+	cfg := nic.Config{
+		Scheduler:      tn.sched,
+		Topo:           tn.topo,
+		Node:           host,
+		MTU:            1000,
+		RTO:            4 * units.Millisecond,
+		OnFlowComplete: func(f *packet.Flow) { tn.completed = append(tn.completed, f) },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tn.nic = nic.New(cfg)
+	tn.peer = &fakePeer{id: 1000}
+	link := netsim.NewLink(tn.sched, "h0->peer", 100*units.Gbps, 1*units.Microsecond, tn.peer, 0)
+	tn.nic.AttachLink(0, link)
+	return tn
+}
+
+func (tn *testNIC) flowFromHost(id packet.FlowID, size units.Bytes) *packet.Flow {
+	hosts := tn.topo.Hosts()
+	return &packet.Flow{ID: id, Src: hosts[0], Dst: hosts[1], Size: size}
+}
+
+func TestPFCPauseStopsDataAndResumeReleasesIt(t *testing.T) {
+	tn := newTestNIC(t, nil)
+	tn.nic.ReceiveControl(0, netsim.PFCFrame{Pause: true})
+	tn.nic.StartFlow(tn.flowFromHost(1, 3000))
+	tn.sched.RunUntil(100 * units.Microsecond)
+	if got := len(tn.peer.kind(packet.Data)); got != 0 {
+		t.Fatalf("PFC-paused NIC transmitted %d data packets", got)
+	}
+	if tn.nic.Stats().PausedByPFC != 1 {
+		t.Fatalf("PausedByPFC = %d, want 1", tn.nic.Stats().PausedByPFC)
+	}
+
+	tn.nic.ReceiveControl(0, netsim.PFCFrame{Pause: false})
+	tn.sched.RunUntil(200 * units.Microsecond)
+	if got := len(tn.peer.kind(packet.Data)); got != 3 {
+		t.Fatalf("after resume got %d data packets, want 3", got)
+	}
+	// Pause accounting on the uplink must cover the paused interval only.
+	if paused := tn.nic.Link().PausedTime(); paused != 100*units.Microsecond {
+		t.Fatalf("link paused time = %v, want 100us", paused)
+	}
+}
+
+func TestBFCBloomFilterPausesOnlyMatchingFlow(t *testing.T) {
+	const vfidSpace = 4096
+	tn := newTestNIC(t, func(c *nic.Config) { c.VFIDSpace = vfidSpace })
+	paused := tn.flowFromHost(1, 3000)
+	// Find a second flow whose VFID does not alias the paused one.
+	other := tn.flowFromHost(2, 2000)
+	for port := uint16(1); other.VFIDOf(vfidSpace) == paused.VFIDOf(vfidSpace); port++ {
+		other.SrcPort = port
+	}
+
+	filter := bloom.NewFilter(bloom.DefaultParams())
+	filter.Add(paused.VFIDOf(vfidSpace))
+	tn.nic.ReceiveControl(0, netsim.BFCPauseFrame{Filter: filter})
+	tn.nic.StartFlow(paused)
+	tn.nic.StartFlow(other)
+	tn.sched.RunUntil(100 * units.Microsecond)
+	if tn.nic.Stats().BFCFilterUpdates != 1 {
+		t.Fatalf("BFCFilterUpdates = %d, want 1", tn.nic.Stats().BFCFilterUpdates)
+	}
+	for _, p := range tn.peer.kind(packet.Data) {
+		if p.Flow.ID == paused.ID {
+			t.Fatal("paused flow transmitted while its VFID was in the filter")
+		}
+	}
+	if got := len(tn.peer.kind(packet.Data)); got != 2 {
+		t.Fatalf("unpaused flow sent %d packets, want 2", got)
+	}
+
+	// An empty filter resumes the paused flow.
+	tn.nic.ReceiveControl(0, netsim.BFCPauseFrame{Filter: bloom.NewFilter(bloom.DefaultParams())})
+	tn.sched.RunUntil(200 * units.Microsecond)
+	if got := len(tn.peer.kind(packet.Data)); got != 5 {
+		t.Fatalf("after resume got %d data packets, want 5", got)
+	}
+}
+
+func TestReceiverAcksNacksAndCompletion(t *testing.T) {
+	tn := newTestNIC(t, nil)
+	hosts := tn.topo.Hosts()
+	// A 3-packet flow addressed to this NIC, delivered out of order.
+	flow := &packet.Flow{ID: 7, Src: hosts[1], Dst: hosts[0], Size: 3000, StartTime: 1 * units.Microsecond}
+	deliver := func(at units.Time, seq int) {
+		tn.sched.Schedule(at, func() {
+			tn.nic.ReceivePacket(0, &packet.Packet{
+				Kind: packet.Data, Flow: flow, Seq: seq, Payload: 1000,
+				Size: 1000 + packet.DataHeaderSize, Priority: packet.PrioData,
+			})
+		})
+	}
+	deliver(2*units.Microsecond, 0) // in order -> ACK 1
+	deliver(4*units.Microsecond, 2) // gap -> NACK 1
+	deliver(6*units.Microsecond, 1) // fills gap -> ACK 2
+	deliver(8*units.Microsecond, 2) // completes -> ACK 3
+	tn.sched.RunUntil(100 * units.Microsecond)
+
+	if nacks := tn.peer.kind(packet.Nack); len(nacks) != 1 || nacks[0].Seq != 1 {
+		t.Fatalf("nacks = %+v, want one with Seq=1", nacks)
+	}
+	acks := tn.peer.kind(packet.Ack)
+	if len(acks) != 3 {
+		t.Fatalf("got %d acks, want 3", len(acks))
+	}
+	if last := acks[len(acks)-1]; last.Seq != 3 {
+		t.Fatalf("final cumulative ack = %d, want 3", last.Seq)
+	}
+	if len(tn.completed) != 1 || tn.completed[0].ID != flow.ID {
+		t.Fatalf("completion callback fired %d times", len(tn.completed))
+	}
+	if flow.FinishTime != 8*units.Microsecond {
+		t.Fatalf("FinishTime = %v, want 8us", flow.FinishTime)
+	}
+	if tn.nic.Stats().DeliveredBytes != 3000 {
+		t.Fatalf("DeliveredBytes = %v, want 3000", tn.nic.Stats().DeliveredBytes)
+	}
+
+	// A duplicate of a delivered packet is re-ACKed, not re-counted.
+	tn.sched.Schedule(110*units.Microsecond, func() {
+		tn.nic.ReceivePacket(0, &packet.Packet{
+			Kind: packet.Data, Flow: flow, Seq: 0, Payload: 1000,
+			Size: 1000 + packet.DataHeaderSize, Priority: packet.PrioData,
+		})
+	})
+	tn.sched.RunUntil(200 * units.Microsecond)
+	if tn.nic.Stats().DuplicatePackets != 1 {
+		t.Fatalf("DuplicatePackets = %d, want 1", tn.nic.Stats().DuplicatePackets)
+	}
+	if len(tn.completed) != 1 {
+		t.Fatal("duplicate delivery re-fired the completion callback")
+	}
+	if got := len(tn.peer.kind(packet.Ack)); got != 4 {
+		t.Fatalf("got %d acks after duplicate, want 4", got)
+	}
+}

@@ -353,8 +353,17 @@ func minBytes(a, b units.Bytes) units.Bytes {
 }
 
 func (r *runner) startSampling() {
+	// Sample switches in topology order, not map order: the sample sequence
+	// feeds Result distributions that the harness persists, and artifacts
+	// must be byte-identical across reruns and worker counts.
+	var sws []*switchsim.Switch
+	for _, node := range r.topo.Nodes() {
+		if sw, ok := r.switches[node.ID]; ok {
+			sws = append(sws, sw)
+		}
+	}
 	eventsim.NewTicker(r.sched, r.opts.BufferSampleInterval, func() {
-		for _, sw := range r.switches {
+		for _, sw := range sws {
 			occ := sw.BufferOccupancy()
 			r.result.BufferOccupancy.Add(float64(occ))
 			if occ > r.result.MaxBufferOccupancy {

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON round-tripping for the stats types embedded in sim.Result, so that the
+// experiment harness can persist completed runs as JSONL artifacts and load
+// them back with every percentile/CDF query still answerable.
+
+// MarshalJSON encodes a Distribution as its raw sample array. Samples are
+// emitted in their current order (insertion order until the first percentile
+// query sorts them); both orders decode to an equivalent distribution.
+func (d Distribution) MarshalJSON() ([]byte, error) {
+	if d.samples == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(d.samples)
+}
+
+// UnmarshalJSON decodes a sample array produced by MarshalJSON, replacing any
+// existing samples.
+func (d *Distribution) UnmarshalJSON(b []byte) error {
+	var samples []float64
+	if err := json.Unmarshal(b, &samples); err != nil {
+		return fmt.Errorf("stats: decoding distribution: %w", err)
+	}
+	*d = Distribution{}
+	for _, v := range samples {
+		d.Add(v)
+	}
+	return nil
+}
+
+// fctCollectorJSON is the exported wire form of FCTCollector.
+type fctCollectorJSON struct {
+	Buckets []SizeBucket   `json:"buckets"`
+	PerSize []Distribution `json:"per_size"`
+	All     Distribution   `json:"all"`
+}
+
+// MarshalJSON encodes the collector's buckets and per-bucket slowdown
+// distributions.
+func (c *FCTCollector) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fctCollectorJSON{Buckets: c.buckets, PerSize: c.perSize, All: c.all})
+}
+
+// UnmarshalJSON decodes a collector produced by MarshalJSON.
+func (c *FCTCollector) UnmarshalJSON(b []byte) error {
+	var w fctCollectorJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return fmt.Errorf("stats: decoding FCT collector: %w", err)
+	}
+	if w.Buckets == nil {
+		w.Buckets = DefaultSizeBuckets()
+	}
+	if len(w.PerSize) != len(w.Buckets) {
+		return fmt.Errorf("stats: FCT collector has %d per-size distributions for %d buckets",
+			len(w.PerSize), len(w.Buckets))
+	}
+	c.buckets = w.Buckets
+	c.perSize = w.PerSize
+	c.all = w.All
+	return nil
+}

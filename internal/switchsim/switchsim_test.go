@@ -1,0 +1,238 @@
+package switchsim_test
+
+import (
+	"testing"
+
+	"bfc/internal/bloom"
+	"bfc/internal/core"
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/packet"
+	"bfc/internal/switchsim"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// fakeHost is a netsim.Device recording packets and control frames the
+// switch sends to it.
+type fakeHost struct {
+	id   packet.NodeID
+	pkts []*packet.Packet
+	ctrl []netsim.ControlFrame
+}
+
+func (f *fakeHost) ID() packet.NodeID                           { return f.id }
+func (f *fakeHost) AttachLink(port int, link *netsim.Link)      {}
+func (f *fakeHost) ReceivePacket(in int, p *packet.Packet)      { f.pkts = append(f.pkts, p) }
+func (f *fakeHost) ReceiveControl(p int, c netsim.ControlFrame) { f.ctrl = append(f.ctrl, c) }
+
+func (f *fakeHost) pauses() (pause, resume int) {
+	for _, c := range f.ctrl {
+		if pfc, ok := c.(netsim.PFCFrame); ok {
+			if pfc.Pause {
+				pause++
+			} else {
+				resume++
+			}
+		}
+	}
+	return
+}
+
+// testSwitch builds a star-topology switch. Ports map 1:1 to hosts (port i
+// connects host i); links are only attached where a test needs delivery or
+// upstream signaling, since an unattached egress simply queues.
+type testSwitch struct {
+	sched *eventsim.Scheduler
+	topo  *topology.Topology
+	sw    *switchsim.Switch
+	hosts []*fakeHost
+}
+
+func newTestSwitch(t *testing.T, mutate func(*switchsim.Config)) *testSwitch {
+	t.Helper()
+	ts := &testSwitch{sched: eventsim.New()}
+	ts.topo = topology.NewSingleSwitch(topology.SingleSwitchConfig{
+		NumHosts: 4, LinkRate: 100 * units.Gbps, LinkDelay: 1 * units.Microsecond,
+	})
+	var node *topology.Node
+	for _, n := range ts.topo.Nodes() {
+		if n.Kind == topology.Switch {
+			node = n
+		}
+	}
+	cfg := switchsim.Config{
+		Scheduler:  ts.sched,
+		Topo:       ts.topo,
+		Node:       node,
+		MTU:        1000,
+		NumQueues:  8,
+		BufferSize: 12 * units.MB,
+		Seed:       1,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ts.sw = switchsim.New(cfg)
+	for range node.Ports {
+		ts.hosts = append(ts.hosts, &fakeHost{id: 1000 + packet.NodeID(len(ts.hosts))})
+	}
+	return ts
+}
+
+// attach wires the switch's egress on the given port to its fake host.
+func (ts *testSwitch) attach(port int) {
+	link := netsim.NewLink(ts.sched, "sw->fake", 100*units.Gbps, 1*units.Microsecond, ts.hosts[port], 0)
+	ts.sw.AttachLink(port, link)
+}
+
+// dataPacket builds a data packet for a host-to-host flow through the switch.
+func dataPacket(f *packet.Flow, seq int) *packet.Packet {
+	return &packet.Packet{
+		Kind: packet.Data, Flow: f, Seq: seq, Payload: 1000,
+		Size: 1000 + packet.DataHeaderSize, Priority: packet.PrioData,
+		First: seq == 0,
+	}
+}
+
+// bfcConfig returns an engine config matching the test switch's queue count.
+func bfcConfig(numQueues int, hiPrio bool) *core.Config {
+	cfg := core.DefaultConfig()
+	cfg.QueuesPerPort = numQueues
+	cfg.UseHighPriorityQueue = hiPrio
+	return &cfg
+}
+
+func TestQueueAssignmentPaths(t *testing.T) {
+	flowsTo := func(topo *topology.Topology, n int) []*packet.Flow {
+		// n concurrent flows from distinct sources to host 1, with source
+		// ports chosen so static hashing (SFQ) spreads them across queues.
+		hosts := topo.Hosts()
+		var flows []*packet.Flow
+		used := map[int]bool{}
+		for id := 1; len(flows) < n; id++ {
+			f := &packet.Flow{ID: packet.FlowID(id), Src: hosts[2], Dst: hosts[1], SrcPort: uint16(id)}
+			if q := packet.HashQueue(f.Tuple(), 8); !used[q] {
+				used[q] = true
+				flows = append(flows, f)
+			}
+		}
+		return flows
+	}
+
+	t.Run("single FIFO", func(t *testing.T) {
+		ts := newTestSwitch(t, nil) // no SFQ, no BFC: everything in queue 0
+		for _, f := range flowsTo(ts.topo, 2) {
+			ts.sw.ReceivePacket(2, dataPacket(f, 0))
+		}
+		if got := ts.sw.OccupiedDataQueues(); got != 1 {
+			t.Fatalf("single-FIFO switch occupies %d queues, want 1", got)
+		}
+	})
+
+	t.Run("SFQ static hashing", func(t *testing.T) {
+		ts := newTestSwitch(t, func(c *switchsim.Config) { c.SFQ = true })
+		for _, f := range flowsTo(ts.topo, 3) {
+			ts.sw.ReceivePacket(2, dataPacket(f, 0))
+		}
+		if got := ts.sw.OccupiedDataQueues(); got != 3 {
+			t.Fatalf("SFQ spread 3 flows over %d queues, want 3", got)
+		}
+		if occ := ts.sw.BufferOccupancy(); occ != 3*(1000+packet.DataHeaderSize) {
+			t.Fatalf("buffer occupancy = %v", occ)
+		}
+	})
+
+	t.Run("BFC dynamic assignment avoids collisions", func(t *testing.T) {
+		ts := newTestSwitch(t, func(c *switchsim.Config) { c.BFC = bfcConfig(8, false) })
+		// Second packets keep the flows active so assignments stay visible.
+		for _, f := range flowsTo(ts.topo, 3) {
+			ts.sw.ReceivePacket(2, dataPacket(f, 0))
+			ts.sw.ReceivePacket(2, dataPacket(f, 1))
+		}
+		if got := ts.sw.OccupiedDataQueues(); got != 3 {
+			t.Fatalf("BFC spread 3 active flows over %d queues, want 3", got)
+		}
+		st := ts.sw.Engine().Stats()
+		if st.Assignments != 3 || st.CollidedAssignments != 0 {
+			t.Fatalf("assignments = %d (collided %d), want 3 (0)", st.Assignments, st.CollidedAssignments)
+		}
+	})
+
+	t.Run("BFC high-priority queue takes first packets", func(t *testing.T) {
+		ts := newTestSwitch(t, func(c *switchsim.Config) { c.BFC = bfcConfig(8, true) })
+		f := flowsTo(ts.topo, 1)[0]
+		ts.sw.ReceivePacket(2, dataPacket(f, 0))
+		// The first packet of a fresh flow bypasses the data queues (§3.7).
+		if got := ts.sw.OccupiedDataQueues(); got != 0 {
+			t.Fatalf("first packet landed in %d data queues, want the high-priority queue", got)
+		}
+		if occ := ts.sw.BufferOccupancy(); occ != 1000+packet.DataHeaderSize {
+			t.Fatalf("buffer occupancy = %v", occ)
+		}
+	})
+}
+
+func TestPFCPauseAndResumeSignaling(t *testing.T) {
+	ts := newTestSwitch(t, func(c *switchsim.Config) {
+		c.BufferSize = 20 * units.KB
+		c.EnablePFC = true
+		c.PFCThresholdFrac = 0.11
+	})
+	// Ingress on port 0 has an attached upstream link so pause frames can be
+	// sent; egress toward host 1 stays unattached so the queue builds.
+	ts.attach(0)
+	hosts := ts.topo.Hosts()
+	f := &packet.Flow{ID: 1, Src: hosts[0], Dst: hosts[1]}
+	for seq := 0; seq < 5; seq++ {
+		ts.sw.ReceivePacket(0, dataPacket(f, seq))
+	}
+	ts.sched.RunUntil(10 * units.Microsecond)
+	if pause, _ := ts.hosts[0].pauses(); pause != 1 {
+		t.Fatalf("upstream saw %d pause frames, want 1", pause)
+	}
+	if ts.sw.Stats().PFCPausesSent != 1 {
+		t.Fatalf("PFCPausesSent = %d, want 1", ts.sw.Stats().PFCPausesSent)
+	}
+
+	// Attach the egress and nudge the scheduler: draining the queue must
+	// bring the ingress back under threshold and send a resume.
+	ts.attach(1)
+	ts.sw.ReceivePacket(0, dataPacket(f, 5))
+	ts.sched.RunUntil(100 * units.Microsecond)
+	if _, resume := ts.hosts[0].pauses(); resume != 1 {
+		t.Fatalf("upstream saw %d resume frames, want 1", resume)
+	}
+	if got := len(ts.hosts[1].pkts); got != 6 {
+		t.Fatalf("egress delivered %d packets, want 6", got)
+	}
+	if occ := ts.sw.BufferOccupancy(); occ != 0 {
+		t.Fatalf("buffer not drained: %v", occ)
+	}
+}
+
+func TestBFCPauseFrameParksQueueUntilResume(t *testing.T) {
+	bfc := bfcConfig(8, false)
+	ts := newTestSwitch(t, func(c *switchsim.Config) { c.BFC = bfc })
+	ts.attach(1) // egress toward host 1
+	hosts := ts.topo.Hosts()
+	f := &packet.Flow{ID: 1, Src: hosts[0], Dst: hosts[1]}
+
+	// Downstream of egress port 1 declares this flow paused.
+	filter := bloom.NewFilter(bfc.Bloom)
+	filter.Add(f.VFIDOf(bfc.NumVFIDs))
+	ts.sw.ReceiveControl(1, netsim.BFCPauseFrame{Filter: filter})
+
+	ts.sw.ReceivePacket(0, dataPacket(f, 0))
+	ts.sched.RunUntil(50 * units.Microsecond)
+	if got := len(ts.hosts[1].pkts); got != 0 {
+		t.Fatalf("paused queue transmitted %d packets", got)
+	}
+
+	// An empty filter resumes the queue head and releases the packet.
+	ts.sw.ReceiveControl(1, netsim.BFCPauseFrame{Filter: bloom.NewFilter(bfc.Bloom)})
+	ts.sched.RunUntil(100 * units.Microsecond)
+	if got := len(ts.hosts[1].pkts); got != 1 {
+		t.Fatalf("after resume egress delivered %d packets, want 1", got)
+	}
+}
