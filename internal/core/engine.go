@@ -444,10 +444,17 @@ func (u *UpstreamState) Update(f *bloom.Filter) {
 
 // PacketPaused reports whether the packet's flow matches the paused set.
 func (u *UpstreamState) PacketPaused(p *packet.Packet) bool {
-	if u.filter == nil || p == nil || p.Flow == nil {
+	if p == nil || p.Flow == nil {
 		return false
 	}
-	return u.filter.Contains(p.Flow.VFIDOf(u.vfidSpace))
+	return u.VFIDPaused(p.Flow.VFIDOf(u.vfidSpace))
+}
+
+// VFIDPaused reports whether a pre-computed VFID matches the paused set.
+// Senders that cache their flows' VFIDs use this to skip rehashing the
+// 5-tuple on every scheduling decision.
+func (u *UpstreamState) VFIDPaused(v packet.VFID) bool {
+	return u.filter != nil && u.filter.Contains(v)
 }
 
 // Updates returns the number of filters received.

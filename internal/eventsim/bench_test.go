@@ -1,0 +1,84 @@
+package eventsim
+
+import (
+	"testing"
+
+	"bfc/internal/units"
+)
+
+// The scheduler benchmarks below are the CI-gated hot-path measurements (see
+// cmd/benchjson and .github/workflows/ci.yml): a >20% ns/op or allocs/op
+// regression against BENCH_baseline.json fails the bench job. Steady-state
+// schedule/fire must stay at zero allocs/op.
+
+// BenchmarkScheduleFire measures the common schedule-then-fire cycle with a
+// nearly empty heap (the pattern of timers and link events in a quiet
+// simulation).
+func BenchmarkScheduleFire(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(units.Time(i), fn)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleFireDepth1k measures schedule/fire against a heap holding
+// 1024 pending events, the regime of a busy simulation where every operation
+// pays full sift depth.
+func BenchmarkScheduleFireDepth1k(b *testing.B) {
+	s := New()
+	fn := func() {}
+	const horizon = units.Time(1 << 40)
+	for i := 0; i < 1024; i++ {
+		s.Schedule(horizon+units.Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(units.Time(i), fn)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleCall measures the closure-free variant used by the packet
+// delivery path: one stored func(any) plus a pointer argument.
+func BenchmarkScheduleCall(b *testing.B) {
+	s := New()
+	var sink int
+	fn := func(x any) { sink += *x.(*int) }
+	arg := new(int)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleCall(units.Time(i), fn, arg)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures lazy cancellation including the periodic
+// compaction sweeps it triggers.
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Schedule(units.Time(i)+1e9, fn)
+		s.Cancel(e)
+	}
+}
+
+// BenchmarkTimerReset measures the retransmission-timer pattern: a Timer
+// re-armed for every packet, firing rarely.
+func BenchmarkTimerReset(b *testing.B) {
+	s := New()
+	t := NewTimer(s, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(1e9)
+	}
+}

@@ -1,0 +1,247 @@
+package eventsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"bfc/internal/units"
+)
+
+// TestCancelThenRescheduleSameTime covers the timer pattern that motivated
+// lazy deletion: cancel a pending event and immediately schedule a
+// replacement at the very same timestamp. The replacement must fire exactly
+// once, in FIFO position relative to other same-time events, and the stale
+// handle must not be able to cancel it even though it may reuse the slot.
+func TestCancelThenRescheduleSameTime(t *testing.T) {
+	s := New()
+	var got []string
+	s.Schedule(10, func() { got = append(got, "a") })
+	e := s.Schedule(10, func() { got = append(got, "dead") })
+	s.Cancel(e)
+	s.Schedule(10, func() { got = append(got, "b") })
+	s.Cancel(e) // stale: must not touch the replacement, wherever it landed
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("fired %v, want [a b]", got)
+	}
+}
+
+// TestStaleHandleAfterFire verifies that a handle kept past its event's
+// firing cannot cancel a later event that recycles the same slot.
+func TestStaleHandleAfterFire(t *testing.T) {
+	s := New()
+	fired := 0
+	e1 := s.Schedule(1, func() { fired++ })
+	s.Run()
+	e2 := s.Schedule(2, func() { fired++ }) // most likely reuses e1's slot
+	s.Cancel(e1)                            // stale — must be a no-op
+	if !s.Pending(e2) {
+		t.Fatal("stale Cancel hit a recycled slot")
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events, want 2", fired)
+	}
+}
+
+// TestStopInsideCallback pins the Stop contract: the loop halts after the
+// current callback returns, the clock stays at the stopping event's time
+// (RunUntil must not advance it to the horizon), and a later RunUntil
+// resumes with the remaining events.
+func TestStopInsideCallback(t *testing.T) {
+	s := New()
+	var fired []units.Time
+	for _, at := range []units.Time{10, 20, 30} {
+		at := at
+		s.Schedule(at, func() {
+			fired = append(fired, at)
+			if at == 20 {
+				s.Stop()
+			}
+		})
+	}
+	n := s.RunUntil(100)
+	if n != 2 {
+		t.Fatalf("executed %d before Stop, want 2", n)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now = %v after Stop, want 20 (no horizon advance)", s.Now())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after Stop, want 1", s.Len())
+	}
+	n = s.RunUntil(100)
+	if n != 1 || s.Now() != 100 {
+		t.Fatalf("resume executed %d, Now=%v; want 1 at 100", n, s.Now())
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want all three", fired)
+	}
+}
+
+// TestRunUntilClockAdvance pins the clock semantics of RunUntil: the clock
+// advances to the horizon when the queue empties early or holds only future
+// events, never runs backwards, and Run (no horizon) leaves it at the last
+// executed event.
+func TestRunUntilClockAdvance(t *testing.T) {
+	s := New()
+	if s.RunUntil(50) != 0 || s.Now() != 50 {
+		t.Fatalf("empty queue: Now = %v, want 50", s.Now())
+	}
+	s.Schedule(200, func() {})
+	if s.RunUntil(100) != 0 || s.Now() != 100 {
+		t.Fatalf("future-only queue: Now = %v, want 100", s.Now())
+	}
+	if s.RunUntil(60) != 0 || s.Now() != 100 {
+		t.Fatalf("clock ran backwards: Now = %v, want 100", s.Now())
+	}
+	s.Run()
+	if s.Now() != 200 {
+		t.Fatalf("Run: Now = %v, want last event time 200", s.Now())
+	}
+}
+
+// TestCompaction drives enough lazy cancellations to force compaction sweeps
+// and checks that survivors still fire in exact order and slots are reused
+// rather than leaked.
+func TestCompaction(t *testing.T) {
+	s := New()
+	var fired []int
+	var cancelled []Event
+	for i := 0; i < 1000; i++ {
+		i := i
+		e := s.Schedule(units.Time(i), func() { fired = append(fired, i) })
+		if i%2 == 1 {
+			cancelled = append(cancelled, e)
+		}
+	}
+	for _, e := range cancelled {
+		s.Cancel(e)
+	}
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", s.Len())
+	}
+	s.Run()
+	if len(fired) != 500 {
+		t.Fatalf("fired %d, want 500", len(fired))
+	}
+	for i, v := range fired {
+		if v != 2*i {
+			t.Fatalf("position %d fired %d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+// TestSlotReuse checks the free-list: a long schedule/fire sequence with few
+// concurrent events must not grow the slot table.
+func TestSlotReuse(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 10000; i++ {
+		s.Schedule(units.Time(i), fn)
+		s.Step()
+	}
+	if len(s.slots) > 4 {
+		t.Fatalf("slot table grew to %d for a 1-deep workload", len(s.slots))
+	}
+}
+
+// Reference implementation: the seed engine's container/heap scheduler, kept
+// here as the ordering oracle for the property test below.
+type refEvent struct {
+	at        units.Time
+	seq       uint64
+	id        int
+	cancelled bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *refHeap) popMin() *refEvent { return heap.Pop(h).(*refEvent) }
+
+// TestPopOrderMatchesReferenceHeap is the property test required by the
+// engine rewrite: under random interleavings of schedules and cancels, the
+// 4-ary lazy-deletion heap must pop events in exactly the order the
+// container/heap reference does.
+func TestPopOrderMatchesReferenceHeap(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		ref := &refHeap{}
+		heap.Init(ref)
+
+		var got []int
+		type pending struct {
+			ev  Event
+			ref *refEvent
+		}
+		var open []pending
+		nextID := 0
+
+		ops := 200 + rng.Intn(300)
+		for i := 0; i < ops; i++ {
+			switch {
+			case rng.Intn(3) > 0 || len(open) == 0: // schedule
+				id := nextID
+				nextID++
+				at := s.Now() + units.Time(rng.Intn(50))
+				re := &refEvent{at: at, seq: uint64(i), id: id}
+				heap.Push(ref, re)
+				ev := s.Schedule(at, func() { got = append(got, id) })
+				open = append(open, pending{ev: ev, ref: re})
+			default: // cancel a random still-pending event
+				live := open[:0]
+				for _, pe := range open {
+					if s.Pending(pe.ev) {
+						live = append(live, pe)
+					}
+				}
+				open = live
+				if len(open) == 0 {
+					continue
+				}
+				k := rng.Intn(len(open))
+				s.Cancel(open[k].ev)
+				open[k].ref.cancelled = true
+				open = append(open[:k], open[k+1:]...)
+			}
+			// Occasionally fire a few events so cancels interleave with pops.
+			for rng.Intn(4) == 0 && s.Step() {
+			}
+		}
+		s.Run()
+
+		var want []int
+		for ref.Len() > 0 {
+			if e := ref.popMin(); !e.cancelled {
+				want = append(want, e.id)
+			}
+		}
+		// Events only ever fire at >= the current clock, so the interleaved
+		// firings form a prefix of the global (at, seq) order — the full
+		// fired sequence must equal the reference heap's drain order over
+		// non-cancelled events.
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: position %d fired id %d, reference id %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -69,22 +69,25 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.Schedule(10, func() { fired = true })
+	if !s.Pending(e) {
+		t.Fatal("scheduled event should be pending")
+	}
 	s.Cancel(e)
-	s.Cancel(e) // idempotent
-	s.Cancel(nil)
+	s.Cancel(e)       // idempotent
+	s.Cancel(Event{}) // zero handle is a no-op
 	s.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if s.Pending(e) {
+		t.Fatal("cancelled event still pending")
 	}
 }
 
 func TestCancelDuringRun(t *testing.T) {
 	s := New()
 	fired := false
-	var e2 *Event
+	var e2 Event
 	s.Schedule(10, func() { s.Cancel(e2) })
 	e2 = s.Schedule(20, func() { fired = true })
 	s.Run()

@@ -5,11 +5,13 @@ import "bfc/internal/units"
 // Timer is a restartable one-shot timer built on a Scheduler, analogous to
 // time.Timer but in simulated time. It is used for protocol timeouts (DCQCN
 // rate-increase timers, retransmission timers, periodic pause-frame
-// generation).
+// generation). The trampoline closure handed to the scheduler is allocated
+// once at construction, so Reset/Stop cycles are allocation-free.
 type Timer struct {
-	s  *Scheduler
-	fn func()
-	ev *Event
+	s    *Scheduler
+	fn   func()
+	fire func()
+	ev   Event
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
@@ -17,36 +19,40 @@ func NewTimer(s *Scheduler, fn func()) *Timer {
 	if fn == nil {
 		panic("eventsim: nil timer callback")
 	}
-	return &Timer{s: s, fn: fn}
+	t := &Timer{s: s, fn: fn}
+	t.fire = func() {
+		t.ev = Event{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any pending firing.
 func (t *Timer) Reset(d units.Time) {
 	t.Stop()
-	t.ev = t.s.ScheduleAfter(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.s.ScheduleAfter(d, t.fire)
 }
 
 // Stop cancels a pending firing. It is safe to call on a stopped timer.
 func (t *Timer) Stop() {
-	if t.ev != nil {
+	if t.ev != (Event{}) {
 		t.s.Cancel(t.ev)
-		t.ev = nil
+		t.ev = Event{}
 	}
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.ev != nil }
+func (t *Timer) Pending() bool { return t.ev != (Event{}) }
 
 // Ticker repeatedly invokes a callback at a fixed period until stopped. It is
-// used for periodic bloom-filter pause frames and statistics sampling.
+// used for periodic bloom-filter pause frames and statistics sampling. Like
+// Timer, it schedules one pre-allocated closure per tick.
 type Ticker struct {
 	s      *Scheduler
 	period units.Time
 	fn     func()
-	ev     *Event
+	tick   func()
+	ev     Event
 	stop   bool
 }
 
@@ -60,12 +66,7 @@ func NewTicker(s *Scheduler, period units.Time, fn func()) *Ticker {
 		panic("eventsim: nil ticker callback")
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.ev = t.s.ScheduleAfter(t.period, func() {
+	t.tick = func() {
 		if t.stop {
 			return
 		}
@@ -73,14 +74,20 @@ func (t *Ticker) schedule() {
 		if !t.stop {
 			t.schedule()
 		}
-	})
+	}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.s.ScheduleAfter(t.period, t.tick)
 }
 
 // Stop halts the ticker; no further ticks fire.
 func (t *Ticker) Stop() {
 	t.stop = true
-	if t.ev != nil {
+	if t.ev != (Event{}) {
 		t.s.Cancel(t.ev)
-		t.ev = nil
+		t.ev = Event{}
 	}
 }

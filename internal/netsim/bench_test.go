@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"testing"
+
+	"bfc/internal/eventsim"
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// The link benchmarks below are CI-gated alongside the eventsim ones (see
+// cmd/benchjson): they measure the per-packet cost of the send/receive hot
+// path — pool Get, Transmit (serialization event + delivery event), receive,
+// pool Put — which must stay allocation-free in steady state.
+
+// benchSink terminally consumes packets and recycles them, as a receiving
+// NIC does.
+type benchSink struct {
+	pool     *packet.Pool
+	received int
+}
+
+func (d *benchSink) ID() packet.NodeID                { return 1 }
+func (d *benchSink) AttachLink(int, *Link)            {}
+func (d *benchSink) ReceiveControl(int, ControlFrame) {}
+func (d *benchSink) ReceivePacket(in int, p *packet.Packet) {
+	d.received++
+	d.pool.Put(p)
+}
+
+// BenchmarkLinkPacketPath measures one full packet lifetime over a link with
+// pooling: allocate from the pool, serialize, propagate, deliver, recycle.
+func BenchmarkLinkPacketPath(b *testing.B) {
+	sched := eventsim.New()
+	pool := packet.NewPool()
+	sink := &benchSink{pool: pool}
+	l := NewLink(sched, "bench", 100*units.Gbps, units.Microsecond, sink, 0)
+	flow := &packet.Flow{ID: 1, Src: 0, Dst: 1, Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.Kind = packet.Data
+		p.Flow = flow
+		p.Size = 1000 + packet.DataHeaderSize
+		p.Payload = 1000
+		l.Transmit(p, nil)
+		sched.Run()
+	}
+	if sink.received != b.N {
+		b.Fatalf("delivered %d of %d packets", sink.received, b.N)
+	}
+}
+
+// BenchmarkLinkBackToBack measures a sender keeping the link saturated: the
+// next packet is handed over from the serialization-done callback, so the
+// scheduler interleaves serialization and delivery events as a loaded NIC
+// does.
+func BenchmarkLinkBackToBack(b *testing.B) {
+	sched := eventsim.New()
+	pool := packet.NewPool()
+	sink := &benchSink{pool: pool}
+	l := NewLink(sched, "bench", 100*units.Gbps, units.Microsecond, sink, 0)
+	flow := &packet.Flow{ID: 1, Src: 0, Dst: 1, Size: 1000}
+	sent := 0
+	var send func()
+	send = func() {
+		if sent >= b.N {
+			return
+		}
+		sent++
+		p := pool.Get()
+		p.Kind = packet.Data
+		p.Flow = flow
+		p.Size = 1000 + packet.DataHeaderSize
+		p.Payload = 1000
+		l.Transmit(p, send)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	send()
+	sched.Run()
+	if sink.received != b.N {
+		b.Fatalf("delivered %d of %d packets", sink.received, b.N)
+	}
+}

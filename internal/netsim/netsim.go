@@ -64,6 +64,16 @@ type Link struct {
 
 	busy bool
 
+	// Hot-path callbacks, allocated once at construction so Transmit and
+	// SendControl do not create closures per send: serDone fires when
+	// serialization ends (and invokes the sender's pendingDone), deliver
+	// hands a packet to the peer after the propagation delay, deliverCtrl
+	// does the same for a control frame.
+	serDone     func()
+	deliver     func(any)
+	deliverCtrl func(any)
+	pendingDone func()
+
 	// Statistics.
 	txBytes     units.Bytes
 	ctrlBytes   units.Bytes
@@ -81,7 +91,22 @@ func NewLink(sched *eventsim.Scheduler, name string, rate units.Rate, delay unit
 	if rate <= 0 || delay < 0 {
 		panic("netsim: invalid link parameters")
 	}
-	return &Link{sched: sched, name: name, rate: rate, delay: delay, peer: peer, toPort: toPort}
+	l := &Link{sched: sched, name: name, rate: rate, delay: delay, peer: peer, toPort: toPort}
+	l.serDone = func() {
+		l.busy = false
+		done := l.pendingDone
+		l.pendingDone = nil
+		if done != nil {
+			done()
+		}
+	}
+	l.deliver = func(x any) {
+		l.peer.ReceivePacket(l.toPort, x.(*packet.Packet))
+	}
+	l.deliverCtrl = func(x any) {
+		l.peer.ReceiveControl(l.toPort, x.(ControlFrame))
+	}
+	return l
 }
 
 // Rate returns the link rate.
@@ -118,15 +143,11 @@ func (l *Link) Transmit(p *packet.Packet, onDone func()) {
 	ser := units.SerializationTime(p.Size, l.rate)
 	l.txBytes += p.Size
 	l.busyTime += ser
-	l.sched.ScheduleAfter(ser, func() {
-		l.busy = false
-		if onDone != nil {
-			onDone()
-		}
-	})
-	l.sched.ScheduleAfter(ser+l.delay, func() {
-		l.peer.ReceivePacket(l.toPort, p)
-	})
+	// The busy-link panic above guarantees at most one serialization is in
+	// flight, so a single pendingDone field (consumed by serDone) suffices.
+	l.pendingDone = onDone
+	l.sched.ScheduleAfter(ser, l.serDone)
+	l.sched.ScheduleCallAfter(ser+l.delay, l.deliver, p)
 }
 
 // SendControl delivers a control frame to the peer after the propagation
@@ -135,9 +156,9 @@ func (l *Link) Transmit(p *packet.Packet, onDone func()) {
 // in the statistics.
 func (l *Link) SendControl(frame ControlFrame, size units.Bytes) {
 	l.ctrlBytes += size
-	l.sched.ScheduleAfter(l.delay, func() {
-		l.peer.ReceiveControl(l.toPort, frame)
-	})
+	// frame is already an interface value, so the any conversion is free;
+	// the pre-allocated deliverCtrl keeps this path closure-free too.
+	l.sched.ScheduleCallAfter(l.delay, l.deliverCtrl, frame)
 }
 
 // MarkPaused records the beginning or end of a PFC pause affecting this link

@@ -42,6 +42,10 @@ type Config struct {
 	// from the ToR. Zero disables BFC handling.
 	VFIDSpace int
 
+	// Pool recycles packet objects across the simulation (see packet.Pool
+	// for the ownership rules). Nil degrades to plain allocation.
+	Pool *packet.Pool
+
 	// RTO is the Go-Back-N retransmission timeout (covers tail losses where
 	// no NACK can be generated).
 	RTO units.Time
@@ -109,6 +113,9 @@ type senderFlow struct {
 	nextAllowed units.Time
 	rto         *eventsim.Timer
 	completed   bool
+	// vfid caches the flow's BFC virtual flow ID so the pause check in
+	// pickSender does not rehash the 5-tuple on every scheduling decision.
+	vfid packet.VFID
 }
 
 // receiverFlow is the receive-side state for one flow.
@@ -124,6 +131,7 @@ type receiverFlow struct {
 type NIC struct {
 	cfg   Config
 	sched *eventsim.Scheduler
+	pool  *packet.Pool
 
 	link *netsim.Link
 
@@ -139,6 +147,9 @@ type NIC struct {
 	pfcPaused    bool
 	upstream     *core.UpstreamState
 	wakeup       *eventsim.Timer
+	// onTxDone is the serialization-complete callback handed to the link,
+	// allocated once so the transmit path creates no per-packet closures.
+	onTxDone func()
 
 	stats Stats
 }
@@ -151,6 +162,7 @@ func New(cfg Config) *NIC {
 	n := &NIC{
 		cfg:       cfg,
 		sched:     cfg.Scheduler,
+		pool:      cfg.Pool,
 		ctrlQueue: queue.NewFIFO("nic-ctrl"),
 		senders:   map[packet.FlowID]*senderFlow{},
 		receivers: map[packet.FlowID]*receiverFlow{},
@@ -159,6 +171,10 @@ func New(cfg Config) *NIC {
 		n.upstream = core.NewUpstreamState(cfg.VFIDSpace)
 	}
 	n.wakeup = eventsim.NewTimer(cfg.Scheduler, n.tryTransmit)
+	n.onTxDone = func() {
+		n.transmitting = false
+		n.tryTransmit()
+	}
 	return n
 }
 
@@ -193,6 +209,9 @@ func (n *NIC) StartFlow(f *packet.Flow) {
 	sf := &senderFlow{
 		flow:       f,
 		numPackets: f.NumPackets(n.cfg.MTU),
+	}
+	if n.upstream != nil {
+		sf.vfid = f.VFIDOf(n.cfg.VFIDSpace)
 	}
 	if n.cfg.NewController != nil {
 		sf.ctrl = n.cfg.NewController(f)
@@ -275,7 +294,7 @@ func (n *NIC) pickSender(now units.Time) (*senderFlow, units.Time) {
 			continue
 		}
 		// BFC per-flow pause from the ToR.
-		if n.upstream != nil && n.flowPaused(sf.flow) {
+		if n.upstream != nil && n.upstream.VFIDPaused(sf.vfid) {
 			continue
 		}
 		// Window check.
@@ -298,11 +317,6 @@ func (n *NIC) pickSender(now units.Time) (*senderFlow, units.Time) {
 	return nil, earliest
 }
 
-func (n *NIC) flowPaused(f *packet.Flow) bool {
-	probe := packet.Packet{Kind: packet.Data, Flow: f}
-	return n.upstream.PacketPaused(&probe)
-}
-
 // sendDataPacket emits the next packet of the flow.
 func (n *NIC) sendDataPacket(now units.Time, sf *senderFlow) {
 	seq := sf.nextSeq
@@ -314,17 +328,16 @@ func (n *NIC) sendDataPacket(now units.Time, sf *senderFlow) {
 	if payload < 0 {
 		payload = 0
 	}
-	p := &packet.Packet{
-		Kind:     packet.Data,
-		Flow:     sf.flow,
-		Seq:      seq,
-		Payload:  payload,
-		Size:     payload + packet.DataHeaderSize,
-		First:    seq == 0,
-		Last:     seq == sf.numPackets-1,
-		SendTime: now,
-		Priority: packet.PrioData,
-	}
+	p := n.pool.Get()
+	p.Kind = packet.Data
+	p.Flow = sf.flow
+	p.Seq = seq
+	p.Payload = payload
+	p.Size = payload + packet.DataHeaderSize
+	p.First = seq == 0
+	p.Last = seq == sf.numPackets-1
+	p.SendTime = now
+	p.Priority = packet.PrioData
 	if seq < sf.acked {
 		p.Retransmit = true
 		n.stats.Retransmissions++
@@ -345,10 +358,7 @@ func (n *NIC) sendDataPacket(now units.Time, sf *senderFlow) {
 
 func (n *NIC) transmitPacket(p *packet.Packet) {
 	n.transmitting = true
-	n.link.Transmit(p, func() {
-		n.transmitting = false
-		n.tryTransmit()
-	})
+	n.link.Transmit(p, n.onTxDone)
 }
 
 // onRTO rewinds the flow to the last acknowledged packet (Go-Back-N) when no
@@ -367,7 +377,9 @@ func (n *NIC) onRTO(sf *senderFlow) {
 
 // Receive path ----------------------------------------------------------------
 
-// ReceivePacket implements netsim.Device.
+// ReceivePacket implements netsim.Device. The NIC is the terminal owner of
+// every packet delivered to it: once the handler returns, the packet is
+// recycled into the pool and must not be referenced again.
 func (n *NIC) ReceivePacket(ingress int, p *packet.Packet) {
 	switch p.Kind {
 	case packet.Data:
@@ -381,6 +393,7 @@ func (n *NIC) ReceivePacket(ingress int, p *packet.Packet) {
 	default:
 		panic(fmt.Sprintf("nic: unknown packet kind %v", p.Kind))
 	}
+	n.pool.Put(p)
 }
 
 func (n *NIC) receiveData(p *packet.Packet) {
@@ -400,9 +413,12 @@ func (n *NIC) receiveData(p *packet.Packet) {
 			rf.haveCNP = true
 			rf.lastCNP = now
 			n.stats.CNPsSent++
-			n.sendControl(&packet.Packet{
-				Kind: packet.CNP, Flow: p.Flow, Size: packet.ControlPacketSize, Priority: packet.PrioControl,
-			})
+			cnp := n.pool.Get()
+			cnp.Kind = packet.CNP
+			cnp.Flow = p.Flow
+			cnp.Size = packet.ControlPacketSize
+			cnp.Priority = packet.PrioControl
+			n.sendControl(cnp)
 		}
 	}
 
@@ -423,10 +439,13 @@ func (n *NIC) receiveData(p *packet.Packet) {
 	case p.Seq > rf.expected:
 		// Out of order: Go-Back-N receivers drop and NACK the expected seq.
 		n.stats.NacksSent++
-		n.sendControl(&packet.Packet{
-			Kind: packet.Nack, Flow: p.Flow, Seq: rf.expected, Size: packet.ControlPacketSize,
-			Priority: packet.PrioControl,
-		})
+		nack := n.pool.Get()
+		nack.Kind = packet.Nack
+		nack.Flow = p.Flow
+		nack.Seq = rf.expected
+		nack.Size = packet.ControlPacketSize
+		nack.Priority = packet.PrioControl
+		n.sendControl(nack)
 	default:
 		// Duplicate of an already-delivered packet: re-ACK.
 		n.stats.DuplicatePackets++
@@ -435,16 +454,17 @@ func (n *NIC) receiveData(p *packet.Packet) {
 }
 
 func (n *NIC) sendAck(dataPkt *packet.Packet, rf *receiverFlow) {
-	ack := &packet.Packet{
-		Kind:     packet.Ack,
-		Flow:     dataPkt.Flow,
-		Seq:      rf.expected,
-		Size:     packet.ControlPacketSize,
-		ECE:      dataPkt.ECN,
-		Priority: packet.PrioControl,
-	}
+	ack := n.pool.Get()
+	ack.Kind = packet.Ack
+	ack.Flow = dataPkt.Flow
+	ack.Seq = rf.expected
+	ack.Size = packet.ControlPacketSize
+	ack.ECE = dataPkt.ECN
+	ack.Priority = packet.PrioControl
 	if n.cfg.EchoINT && len(dataPkt.INT) > 0 {
-		ack.INT = append([]packet.INTHop(nil), dataPkt.INT...)
+		// Copy (not alias) the telemetry: the data packet is recycled when
+		// this handler returns. The ack's own INT backing array is reused.
+		ack.INT = append(ack.INT[:0], dataPkt.INT...)
 	}
 	n.stats.AcksSent++
 	n.sendControl(ack)

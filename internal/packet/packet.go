@@ -171,6 +171,10 @@ type Packet struct {
 	// the packet used and how long it queued, without a second lookup.
 	ArrivalPort int
 	EnqueueTime units.Time
+
+	// pooled marks packets sitting in a Pool free-list; Pool.Put uses it to
+	// detect double-recycling (two devices believing they own the packet).
+	pooled bool
 }
 
 // IsControl reports whether the packet travels in the unpausable control

@@ -1,0 +1,123 @@
+package sim
+
+// The golden test pins the exact simulation output of a fixed-seed run. The
+// digests in testdata/golden.json were recorded with the original
+// container/heap event engine and heap-allocated packets; any engine or
+// hot-path change that alters event ordering, RNG consumption, or statistics
+// by even one byte fails this test. Regenerate (only when an output change is
+// intended and understood) with:
+//
+//	go test ./internal/sim -run TestGoldenOutput -update-golden
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bfc/internal/packet"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+	"bfc/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json with the current engine's digests")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenFlows builds the deterministic workload every golden run uses: a
+// Google-CDF background load with a small incast component on a 2x2 Clos.
+func goldenFlows(t testing.TB, topo *topology.Topology) []*packet.Flow {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		Hosts:    topo.Hosts(),
+		CDF:      workload.Google(),
+		Load:     0.6,
+		HostRate: topo.HostRate(topo.Hosts()[0]),
+		Duration: 150 * units.Microsecond,
+		Seed:     7,
+		Incast: workload.IncastConfig{
+			Enabled:       true,
+			FanIn:         6,
+			AggregateSize: 256 * units.KB,
+			LoadFraction:  0.05,
+		},
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	return tr.Flows
+}
+
+// goldenDigest runs one scheme on a fresh copy of the flows and returns the
+// SHA-256 of the JSON-marshalled Result. JSON marshalling is deterministic
+// (map keys are sorted), so the digest covers every statistic the simulator
+// reports: FCT samples, buffer distributions, counters, and event counts.
+func goldenDigest(t testing.TB, scheme Scheme, topo *topology.Topology, flows []*packet.Flow) string {
+	t.Helper()
+	copies := make([]*packet.Flow, len(flows))
+	for i, f := range flows {
+		c := *f
+		copies[i] = &c
+	}
+	opts := DefaultOptions(scheme, topo)
+	opts.Duration = 150 * units.Microsecond
+	opts.Drain = 800 * units.Microsecond
+	opts.Seed = 7
+	res, err := Run(opts, copies)
+	if err != nil {
+		t.Fatalf("%v: %v", scheme, err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("%v: marshal: %v", scheme, err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenOutput(t *testing.T) {
+	topo := smallClos()
+	flows := goldenFlows(t, topo)
+	schemes := []Scheme{
+		SchemeBFC, SchemeBFCStatic, SchemeDCQCN,
+		SchemeDCQCNWinSFQ, SchemeHPCC, SchemeIdealFQ,
+	}
+	got := map[string]string{}
+	for _, sc := range schemes {
+		got[sc.String()] = goldenDigest(t, sc, topo, flows)
+	}
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden digests rewritten to %s", goldenPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to record): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	for _, sc := range schemes {
+		name := sc.String()
+		if got[name] != want[name] {
+			t.Errorf("%s: result digest %s, golden %s — fixed-seed output changed",
+				name, got[name], want[name])
+		}
+	}
+}

@@ -114,6 +114,7 @@ type runner struct {
 	opts  Options
 	sched *eventsim.Scheduler
 	topo  *topology.Topology
+	pool  *packet.Pool
 
 	switches map[packet.NodeID]*switchsim.Switch
 	nics     map[packet.NodeID]*nic.NIC
@@ -127,6 +128,7 @@ func newRunner(opts Options) *runner {
 		opts:     opts,
 		sched:    eventsim.New(),
 		topo:     opts.Topo,
+		pool:     packet.NewPool(),
 		switches: map[packet.NodeID]*switchsim.Switch{},
 		nics:     map[packet.NodeID]*nic.NIC{},
 		devices:  map[packet.NodeID]netsim.Device{},
@@ -214,6 +216,7 @@ func (r *runner) buildSwitches(hopRTT units.Time) {
 			EnablePFC:        !opts.DisablePFC,
 			PFCThresholdFrac: 0.11,
 			Seed:             opts.Seed,
+			Pool:             r.pool,
 		}
 		switch opts.Scheme {
 		case SchemeBFC, SchemeBFCStatic:
@@ -254,6 +257,7 @@ func (r *runner) buildNICs(hostRate units.Rate, baseRTT units.Time, windowCap un
 			MTU:            opts.MTU,
 			RTO:            4 * units.Millisecond,
 			OnFlowComplete: r.onFlowComplete,
+			Pool:           r.pool,
 		}
 		switch opts.Scheme {
 		case SchemeBFC, SchemeBFCStatic:

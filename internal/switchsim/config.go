@@ -14,6 +14,7 @@ import (
 
 	"bfc/internal/core"
 	"bfc/internal/eventsim"
+	"bfc/internal/packet"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -62,6 +63,11 @@ type Config struct {
 
 	// Seed drives ECN marking randomness.
 	Seed int64
+
+	// Pool recycles packet objects across the simulation (see packet.Pool
+	// for the ownership rules); the switch recycles the packets it drops.
+	// Nil degrades to plain allocation.
+	Pool *packet.Pool
 }
 
 // Validate reports configuration errors.

@@ -30,6 +30,9 @@ type egressPort struct {
 	drr      *queue.DRR
 
 	transmitting bool
+	// onTxDone is the serialization-complete callback handed to the link,
+	// allocated once per port so transmission creates no per-packet closures.
+	onTxDone func()
 	// queuedDataBytes counts bytes across hiPrio + data + overflow (not ctrl),
 	// used for ECN marking and INT queue-length reporting.
 	queuedDataBytes units.Bytes
@@ -94,6 +97,11 @@ func New(cfg Config) *Switch {
 		}
 		drrSet := append(append([]*queue.FIFO{}, p.data...), p.overflow)
 		p.drr = queue.NewDRR(drrSet, cfg.MTU+packet.DataHeaderSize)
+		portIdx := i
+		p.onTxDone = func() {
+			p.transmitting = false
+			s.tryTransmit(portIdx)
+		}
 		s.ports[i] = p
 	}
 	if cfg.BFC != nil {
@@ -200,9 +208,11 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 
 	s.stats.DataPacketsIn++
 
-	// Shared-buffer admission.
+	// Shared-buffer admission. A dropped packet's terminal owner is this
+	// switch, so it goes back to the pool here.
 	if !s.cfg.InfiniteBuffer && s.bufferUsed+p.Size > s.cfg.BufferSize {
 		s.stats.Drops++
+		s.cfg.Pool.Put(p)
 		return
 	}
 	s.bufferUsed += p.Size
@@ -397,10 +407,7 @@ func (s *Switch) tryTransmit(portIdx int) {
 	}
 	s.onDequeue(portIdx, p, src)
 	port.transmitting = true
-	link.Transmit(p, func() {
-		port.transmitting = false
-		s.tryTransmit(portIdx)
-	})
+	link.Transmit(p, port.onTxDone)
 }
 
 // selectPacket applies the strict-priority + DRR scheduling policy: control
