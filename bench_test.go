@@ -12,6 +12,7 @@ package bfc_test
 import (
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"bfc/internal/experiments"
@@ -124,8 +125,8 @@ func BenchmarkFig06a_BufferOccupancy(b *testing.B) {
 		res := experiments.Fig05(scale, experiments.Fig05aGoogleIncast,
 			[]sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN, sim.SchemeDCQCNWin})
 		if i == 0 {
-			for label, occ := range res.BufferP99 {
-				b.Logf("Fig6a %-12s p99 buffer occupancy = %v", label, occ)
+			for _, label := range sortedKeys(res.BufferP99) {
+				b.Logf("Fig6a %-12s p99 buffer occupancy = %v", label, res.BufferP99[label])
 			}
 			b.ReportMetric(float64(res.BufferP99["BFC"]), "BFC-p99BufferBytes")
 			b.ReportMetric(float64(res.BufferP99["DCQCN"]), "DCQCN-p99BufferBytes")
@@ -139,7 +140,8 @@ func BenchmarkFig06b_PauseTime(b *testing.B) {
 		res := experiments.Fig05(scale, experiments.Fig05aGoogleIncast,
 			[]sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})
 		if i == 0 {
-			for label, fracs := range res.PauseFraction {
+			for _, label := range sortedKeys(res.PauseFraction) {
+				fracs := res.PauseFraction[label]
 				b.Logf("Fig6b %-12s ToR->Spine=%.4f Spine->ToR=%.4f",
 					label, fracs["ToR->Spine"], fracs["Spine->ToR"])
 			}
@@ -153,8 +155,8 @@ func BenchmarkFig07_StaticQueueAssignment(b *testing.B) {
 		res := experiments.Fig07StaticQueueAssignment(scale)
 		if i == 0 {
 			b.Log("\n" + experiments.FormatSeries("Fig7a BFC vs BFC-VFID vs SFQ+InfBuffer", res.Series))
-			for label, frac := range res.CollisionFraction {
-				b.Logf("Fig7b %-10s collision fraction = %.4f", label, frac)
+			for _, label := range sortedKeys(res.CollisionFraction) {
+				b.Logf("Fig7b %-10s collision fraction = %.4f", label, res.CollisionFraction[label])
 			}
 			b.ReportMetric(res.CollisionFraction["BFC"], "BFC-collisions")
 			b.ReportMetric(res.CollisionFraction["BFC-VFID"], "BFC-VFID-collisions")
@@ -212,8 +214,8 @@ func BenchmarkFig11_HighPriorityQueue(b *testing.B) {
 		res := experiments.Fig11HighPriorityQueue(scale)
 		if i == 0 {
 			b.Log("\n" + experiments.FormatSeries("Fig11b high-priority-queue ablation", res.Series))
-			for label, q := range res.OccupiedQueuesP99 {
-				b.Logf("Fig11a %-18s p99 occupied queues = %.1f", label, q)
+			for _, label := range sortedKeys(res.OccupiedQueuesP99) {
+				b.Logf("Fig11a %-18s p99 occupied queues = %.1f", label, res.OccupiedQueuesP99[label])
 			}
 		}
 	}
@@ -269,4 +271,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(totalEvents)/float64(b.N), "events/run")
 	_ = units.Second
+}
+
+// sortedKeys returns a map's keys in sorted order, so benchmark logs print
+// rows in a stable order across runs.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -22,22 +22,40 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"bfc/internal/experiments"
 	"bfc/internal/harness"
 )
 
+// sortedKeys returns a map's keys in sorted order: every figure row printed
+// from a map must come out in a stable order so reruns diff cleanly.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func main() {
 	log.SetFlags(0)
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14 or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14,15 or all")
 		full     = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for harness-backed figures")
 		out      = flag.String("out", "", "results directory for per-job JSONL artifacts (empty = keep results in memory)")
 		resume   = flag.Bool("resume", false, "skip jobs whose artifact already exists under -out")
+		list     = flag.Bool("list", false, "list the available figures/scenarios with descriptions and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listFigures()
+		return
+	}
 
 	scale := experiments.Reduced()
 	if *full {
@@ -62,10 +80,38 @@ func main() {
 
 	figs := strings.Split(strings.ToLower(*fig), ",")
 	if *fig == "all" {
-		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14"}
+		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"}
 	}
 	for _, f := range figs {
 		runFigure(strings.TrimSpace(f), scale, runner)
+	}
+}
+
+// figureCatalog is the -list output: one row per runnable figure/scenario.
+// Keep it in sync with runFigure.
+var figureCatalog = []struct{ key, desc string }{
+	{"1", "switch hardware trend table (static data)"},
+	{"2", "DCQCN (no PFC) buffer occupancy vs link speed"},
+	{"3", "DCQCN p99 FCT slowdown vs buffer/capacity ratio"},
+	{"4", "byte-weighted flow-size CDFs of the three workloads"},
+	{"5a", "headline p99 FCT slowdown, Google traffic at 60% + 5% incast"},
+	{"5b", "headline p99 FCT slowdown, FB_Hadoop traffic at 60% + 5% incast"},
+	{"5c", "headline p99 FCT slowdown, Google traffic at 65%, no incast"},
+	{"6", "buffer occupancy and PFC pause time on the Fig 5a runs"},
+	{"7", "dynamic vs static queue assignment (BFC vs BFC-VFID vs SFQ)"},
+	{"8", "incast fan-in sweep: utilization and buffer p99"},
+	{"9", "cross-data-center intra/inter tail latency"},
+	{"10", "physical queue buffering vs concurrent flows (resume throttling)"},
+	{"11", "high-priority queue ablation"},
+	{"12", "sensitivity to number of physical queues"},
+	{"13", "sensitivity to VFID table size"},
+	{"14", "sensitivity to bloom filter size"},
+	{"15", "scenario robustness: all schemes through a link fail/recover (see also cmd/scenarios)"},
+}
+
+func listFigures() {
+	for _, f := range figureCatalog {
+		fmt.Printf("  %-4s %s\n", f.key, f.desc)
 	}
 }
 
@@ -146,8 +192,8 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 	case "7":
 		res := experiments.Fig07StaticQueueAssignment(scale)
 		fmt.Print(experiments.FormatSeries("## Fig 7a: dynamic vs static queue assignment", res.Series))
-		for label, frac := range res.CollisionFraction {
-			fmt.Printf("  Fig 7b %-10s collision fraction = %.4f\n", label, frac)
+		for _, label := range sortedKeys(res.CollisionFraction) {
+			fmt.Printf("  Fig 7b %-10s collision fraction = %.4f\n", label, res.CollisionFraction[label])
 		}
 	case "8":
 		fmt.Println("## Fig 8: incast fan-in sweep")
@@ -167,8 +213,8 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 	case "11":
 		res := experiments.Fig11HighPriorityQueue(scale)
 		fmt.Print(experiments.FormatSeries("## Fig 11: high-priority queue ablation", res.Series))
-		for label, q := range res.OccupiedQueuesP99 {
-			fmt.Printf("  %-18s p99 occupied queues = %.1f\n", label, q)
+		for _, label := range sortedKeys(res.OccupiedQueuesP99) {
+			fmt.Printf("  %-18s p99 occupied queues = %.1f\n", label, res.OccupiedQueuesP99[label])
 		}
 	case "12":
 		fmt.Println("## Fig 12: sensitivity to number of physical queues")
@@ -185,6 +231,12 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 		fmt.Println("## Fig 14: sensitivity to bloom filter size")
 		for _, r := range experiments.SensitivityFromRecords(run(runner, experiments.Fig14BloomFilterSizeJobs(scale))) {
 			fmt.Printf("  bloom=%-4dB p99slowdown=%.2f\n", r.Parameter, r.Series.Overall)
+		}
+	case "15":
+		fmt.Println("## Fig 15: scheme robustness under link fail/recover (p99 slowdown by phase)")
+		for _, r := range experiments.Fig15FromRecords(run(runner, experiments.Fig15Jobs(scale, nil))) {
+			fmt.Printf("  %-14s pre=%-8.2f fail=%-8.2f recovered=%-8.2f reroutes=%-4d stranded=%-5d noroute=%-5d completed=%d/%d\n",
+				r.Scheme, r.PreP99, r.FailP99, r.RecoverP99, r.Reroutes, r.Stranded, r.NoRoute, r.Completed, r.Offered)
 		}
 	default:
 		log.Fatalf("unknown figure %q", fig)

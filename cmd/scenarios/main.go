@@ -1,0 +1,187 @@
+// Command scenarios runs a JSON scenario spec (see internal/scenario and the
+// worked examples under examples/scenarios/) against a Clos fabric for one or
+// more schemes and prints per-phase FCT tables, injection metrics, and a
+// SHA-256 digest of each full result.
+//
+// The digest is the determinism contract made visible: the same spec, seed
+// and -parallel-independent job sharding must print identical digests on
+// every run (the CI scenario-smoke job diffs two invocations with different
+// -parallel values).
+//
+// Examples:
+//
+//	scenarios -spec examples/scenarios/linkflap.json
+//	scenarios -spec examples/scenarios/incast-storm.json -schemes BFC,DCQCN -digest
+//	scenarios -spec my.json -tor 4 -spine 4 -hosts 16 -duration 1ms -load 0.7
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"bfc/internal/harness"
+	"bfc/internal/packet"
+	"bfc/internal/scenario"
+	"bfc/internal/sim"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+	"bfc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		specPath = flag.String("spec", "", "path to the JSON scenario spec (required)")
+		schemes  = flag.String("schemes", "all", `comma-separated schemes ("BFC,DCQCN,...") or "all"`)
+		numToR   = flag.Int("tor", 2, "number of ToR switches")
+		numSpine = flag.Int("spine", 2, "number of spine switches")
+		hosts    = flag.Int("hosts", 8, "hosts per ToR")
+		duration = flag.Duration("duration", 400*time.Microsecond, "workload horizon")
+		drain    = flag.Duration("drain", 2*time.Millisecond, "extra time for in-flight flows to finish")
+		load     = flag.Float64("load", 0.6, "background load fraction (0 disables background traffic)")
+		cdfName  = flag.String("cdf", "google", "background flow-size distribution (google, fb_hadoop, websearch)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
+		digest   = flag.Bool("digest", false, "print only scheme digests (for determinism checks)")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		log.Fatal("scenarios: -spec is required (see examples/scenarios/)")
+	}
+	blob, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := scenario.ParseSpec(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemeList, err := parseSchemes(*schemes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dur := units.Time(duration.Nanoseconds()) * units.Nanosecond
+	drainT := units.Time(drain.Nanoseconds()) * units.Nanosecond
+	cdf, err := workload.ByName(*cdfName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topoFn := func() *topology.Topology {
+		return topology.NewClos(topology.ClosConfig{
+			Name:        "scenario-clos",
+			NumToR:      *numToR,
+			NumSpine:    *numSpine,
+			HostsPerToR: *hosts,
+			LinkRate:    100 * units.Gbps,
+			LinkDelay:   1 * units.Microsecond,
+		})
+	}
+
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name:     fmt.Sprintf("scenario/%s/seed=%d", spec.Name, *seed),
+			Meta:     map[string]string{"scenario": spec.Name, "seed": fmt.Sprint(*seed)},
+			Topology: topoFn,
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				if *load <= 0 {
+					return nil
+				}
+				tr, err := workload.Generate(workload.Config{
+					Hosts:    topo.Hosts(),
+					CDF:      cdf,
+					Load:     *load,
+					HostRate: topo.HostRate(topo.Hosts()[0]),
+					Duration: dur,
+					Seed:     *seed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				return tr.Flows
+			},
+			Options: []func(*sim.Options){func(o *sim.Options) {
+				o.Duration = dur
+				o.Drain = drainT
+				o.Scenario = spec
+			}},
+		},
+		Axes: []harness.Axis{harness.SchemeAxis(schemeList)},
+	}
+
+	runner := &harness.Runner{Parallel: *parallel}
+	recs, err := runner.Run(grid.Jobs())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*digest {
+		fmt.Printf("# scenario %q: %d events on %dx%d Clos (%d hosts), %v horizon\n\n",
+			spec.Name, len(spec.Events), *numToR, *numSpine, *numToR**hosts, dur)
+	}
+	for _, rec := range recs {
+		sum := resultDigest(rec)
+		if *digest {
+			fmt.Printf("%s %s\n", sum, rec.Scheme)
+			continue
+		}
+		printResult(rec, sum)
+	}
+}
+
+// parseSchemes resolves the -schemes flag against the scheme labels.
+func parseSchemes(arg string) ([]sim.Scheme, error) {
+	if arg == "all" {
+		return sim.AllSchemes(), nil
+	}
+	byName := map[string]sim.Scheme{}
+	for _, s := range append(sim.AllSchemes(), sim.SchemeBFCStatic) {
+		byName[strings.ToLower(s.String())] = s
+	}
+	var out []sim.Scheme
+	for _, name := range strings.Split(arg, ",") {
+		s, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("scenarios: unknown scheme %q", name)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenarios: no schemes selected")
+	}
+	return out, nil
+}
+
+// resultDigest hashes the full marshalled result: any nondeterminism anywhere
+// in the run shows up as a digest change.
+func resultDigest(rec *harness.Record) string {
+	blob, err := json.Marshal(rec.Result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(blob))
+}
+
+func printResult(rec *harness.Record, sum string) {
+	res := rec.Result
+	m := res.Scenario
+	fmt.Printf("## %s\n", rec.Scheme)
+	fmt.Printf("  %-28s %10s %10s %8s %8s\n", "phase", "start", "end", "flows", "p99slow")
+	for _, ph := range m.Phases {
+		fmt.Printf("  %-28s %9.1fus %9.1fus %8d %8.2f\n",
+			ph.Name, ph.Start.Microseconds(), ph.End.Microseconds(),
+			ph.Completed, ph.FCT.OverallPercentile(99))
+	}
+	fmt.Printf("  events=%d reroutes=%d injected=%d stranded=%d (%d bytes) noroute=%d drops=%d completed=%d/%d\n",
+		m.EventsApplied, m.Reroutes, m.InjectedFlows, m.StrandedPackets,
+		m.StrandedBytes, m.NoRouteDrops, res.Drops, res.FlowsCompleted, res.FlowsTotal)
+	fmt.Printf("  digest=%s\n\n", sum)
+}

@@ -459,3 +459,9 @@ func (u *UpstreamState) VFIDPaused(v packet.VFID) bool {
 
 // Updates returns the number of filters received.
 func (u *UpstreamState) Updates() uint64 { return u.updates }
+
+// Reset clears the stored filter without counting an update. Devices call it
+// on a link state change: after a flap the downstream queue state that
+// produced the filter is gone, so starting from "nothing paused" (and letting
+// the next periodic frame re-establish reality) is the correct recovery.
+func (u *UpstreamState) Reset() { u.filter = nil }

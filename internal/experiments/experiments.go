@@ -17,6 +17,7 @@ import (
 
 	"bfc/internal/harness"
 	"bfc/internal/packet"
+	"bfc/internal/scenario"
 	"bfc/internal/sim"
 	"bfc/internal/stats"
 	"bfc/internal/topology"
@@ -852,6 +853,98 @@ func Fig14BloomFilterSizeJobs(scale Scale) []harness.Job {
 // Fig14BloomFilterSize sweeps the pause-frame bloom filter size in bytes.
 func Fig14BloomFilterSize(scale Scale) []SensitivityRow {
 	return SensitivityFromRecords(harness.MustRun(Fig14BloomFilterSizeJobs(scale)))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15 (beyond the paper): scheme robustness under link failure and
+// recovery. The paper never runs its schemes through a fault; this experiment
+// fails a core link mid-run, recovers it later, and compares how every
+// scheme's tail latency degrades during the outage and how quickly it heals.
+
+// ScenarioLinkFailRecover builds the standard Fig 15 scenario on the scaled
+// Clos: the tor0-spine0 link fails a quarter into the workload horizon and
+// recovers at 60% of it.
+func ScenarioLinkFailRecover(scale Scale) *scenario.Spec {
+	return &scenario.Spec{
+		Name: "link-fail-recover",
+		Seed: 15,
+		Events: []scenario.Event{
+			{At: scale.Duration / 4, Kind: scenario.LinkDown,
+				Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+			{At: scale.Duration * 6 / 10, Kind: scenario.LinkUp,
+				Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+		},
+	}
+}
+
+// Fig15Row is one scheme's robustness summary under fail/recover.
+type Fig15Row struct {
+	Scheme string
+	// PreP99, FailP99 and RecoverP99 are the overall p99 FCT slowdowns of
+	// background flows started before the failure, during the outage, and
+	// after recovery.
+	PreP99, FailP99, RecoverP99 float64
+	// Reroutes counts next-hop table entries rewritten by the two route
+	// recomputations; Stranded and NoRoute count packets lost to the outage.
+	Reroutes int
+	Stranded uint64
+	NoRoute  uint64
+	// Completed / Offered count background flows across the whole run.
+	Completed, Offered int
+}
+
+// Fig15Jobs declares one harness job per scheme, all seeing identical
+// traffic and the identical fail/recover scenario.
+func Fig15Jobs(scale Scale, schemes []sim.Scheme) []harness.Job {
+	if schemes == nil {
+		schemes = sim.AllSchemes()
+	}
+	seed := harness.DeriveSeed("fig15", scale.Name, "workload")
+	spec := ScenarioLinkFailRecover(scale)
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name:     scale.Name + "/fig15",
+			Meta:     map[string]string{"fig": "fig15", "scale": scale.Name, "scenario": spec.Name},
+			Topology: scale.clos,
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				return scale.backgroundTrace(topo, workload.Google(), 0.60, true, seed)
+			},
+			Options: []func(*sim.Options){scale.applyOptions, func(o *sim.Options) {
+				o.Scenario = spec
+			}},
+		},
+		Axes: []harness.Axis{harness.SchemeAxis(schemes)},
+	}
+	return grid.Jobs()
+}
+
+// Fig15FromRecords assembles the robustness table from harness records.
+func Fig15FromRecords(recs []*harness.Record) []Fig15Row {
+	rows := make([]Fig15Row, 0, len(recs))
+	for _, rec := range recs {
+		m := rec.Result.Scenario
+		if m == nil || len(m.Phases) != 3 {
+			panic(fmt.Sprintf("experiments: record %q lacks the fail/recover scenario phases", rec.Name))
+		}
+		rows = append(rows, Fig15Row{
+			Scheme:     rec.Scheme,
+			PreP99:     m.Phases[0].FCT.OverallPercentile(99),
+			FailP99:    m.Phases[1].FCT.OverallPercentile(99),
+			RecoverP99: m.Phases[2].FCT.OverallPercentile(99),
+			Reroutes:   m.Reroutes,
+			Stranded:   m.StrandedPackets,
+			NoRoute:    m.NoRouteDrops,
+			Completed:  rec.Result.FlowsCompleted,
+			Offered:    rec.Result.FlowsTotal,
+		})
+	}
+	return rows
+}
+
+// Fig15ScenarioRobustness runs the fail/recover comparison for all six
+// schemes, sharding the grid across all cores.
+func Fig15ScenarioRobustness(scale Scale) []Fig15Row {
+	return Fig15FromRecords(harness.MustRun(Fig15Jobs(scale, nil)))
 }
 
 // sensitivityJobs declares a BFC resource sweep (Figs 12-14): the same

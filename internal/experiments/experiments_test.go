@@ -206,3 +206,48 @@ func TestFig12TinySweep(t *testing.T) {
 			first.Parameter, first.CollisionFraction, last.Parameter, last.CollisionFraction)
 	}
 }
+
+func TestFig15TinyRun(t *testing.T) {
+	scale := Tiny()
+	rows := Fig15FromRecords(harness.MustRun(Fig15Jobs(scale, []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Reroutes == 0 {
+			t.Errorf("%s: link flap caused no reroutes", r.Scheme)
+		}
+		if r.Completed == 0 {
+			t.Errorf("%s: no flows completed", r.Scheme)
+		}
+		if r.PreP99 == 0 || r.RecoverP99 == 0 {
+			t.Errorf("%s: missing phase percentiles: %+v", r.Scheme, r)
+		}
+	}
+}
+
+func TestFig15Deterministic(t *testing.T) {
+	// The same Fig 15 job must produce byte-identical records regardless of
+	// runner parallelism (the scenario's flows, reroutes, and stranded
+	// packets are all seed-derived).
+	digest := func(parallel int) string {
+		runner := harness.Runner{Parallel: parallel}
+		recs, err := runner.Run(Fig15Jobs(Tiny(), []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, rec := range recs {
+			blob, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(blob)
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	if a, b := digest(1), digest(4); a != b {
+		t.Fatal("Fig 15 records differ between -parallel 1 and -parallel 4")
+	}
+}

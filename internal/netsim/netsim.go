@@ -63,6 +63,17 @@ type Link struct {
 	name   string
 
 	busy bool
+	// down marks a failed link (scenario engine). The sending device is not
+	// signalled — as on a real cut cable it keeps serializing — but nothing
+	// sent or in flight is delivered: the delivery event checks down at the
+	// arrival instant, so packets already propagating when the link fails
+	// are lost too. Lost packets go to OnStranded, which must recycle them.
+	down bool
+
+	// OnStranded receives every packet lost on the down link. It is the
+	// packet's terminal owner (it must Pool.Put or otherwise consume it).
+	// Nil drops the packet to the garbage collector.
+	OnStranded func(*packet.Packet)
 
 	// Hot-path callbacks, allocated once at construction so Transmit and
 	// SendControl do not create closures per send: serDone fires when
@@ -75,12 +86,14 @@ type Link struct {
 	pendingDone func()
 
 	// Statistics.
-	txBytes     units.Bytes
-	ctrlBytes   units.Bytes
-	busyTime    units.Time
-	pausedSince units.Time
-	pausedTotal units.Time
-	isPaused    bool
+	txBytes         units.Bytes
+	ctrlBytes       units.Bytes
+	busyTime        units.Time
+	pausedSince     units.Time
+	pausedTotal     units.Time
+	isPaused        bool
+	strandedPackets uint64
+	strandedBytes   units.Bytes
 }
 
 // NewLink creates a link delivering to peer's port toPort.
@@ -101,12 +114,29 @@ func NewLink(sched *eventsim.Scheduler, name string, rate units.Rate, delay unit
 		}
 	}
 	l.deliver = func(x any) {
-		l.peer.ReceivePacket(l.toPort, x.(*packet.Packet))
+		p := x.(*packet.Packet)
+		if l.down {
+			l.strand(p)
+			return
+		}
+		l.peer.ReceivePacket(l.toPort, p)
 	}
 	l.deliverCtrl = func(x any) {
+		if l.down {
+			return // control frames on a cut link are simply lost
+		}
 		l.peer.ReceiveControl(l.toPort, x.(ControlFrame))
 	}
 	return l
+}
+
+// strand consumes a packet lost on the down link.
+func (l *Link) strand(p *packet.Packet) {
+	l.strandedPackets++
+	l.strandedBytes += p.Size
+	if l.OnStranded != nil {
+		l.OnStranded(p)
+	}
 }
 
 // Rate returns the link rate.
@@ -126,6 +156,38 @@ func (l *Link) Name() string { return l.name }
 
 // Busy reports whether a packet is currently being serialized onto the link.
 func (l *Link) Busy() bool { return l.busy }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown fails (true) or recovers (false) the link. While down, every
+// packet or control frame whose delivery instant falls inside the outage —
+// including those already in flight — is lost; data packets are handed to
+// OnStranded.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// SetRate changes the link rate for subsequent transmissions (an in-progress
+// serialization keeps its original timing).
+func (l *Link) SetRate(r units.Rate) {
+	if r <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	l.rate = r
+}
+
+// SetDelay changes the propagation delay for subsequent transmissions.
+func (l *Link) SetDelay(d units.Time) {
+	if d < 0 {
+		panic("netsim: negative link delay")
+	}
+	l.delay = d
+}
+
+// StrandedPackets returns the number of packets lost on this link while down.
+func (l *Link) StrandedPackets() uint64 { return l.strandedPackets }
+
+// StrandedBytes returns the bytes lost on this link while down.
+func (l *Link) StrandedBytes() units.Bytes { return l.strandedBytes }
 
 // Transmit serializes p onto the link. onDone is invoked when serialization
 // completes (the sender may then start the next packet); the packet is

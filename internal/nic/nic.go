@@ -253,6 +253,24 @@ func (n *NIC) ReceiveControl(port int, frame netsim.ControlFrame) {
 	}
 }
 
+// OnLinkStateChange resets the uplink's pause machinery after the attached
+// link failed or recovered: any PFC pause and BFC filter from the ToR is
+// voided (the ToR re-arms its side symmetrically). Go-Back-N state is left
+// alone — senders with packets stranded on the dead link recover through the
+// normal NACK/RTO path once the route heals.
+func (n *NIC) OnLinkStateChange(up bool) {
+	n.pfcPaused = false
+	if n.link != nil {
+		n.link.MarkPaused(false)
+	}
+	if n.upstream != nil {
+		n.upstream.Reset()
+	}
+	if up {
+		n.tryTransmit()
+	}
+}
+
 // Transmit path ---------------------------------------------------------------
 
 // tryTransmit sends the next eligible packet, if any, and otherwise arms a

@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"bfc/internal/eventsim"
+	"bfc/internal/packet"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+	"bfc/internal/workload"
+)
+
+// Network is the slice of the simulation the injector acts on. The sim
+// runner implements it: link operations mutate the topology's routing tables
+// and the wired links (including the pause-state resets at the affected
+// devices), and StartFlow hands an injected flow to its sending NIC.
+type Network interface {
+	// SetLinkState fails (up=false) or recovers a link, returning the number
+	// of next-hop table entries the route recomputation changed.
+	SetLinkState(a, b packet.NodeID, up bool) int
+	// SetLinkParams applies a degradation to both directions of a link.
+	SetLinkParams(a, b packet.NodeID, rate units.Rate, delay units.Time)
+	// StartFlow starts an injected flow at its source NIC.
+	StartFlow(f *packet.Flow)
+}
+
+// Params carries the run context a spec is compiled against.
+type Params struct {
+	// Topo is the run's (job-local) topology; link names resolve against it.
+	Topo *topology.Topology
+	// Hosts are the injection endpoints (normally Topo.Hosts()).
+	Hosts []packet.NodeID
+	// HostRate converts load fractions into arrival rates for random shifts.
+	HostRate units.Rate
+	// Horizon is Duration+Drain; it closes the last metrics phase.
+	Horizon units.Time
+	// FirstFlowID is the first free flow ID (above the base trace's).
+	FirstFlowID packet.FlowID
+}
+
+// compiledEvent is one event with names resolved and flows pre-generated.
+type compiledEvent struct {
+	ev   *Event
+	a, b packet.NodeID  // resolved link endpoints
+	flow []*packet.Flow // injected flows (incast, workload shift)
+}
+
+// Injector owns a compiled scenario scheduled onto a run.
+type Injector struct {
+	sched   *eventsim.Scheduler
+	net     Network
+	topo    *topology.Topology
+	metrics *Metrics
+	// startFlow is the pre-allocated ScheduleCall callback for flow
+	// injection, so the per-flow hot path schedules without closures.
+	startFlow func(any)
+}
+
+// Install validates and compiles spec against the run described by p and
+// schedules its events on sched. It returns the Metrics the scheduled events
+// will update as they fire. Compilation resolves link endpoint names and
+// pre-generates every injected flow, so nothing after Install consumes
+// randomness outside the event engine's deterministic order.
+func Install(sched *eventsim.Scheduler, net Network, spec *Spec, p Params) (*Metrics, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Hosts) < 2 {
+		return nil, fmt.Errorf("scenario: need at least 2 hosts")
+	}
+	in := &Injector{
+		sched:   sched,
+		net:     net,
+		topo:    p.Topo,
+		metrics: newMetrics(spec, p.Horizon),
+	}
+	in.startFlow = func(x any) {
+		in.metrics.InjectedFlows++
+		in.net.StartFlow(x.(*packet.Flow))
+	}
+
+	nextID := p.FirstFlowID
+	var port uint16 = 50000
+	for i := range spec.Events {
+		ce, err := compileEvent(spec, i, p, &nextID, &port)
+		if err != nil {
+			return nil, err
+		}
+		in.schedule(ce)
+	}
+	return in.metrics, nil
+}
+
+// compileEvent resolves one event against the topology and pre-generates its
+// injected flows.
+func compileEvent(spec *Spec, i int, p Params, nextID *packet.FlowID, port *uint16) (*compiledEvent, error) {
+	e := &spec.Events[i]
+	ce := &compiledEvent{ev: e}
+	switch e.Kind {
+	case LinkDown, LinkUp, LinkDegrade:
+		a, ok := p.Topo.NodeByName(e.Link.A)
+		if !ok {
+			return nil, fmt.Errorf("scenario: event %d: unknown node %q", i, e.Link.A)
+		}
+		b, ok := p.Topo.NodeByName(e.Link.B)
+		if !ok {
+			return nil, fmt.Errorf("scenario: event %d: unknown node %q", i, e.Link.B)
+		}
+		if _, _, ok := p.Topo.LinkBetween(a, b); !ok {
+			return nil, fmt.Errorf("scenario: event %d: no link %s", i, e.Link)
+		}
+		if e.Kind != LinkDegrade {
+			na, nb := p.Topo.Node(a), p.Topo.Node(b)
+			if na.Kind != topology.Switch || nb.Kind != topology.Switch {
+				return nil, fmt.Errorf("scenario: event %d: %s is a host uplink — only switch-switch links may fail", i, e.Link)
+			}
+		}
+		ce.a, ce.b = a, b
+	case Incast:
+		rng := eventRNG(spec, i)
+		victimIdx := -1
+		if e.Incast.Victim != "" {
+			id, ok := p.Topo.NodeByName(e.Incast.Victim)
+			if !ok {
+				return nil, fmt.Errorf("scenario: event %d: unknown victim %q", i, e.Incast.Victim)
+			}
+			for hi, h := range p.Hosts {
+				if h == id {
+					victimIdx = hi
+					break
+				}
+			}
+			if victimIdx < 0 {
+				return nil, fmt.Errorf("scenario: event %d: victim %q is not a host", i, e.Incast.Victim)
+			}
+		} else {
+			victimIdx = rng.Intn(len(p.Hosts))
+		}
+		ce.flow = workload.IncastBurst(rng, p.Hosts, victimIdx, e.Incast.FanIn,
+			e.Incast.AggregateSize, e.At, *nextID, *port)
+	case WorkloadShift:
+		rng := eventRNG(spec, i)
+		switch e.Shift.Pattern {
+		case PatternRandom:
+			cdf, err := workload.ByName(e.Shift.CDFName)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+			tr, err := workload.Generate(workload.Config{
+				Hosts:    p.Hosts,
+				CDF:      cdf,
+				Load:     e.Shift.Load,
+				HostRate: p.HostRate,
+				Duration: e.Shift.Duration,
+				Seed:     rng.Int63(),
+				BasePort: *port,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+			for _, f := range tr.Flows {
+				f.StartTime += e.At
+			}
+			ce.flow = tr.Flows
+		case PatternPermutation:
+			ce.flow = workload.Permutation(rng, p.Hosts, e.Shift.FlowSize, e.At, *nextID, *port)
+		case PatternAllToAll:
+			ce.flow = workload.AllToAll(p.Hosts, e.Shift.FlowSize, e.At, *nextID, *port)
+		}
+	}
+	// Re-number injected flows into the scenario's ID space and advance the
+	// shared port counter past the ports the burst consumed.
+	for _, f := range ce.flow {
+		f.ID = *nextID
+		*nextID++
+		*port++
+		if *port < 50000 {
+			*port = 50000
+		}
+	}
+	return ce, nil
+}
+
+// schedule registers the compiled event on the engine. Link events are rare
+// (one closure each); flow injections use the pre-allocated ScheduleCall
+// path, one allocation-free event per flow.
+func (in *Injector) schedule(ce *compiledEvent) {
+	switch ce.ev.Kind {
+	case LinkDown, LinkUp:
+		up := ce.ev.Kind == LinkUp
+		in.sched.Schedule(ce.ev.At, func() {
+			in.metrics.EventsApplied++
+			in.metrics.Reroutes += in.net.SetLinkState(ce.a, ce.b, up)
+		})
+	case LinkDegrade:
+		in.sched.Schedule(ce.ev.At, func() {
+			in.metrics.EventsApplied++
+			// Zero fields mean "keep the current value": resolve them at
+			// fire time, so stacked degrades compose instead of a later
+			// event silently reverting an earlier one.
+			rate, del := ce.ev.Degrade.Rate, ce.ev.Degrade.Delay
+			pa, _, _ := in.topo.LinkBetween(ce.a, ce.b)
+			cur := in.topo.Node(ce.a).Ports[pa]
+			if rate == 0 {
+				rate = cur.Rate
+			}
+			if del == 0 {
+				del = cur.Delay
+			}
+			in.net.SetLinkParams(ce.a, ce.b, rate, del)
+		})
+	case Incast, WorkloadShift:
+		in.sched.Schedule(ce.ev.At, func() {
+			in.metrics.EventsApplied++
+		})
+		for _, f := range ce.flow {
+			in.sched.ScheduleCall(f.StartTime, in.startFlow, f)
+		}
+	}
+}
+
+// eventRNG derives the deterministic RNG of one event from the spec alone
+// (name, seed, event index) — never from the simulation seed. That makes
+// injected traffic a pure function of the spec, so every scheme of a
+// comparison grid sees byte-identical storms and shifts (the sim seed still
+// differs per job and drives everything else), and edits to other events
+// never perturb an event's own traffic.
+func eventRNG(spec *Spec, idx int) *rand.Rand {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(spec.Seed))
+	h.Write(buf[:])
+	h.Write([]byte(spec.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(idx)))
+	sum := h.Sum(nil)
+	v := binary.BigEndian.Uint64(sum[:8]) &^ (1 << 63)
+	if v == 0 {
+		v = 1
+	}
+	return rand.New(rand.NewSource(int64(v)))
+}

@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"bfc/internal/packet"
+	"bfc/internal/scenario"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 	"bfc/internal/workload"
@@ -118,6 +119,108 @@ func TestGoldenOutput(t *testing.T) {
 		if got[name] != want[name] {
 			t.Errorf("%s: result digest %s, golden %s — fixed-seed output changed",
 				name, got[name], want[name])
+		}
+	}
+}
+
+// Scenario goldens -------------------------------------------------------------
+//
+// Two fixed-seed scenario runs — a link flap and an incast storm — are pinned
+// for BFC and for DCQCN (the PFC-backstopped baseline), so refactors of the
+// scenario engine, the dynamic routing, or the link failure path cannot
+// silently change scenario semantics. Regenerate (when a change is intended)
+// with:
+//
+//	go test ./internal/sim -run TestGoldenScenarioOutput -update-golden
+
+const goldenScenarioPath = "testdata/golden_scenario.json"
+
+// goldenScenarios returns the pinned specs. They must stay byte-for-byte
+// stable: any edit invalidates the digests.
+func goldenScenarios() map[string]*scenario.Spec {
+	return map[string]*scenario.Spec{
+		"link-flap": {
+			Name: "link-flap",
+			Seed: 3,
+			Events: []scenario.Event{
+				{At: 40 * units.Microsecond, Kind: scenario.LinkDown,
+					Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+				{At: 90 * units.Microsecond, Kind: scenario.LinkUp,
+					Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+			},
+		},
+		"incast-storm": {
+			Name: "incast-storm",
+			Seed: 5,
+			Events: []scenario.Event{
+				{At: 30 * units.Microsecond, Kind: scenario.Incast,
+					Incast: &scenario.IncastSpec{FanIn: 6, AggregateSize: 256 * units.KB}},
+				{At: 80 * units.Microsecond, Kind: scenario.Incast,
+					Incast: &scenario.IncastSpec{FanIn: 6, AggregateSize: 256 * units.KB}},
+			},
+		},
+	}
+}
+
+func goldenScenarioDigest(t testing.TB, scheme Scheme, spec *scenario.Spec) string {
+	t.Helper()
+	topo := smallClos()
+	flows := goldenFlows(t, topo)
+	opts := DefaultOptions(scheme, topo)
+	opts.Duration = 150 * units.Microsecond
+	opts.Drain = 800 * units.Microsecond
+	opts.Seed = 7
+	opts.Scenario = spec
+	res, err := Run(opts, flows)
+	if err != nil {
+		t.Fatalf("%v/%s: %v", scheme, spec.Name, err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("%v/%s: marshal: %v", scheme, spec.Name, err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenScenarioOutput(t *testing.T) {
+	got := map[string]string{}
+	for name, spec := range goldenScenarios() {
+		for _, sc := range []Scheme{SchemeBFC, SchemeDCQCN} {
+			got[name+"/"+sc.String()] = goldenScenarioDigest(t, sc, spec)
+		}
+	}
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenScenarioPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenScenarioPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("scenario golden digests rewritten to %s", goldenScenarioPath)
+		return
+	}
+
+	blob, err := os.ReadFile(goldenScenarioPath)
+	if err != nil {
+		t.Fatalf("missing scenario golden file (run with -update-golden to record): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt scenario golden file: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d digests, test produced %d", len(want), len(got))
+	}
+	for name, digest := range got {
+		if digest != want[name] {
+			t.Errorf("%s: result digest %s, golden %s — fixed-seed scenario output changed",
+				name, digest, want[name])
 		}
 	}
 }

@@ -6,6 +6,7 @@ package sim
 import (
 	"fmt"
 
+	"bfc/internal/scenario"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -93,6 +94,13 @@ type Options struct {
 	// Fig 7 SFQ+InfBuffer baseline: static hashing, infinite buffer.
 	IdealFQQueues int
 
+	// Scenario, when non-nil, injects deterministic mid-run events — link
+	// failure/recovery/degradation, incast storms, workload shifts — and adds
+	// per-scenario metrics to the Result. The run's topology is mutated by
+	// link events, so a scenario run must build its own Topology (do not
+	// share one *Topology across scenario runs).
+	Scenario *scenario.Spec
+
 	// Duration is the workload horizon; the run continues for Drain after it
 	// so in-flight flows can finish.
 	Duration units.Time
@@ -143,6 +151,11 @@ func (o *Options) Validate() error {
 	}
 	if o.Drain < 0 {
 		return fmt.Errorf("sim: negative drain")
+	}
+	if o.Scenario != nil {
+		if err := o.Scenario.Validate(); err != nil {
+			return err
+		}
 	}
 	if o.Drain == 0 {
 		o.Drain = 2 * units.Millisecond

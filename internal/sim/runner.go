@@ -12,6 +12,7 @@ import (
 	"bfc/internal/netsim"
 	"bfc/internal/nic"
 	"bfc/internal/packet"
+	"bfc/internal/scenario"
 	"bfc/internal/stats"
 	"bfc/internal/switchsim"
 	"bfc/internal/topology"
@@ -73,6 +74,11 @@ type Result struct {
 	Events uint64
 	// Elapsed is the simulated time covered by the run.
 	Elapsed units.Time
+
+	// Scenario carries the per-scenario metrics (event windows, reroute
+	// counts, stranded-packet accounting) when the run injected a scenario;
+	// nil otherwise.
+	Scenario *scenario.Metrics `json:"Scenario,omitempty"`
 }
 
 // CollisionFraction returns the fraction of queue assignments that collided
@@ -119,6 +125,9 @@ type runner struct {
 	switches map[packet.NodeID]*switchsim.Switch
 	nics     map[packet.NodeID]*nic.NIC
 	devices  map[packet.NodeID]netsim.Device
+
+	// scen is the installed scenario's metrics (nil without a scenario).
+	scen *scenario.Metrics
 
 	result *Result
 }
@@ -179,6 +188,11 @@ func (r *runner) run(flows []*packet.Flow) (*Result, error) {
 	r.startSampling()
 
 	horizon := opts.Duration + opts.Drain
+	if opts.Scenario != nil {
+		if err := r.installScenario(flows, horizon); err != nil {
+			return nil, err
+		}
+	}
 	r.sched.RunUntil(horizon)
 
 	r.collect(horizon, flows)
@@ -301,8 +315,105 @@ func (r *runner) wireLinks() {
 			peer := r.devices[port.Peer]
 			name := fmt.Sprintf("%s:p%d->%s", node.Name, portIdx, r.topo.Node(port.Peer).Name)
 			link := netsim.NewLink(r.sched, name, port.Rate, port.Delay, peer, port.PeerPort)
+			link.OnStranded = r.onStranded
 			dev.AttachLink(portIdx, link)
 		}
+	}
+}
+
+// Scenario integration ---------------------------------------------------------
+
+// installScenario compiles and schedules the configured scenario spec.
+func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error {
+	var maxID packet.FlowID
+	for _, f := range flows {
+		if f.ID > maxID {
+			maxID = f.ID
+		}
+	}
+	m, err := scenario.Install(r.sched, r, r.opts.Scenario, scenario.Params{
+		Topo:        r.topo,
+		Hosts:       r.topo.Hosts(),
+		HostRate:    r.topo.HostRate(r.topo.Hosts()[0]),
+		Horizon:     horizon,
+		FirstFlowID: maxID + 1,
+	})
+	if err != nil {
+		return err
+	}
+	r.scen = m
+	return nil
+}
+
+// onStranded is the terminal owner of packets lost on failed links: it keeps
+// the loss accounting and recycles the packet so nothing leaks from the pool.
+func (r *runner) onStranded(p *packet.Packet) {
+	if r.scen != nil {
+		r.scen.StrandedPackets++
+		r.scen.StrandedBytes += p.Size
+	}
+	r.pool.Put(p)
+}
+
+// outLink returns a device's outgoing link on the given port.
+func (r *runner) outLink(id packet.NodeID, port int) *netsim.Link {
+	if sw, ok := r.switches[id]; ok {
+		return sw.Link(port)
+	}
+	return r.nics[id].Link()
+}
+
+// SetLinkState implements scenario.Network: reroute first (so no new packet
+// is steered at the dead link), then flip both unidirectional links, then
+// reset the pause machinery on both attached devices.
+func (r *runner) SetLinkState(a, b packet.NodeID, up bool) int {
+	pa, pb, ok := r.topo.LinkBetween(a, b)
+	if !ok {
+		panic(fmt.Sprintf("sim: no link between nodes %d and %d", a, b))
+	}
+	reroutes := r.topo.SetLinkState(a, b, up)
+	if l := r.outLink(a, pa); l != nil {
+		l.SetDown(!up)
+	}
+	if l := r.outLink(b, pb); l != nil {
+		l.SetDown(!up)
+	}
+	r.notifyLinkChange(a, pa, up)
+	r.notifyLinkChange(b, pb, up)
+	return reroutes
+}
+
+func (r *runner) notifyLinkChange(id packet.NodeID, port int, up bool) {
+	if sw, ok := r.switches[id]; ok {
+		sw.OnLinkStateChange(port, up)
+		return
+	}
+	r.nics[id].OnLinkStateChange(up)
+}
+
+// SetLinkParams implements scenario.Network: degrade both directions of a
+// link (topology tables and wired links).
+func (r *runner) SetLinkParams(a, b packet.NodeID, rate units.Rate, delay units.Time) {
+	pa, pb, ok := r.topo.LinkBetween(a, b)
+	if !ok {
+		panic(fmt.Sprintf("sim: no link between nodes %d and %d", a, b))
+	}
+	r.topo.SetLinkParams(a, b, rate, delay)
+	for _, l := range []*netsim.Link{r.outLink(a, pa), r.outLink(b, pb)} {
+		if l != nil {
+			l.SetRate(rate)
+			l.SetDelay(delay)
+		}
+	}
+}
+
+// StartFlow implements scenario.Network: start an injected flow at its
+// source NIC, keeping the offered-flow accounting consistent with the base
+// trace.
+func (r *runner) StartFlow(f *packet.Flow) {
+	r.nics[f.Src].StartFlow(f)
+	if !f.IsIncast && !f.LongLived {
+		r.result.FlowsTotal++
 	}
 }
 
@@ -324,6 +435,9 @@ func (r *runner) onFlowComplete(f *packet.Flow) {
 	}
 	ideal := r.idealFCT(f)
 	fct := f.FCT()
+	if r.scen != nil {
+		r.scen.RecordCompletion(f.StartTime, f.Size, fct, ideal, f.IsIncast)
+	}
 	if f.IsIncast {
 		r.result.FCTIncast.Record(f.Size, fct, ideal)
 		return
@@ -415,6 +529,9 @@ func (r *runner) collect(horizon units.Time, flows []*packet.Flow) {
 	for id, sw := range r.switches {
 		st := sw.Stats()
 		res.Drops += st.Drops
+		if r.scen != nil {
+			r.scen.NoRouteDrops += st.NoRouteDrops
+		}
 		res.ECNMarks += st.ECNMarks
 		res.PFCPauses += st.PFCPausesSent
 		res.BFCFrames += st.BFCFramesSent
@@ -455,4 +572,5 @@ func (r *runner) collect(horizon units.Time, flows []*packet.Flow) {
 	for _, key := range tracker.Keys() {
 		res.PauseTimeFraction[key] = tracker.Fraction(key)
 	}
+	res.Scenario = r.scen
 }

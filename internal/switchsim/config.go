@@ -115,6 +115,9 @@ type Stats struct {
 	DataPacketsOut uint64
 	// Drops counts data packets dropped at admission (shared buffer full).
 	Drops uint64
+	// NoRouteDrops counts packets dropped because their destination was
+	// transiently unreachable after a scenario link failure.
+	NoRouteDrops uint64
 	// ECNMarks counts packets marked congestion-experienced.
 	ECNMarks uint64
 	// PFCPausesSent counts PFC pause frames sent upstream.

@@ -197,6 +197,14 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 	p.ArrivalPort = ingress
 	p.EnqueueTime = now
 	egress := s.routePort(p)
+	if egress < 0 {
+		// Transiently unroutable (a scenario just failed this packet's only
+		// link onward while it was in flight). The switch is the terminal
+		// owner of the drop.
+		s.stats.NoRouteDrops++
+		s.cfg.Pool.Put(p)
+		return
+	}
 	port := s.ports[egress]
 
 	if p.IsControl() {
@@ -261,18 +269,50 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 
 // routePort picks the egress port for a packet: data packets route toward the
 // flow destination, control packets back toward the flow source. ECMP hashes
-// the flow 5-tuple so a flow's packets stay on one path.
+// the flow 5-tuple so a flow's packets stay on one path. Returns -1 when the
+// destination is currently unreachable (mid-scenario link failure).
 func (s *Switch) routePort(p *packet.Packet) int {
 	dst := p.Flow.Dst
 	if p.Kind != packet.Data {
 		dst = p.Flow.Src
 	}
-	ports := s.cfg.Topo.NextHops(s.ID(), dst)
-	if len(ports) == 1 {
+	ports := s.cfg.Topo.NextHopsOrNil(s.ID(), dst)
+	switch len(ports) {
+	case 0:
+		return -1
+	case 1:
 		return ports[0]
 	}
 	h := packet.HashVFID(p.Flow.Tuple(), 1<<30)
 	return ports[int(h)%len(ports)]
+}
+
+// OnLinkStateChange resets the pause machinery of one port after the attached
+// link failed or recovered. Both PFC directions are voided — the pause we
+// received (the peer that sent it re-arms from scratch too) and the pause we
+// sent (so a recovered peer is not stuck paused forever) — and any BFC filter
+// from the old downstream state is cleared. On recovery the thresholds are
+// re-evaluated immediately, so still-congested state re-pauses the peer, and
+// transmission restarts.
+func (s *Switch) OnLinkStateChange(port int, up bool) {
+	s.pfcPausedByPeer[port] = false
+	if l := s.links[port]; l != nil {
+		l.MarkPaused(false)
+	}
+	s.pfcPauseSent[port] = false
+	if s.upstream != nil {
+		s.upstream[port].Reset()
+		for q := range s.ports[port].data {
+			s.refreshQueuePause(port, q)
+		}
+		s.refreshOverflowPause(port)
+	}
+	if up {
+		if s.cfg.EnablePFC {
+			s.checkPFCPause(port)
+		}
+		s.tryTransmit(port)
+	}
 }
 
 func (s *Switch) maybeMarkECN(port *egressPort, p *packet.Packet) {

@@ -2,10 +2,15 @@
 // and switches), the links between them (rate and propagation delay), and the
 // routing tables the switches use.
 //
-// Routing is computed once at construction time as equal-cost shortest paths
+// Routing is computed at construction time as equal-cost shortest paths
 // toward every host; a flow picks among equal-cost egress ports by hashing
 // its 5-tuple (ECMP), which keeps all packets of a flow on one path — a
 // requirement for both BFC's per-flow pausing and Go-Back-N at the NIC.
+//
+// Topologies additionally support mid-run dynamics for the scenario engine
+// (internal/scenario): SetLinkState fails or recovers a link and incrementally
+// recomputes the ECMP tables of the hosts whose shortest-path DAGs the link
+// touched, and SetLinkParams degrades a link's rate or latency in place.
 package topology
 
 import (
@@ -63,6 +68,9 @@ type Port struct {
 	// Rate and Delay describe the link (both directions are symmetric).
 	Rate  units.Rate
 	Delay units.Time
+	// Up marks the link operational. Both Port copies of a link share the
+	// same state; SetLinkState flips them together.
+	Up bool
 }
 
 // Node is a host or switch.
@@ -74,7 +82,11 @@ type Node struct {
 	Ports []Port
 }
 
-// Topology is an immutable description of a network.
+// Topology describes a network. The node and link set is fixed after
+// construction; link state (up/down) and link parameters (rate, delay) may
+// change mid-run through SetLinkState and SetLinkParams, which keep the
+// routing tables consistent. A Topology must not be shared between
+// simulations that mutate link state.
 type Topology struct {
 	Name  string
 	nodes []*Node
@@ -85,6 +97,14 @@ type Topology struct {
 	routes [][][]int
 	// dist[node][host] is the hop count of those paths.
 	dist [][]int
+
+	// baseRoutes and baseDist snapshot the pristine (all links up) tables at
+	// build time. Forwarding uses the live tables; the unloaded-path metrics
+	// (PathOneWay, MinPathRate, HopCount) use the baseline, so ideal-FCT
+	// denominators stay well-defined and constant while scenario link events
+	// reshape the live routes.
+	baseRoutes [][][]int
+	baseDist   [][]int
 }
 
 // Nodes returns all nodes, indexed by NodeID.
@@ -120,8 +140,8 @@ func (b *builder) addLink(x, y packet.NodeID, rate units.Rate, delay units.Time)
 	}
 	nx, ny := b.nodes[x], b.nodes[y]
 	px, py := len(nx.Ports), len(ny.Ports)
-	nx.Ports = append(nx.Ports, Port{Peer: y, PeerPort: py, Rate: rate, Delay: delay})
-	ny.Ports = append(ny.Ports, Port{Peer: x, PeerPort: px, Rate: rate, Delay: delay})
+	nx.Ports = append(nx.Ports, Port{Peer: y, PeerPort: py, Rate: rate, Delay: delay, Up: true})
+	ny.Ports = append(ny.Ports, Port{Peer: x, PeerPort: px, Rate: rate, Delay: delay, Up: true})
 }
 
 // build computes routing tables and returns the immutable topology.
@@ -136,7 +156,21 @@ func (b *builder) build() *Topology {
 		}
 	}
 	t.computeRoutes()
+	t.snapshotBaseline()
 	return t
+}
+
+// snapshotBaseline copies the freshly computed tables. Row headers are
+// copied (bfsFrom replaces t.routes[node][host] wholesale and writes
+// t.dist[node][host] in place, so the baseline needs its own rows; the inner
+// port slices are immutable once built and safely shared).
+func (t *Topology) snapshotBaseline() {
+	t.baseRoutes = make([][][]int, len(t.routes))
+	t.baseDist = make([][]int, len(t.dist))
+	for i := range t.routes {
+		t.baseRoutes[i] = append([][]int(nil), t.routes[i]...)
+		t.baseDist[i] = append([]int(nil), t.dist[i]...)
+	}
 }
 
 // computeRoutes runs a reverse BFS from every host, recording for each node
@@ -157,7 +191,10 @@ func (t *Topology) computeRoutes() {
 	}
 }
 
-func (t *Topology) bfsFrom(host packet.NodeID) {
+// bfsFrom recomputes the shortest-path DAG toward host over the currently-up
+// links and installs it, returning the number of (node, host) next-hop sets
+// that changed. Unreachable nodes get an empty port set and distance -1.
+func (t *Topology) bfsFrom(host packet.NodeID) (changed int) {
 	n := len(t.nodes)
 	dist := make([]int, n)
 	for i := range dist {
@@ -169,7 +206,7 @@ func (t *Topology) bfsFrom(host packet.NodeID) {
 		cur := queue[0]
 		queue = queue[1:]
 		for _, p := range t.nodes[cur].Ports {
-			if dist[p.Peer] == -1 {
+			if p.Up && dist[p.Peer] == -1 {
 				dist[p.Peer] = dist[cur] + 1
 				queue = append(queue, p.Peer)
 			}
@@ -180,28 +217,137 @@ func (t *Topology) bfsFrom(host packet.NodeID) {
 		if node.ID == host {
 			continue
 		}
-		if dist[node.ID] == -1 {
-			continue // unreachable (never happens in the built-in topologies)
-		}
 		var ports []int
-		for pi, p := range node.Ports {
-			if dist[p.Peer] == dist[node.ID]-1 {
-				ports = append(ports, pi)
+		if dist[node.ID] != -1 {
+			for pi, p := range node.Ports {
+				if p.Up && dist[p.Peer] == dist[node.ID]-1 {
+					ports = append(ports, pi)
+				}
 			}
+		}
+		if !equalInts(t.routes[node.ID][host], ports) {
+			changed++
 		}
 		t.routes[node.ID][host] = ports
 		t.dist[node.ID][host] = dist[node.ID]
 	}
+	return changed
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Link dynamics ---------------------------------------------------------------
+
+// LinkBetween returns the port indexes of the (first) link joining a and b.
+func (t *Topology) LinkBetween(a, b packet.NodeID) (portA, portB int, ok bool) {
+	for pi, p := range t.nodes[a].Ports {
+		if p.Peer == b {
+			return pi, p.PeerPort, true
+		}
+	}
+	return 0, 0, false
+}
+
+// NodeByName resolves a node by its construction-time name.
+func (t *Topology) NodeByName(name string) (packet.NodeID, bool) {
+	for _, n := range t.nodes {
+		if n.Name == name {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}
+
+// SetLinkState marks the a<->b link up or down and incrementally recomputes
+// the ECMP routing tables: only hosts whose shortest-path DAG the link
+// touches are re-solved. It returns the number of (node, host) next-hop sets
+// that changed (the "reroute count" the scenario engine reports), or 0 when
+// the link already had the requested state.
+func (t *Topology) SetLinkState(a, b packet.NodeID, up bool) int {
+	pa, pb, ok := t.LinkBetween(a, b)
+	if !ok {
+		panic(fmt.Sprintf("topology: no link between %s and %s", t.nodes[a].Name, t.nodes[b].Name))
+	}
+	if t.nodes[a].Ports[pa].Up == up {
+		return 0
+	}
+	// Decide which hosts are affected BEFORE mutating state: the pre-change
+	// distances tell us whether the link lies on (failure) or adds to
+	// (recovery) a host's shortest-path DAG.
+	affected := make([]packet.NodeID, 0, len(t.hosts))
+	for _, host := range t.hosts {
+		if t.hostAffected(host, a, b, up) {
+			affected = append(affected, host)
+		}
+	}
+	t.nodes[a].Ports[pa].Up = up
+	t.nodes[b].Ports[pb].Up = up
+	changed := 0
+	for _, host := range affected {
+		changed += t.bfsFrom(host)
+	}
+	return changed
+}
+
+// hostAffected reports whether changing the a<->b link can alter the routing
+// DAG toward host. An existing shortest-path edge always has endpoint
+// distances differing by exactly 1; removal of any other edge is a no-op. A
+// restored edge changes distances or adds equal-cost ports only when the
+// endpoint distances differ. Unknown (-1) distances are conservatively
+// treated as affected.
+func (t *Topology) hostAffected(host, a, b packet.NodeID, up bool) bool {
+	da, db := t.dist[a][host], t.dist[b][host]
+	if da == -1 || db == -1 {
+		return true
+	}
+	if up {
+		return da != db
+	}
+	diff := da - db
+	return diff == 1 || diff == -1
+}
+
+// SetLinkParams updates the rate and propagation delay of the a<->b link in
+// both directions. Routing is hop-count based, so no route recomputation is
+// needed; callers must mirror the change onto the wired netsim.Links.
+func (t *Topology) SetLinkParams(a, b packet.NodeID, rate units.Rate, delay units.Time) {
+	if rate <= 0 || delay < 0 {
+		panic("topology: invalid link parameters")
+	}
+	pa, pb, ok := t.LinkBetween(a, b)
+	if !ok {
+		panic(fmt.Sprintf("topology: no link between %s and %s", t.nodes[a].Name, t.nodes[b].Name))
+	}
+	t.nodes[a].Ports[pa].Rate, t.nodes[a].Ports[pa].Delay = rate, delay
+	t.nodes[b].Ports[pb].Rate, t.nodes[b].Ports[pb].Delay = rate, delay
 }
 
 // NextHops returns the equal-cost egress ports from node toward dst. dst must
-// be a host.
+// be a host. It panics when no route exists; devices on a dynamic topology
+// should use NextHopsOrNil and treat an empty result as a routable drop.
 func (t *Topology) NextHops(node, dst packet.NodeID) []int {
 	ports := t.routes[node][dst]
 	if len(ports) == 0 {
 		panic(fmt.Sprintf("topology: no route from %s to %s", t.nodes[node].Name, t.nodes[dst].Name))
 	}
 	return ports
+}
+
+// NextHopsOrNil returns the equal-cost egress ports from node toward dst, or
+// nil when dst is (transiently) unreachable — e.g. a packet in flight toward
+// a switch whose only link onward just failed.
+func (t *Topology) NextHopsOrNil(node, dst packet.NodeID) []int {
+	return t.routes[node][dst]
 }
 
 // EgressPort picks the egress port for a flow at the given node using ECMP:
@@ -216,12 +362,23 @@ func (t *Topology) EgressPort(node packet.NodeID, f *packet.Flow) int {
 	return ports[int(h)%len(ports)]
 }
 
-// HopCount returns the number of links on the shortest path from src to dst.
+// baseNextHops returns the baseline (all links up) equal-cost ports from
+// node toward dst.
+func (t *Topology) baseNextHops(node, dst packet.NodeID) []int {
+	ports := t.baseRoutes[node][dst]
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("topology: no route from %s to %s", t.nodes[node].Name, t.nodes[dst].Name))
+	}
+	return ports
+}
+
+// HopCount returns the number of links on the baseline shortest path from
+// src to dst.
 func (t *Topology) HopCount(src, dst packet.NodeID) int {
 	if src == dst {
 		return 0
 	}
-	d := t.dist[src][dst]
+	d := t.baseDist[src][dst]
 	if d < 0 {
 		panic(fmt.Sprintf("topology: no path from %d to %d", src, dst))
 	}
@@ -237,7 +394,9 @@ func (t *Topology) PathRTT(src, dst packet.NodeID, mtu units.Bytes) units.Time {
 }
 
 // PathOneWay returns the unloaded one-way delay from src to dst for an
-// MTU-sized packet (store-and-forward at every hop).
+// MTU-sized packet (store-and-forward at every hop), walked over the
+// baseline routes so it stays defined and constant through scenario link
+// failures. Link parameters are read live, so a degrade event is reflected.
 func (t *Topology) PathOneWay(src, dst packet.NodeID, mtu units.Bytes) units.Time {
 	if src == dst {
 		return 0
@@ -245,7 +404,7 @@ func (t *Topology) PathOneWay(src, dst packet.NodeID, mtu units.Bytes) units.Tim
 	var total units.Time
 	cur := src
 	for cur != dst {
-		ports := t.NextHops(cur, dst)
+		ports := t.baseNextHops(cur, dst)
 		p := t.nodes[cur].Ports[ports[0]]
 		total += p.Delay + units.SerializationTime(mtu, p.Rate)
 		cur = p.Peer
@@ -253,8 +412,9 @@ func (t *Topology) PathOneWay(src, dst packet.NodeID, mtu units.Bytes) units.Tim
 	return total
 }
 
-// MinPathRate returns the smallest link rate on the (first equal-cost) path
-// from src to dst; used to compute the ideal transfer time of a flow.
+// MinPathRate returns the smallest link rate on the (first equal-cost)
+// baseline path from src to dst; used to compute the ideal transfer time of
+// a flow.
 func (t *Topology) MinPathRate(src, dst packet.NodeID) units.Rate {
 	if src == dst {
 		panic("topology: src == dst")
@@ -262,7 +422,7 @@ func (t *Topology) MinPathRate(src, dst packet.NodeID) units.Rate {
 	min := units.Rate(0)
 	cur := src
 	for cur != dst {
-		ports := t.NextHops(cur, dst)
+		ports := t.baseNextHops(cur, dst)
 		p := t.nodes[cur].Ports[ports[0]]
 		if min == 0 || p.Rate < min {
 			min = p.Rate

@@ -416,3 +416,78 @@ func TestGenerateProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPermutation(t *testing.T) {
+	hosts := make([]packet.NodeID, 8)
+	for i := range hosts {
+		hosts[i] = packet.NodeID(i + 10)
+	}
+	rng := rand.New(rand.NewSource(3))
+	flows := Permutation(rng, hosts, 64*units.KB, 5*units.Microsecond, 100, 7000)
+	if len(flows) != len(hosts) {
+		t.Fatalf("got %d flows, want %d", len(flows), len(hosts))
+	}
+	srcSeen := map[packet.NodeID]bool{}
+	dstSeen := map[packet.NodeID]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Errorf("flow %d sends to itself", f.ID)
+		}
+		if srcSeen[f.Src] || dstSeen[f.Dst] {
+			t.Errorf("host repeated as src or dst: %+v", f)
+		}
+		srcSeen[f.Src], dstSeen[f.Dst] = true, true
+		if f.Size != 64*units.KB || f.StartTime != 5*units.Microsecond {
+			t.Errorf("flow parameters wrong: %+v", f)
+		}
+	}
+	// Determinism: same seed, same permutation.
+	again := Permutation(rand.New(rand.NewSource(3)), hosts, 64*units.KB, 5*units.Microsecond, 100, 7000)
+	for i := range flows {
+		if flows[i].Dst != again[i].Dst {
+			t.Fatalf("permutation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	hosts := []packet.NodeID{1, 2, 3, 4}
+	flows := AllToAll(hosts, 10*units.KB, 0, 1, 8000)
+	if len(flows) != len(hosts)*(len(hosts)-1) {
+		t.Fatalf("got %d flows, want %d", len(flows), len(hosts)*(len(hosts)-1))
+	}
+	pairs := map[[2]packet.NodeID]bool{}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Errorf("self flow: %+v", f)
+		}
+		key := [2]packet.NodeID{f.Src, f.Dst}
+		if pairs[key] {
+			t.Errorf("pair %v duplicated", key)
+		}
+		pairs[key] = true
+	}
+}
+
+func TestIncastBurst(t *testing.T) {
+	hosts := []packet.NodeID{1, 2, 3, 4, 5}
+	rng := rand.New(rand.NewSource(9))
+	flows := IncastBurst(rng, hosts, 2, 10, 100*units.KB, 7*units.Microsecond, 50, 9000)
+	if len(flows) != 10 {
+		t.Fatalf("got %d flows, want 10", len(flows))
+	}
+	for _, f := range flows {
+		if f.Dst != hosts[2] {
+			t.Errorf("flow %d targets %d, not the victim", f.ID, f.Dst)
+		}
+		if f.Src == hosts[2] {
+			t.Errorf("victim sends to itself")
+		}
+		if !f.IsIncast {
+			t.Errorf("flow %d not marked incast", f.ID)
+		}
+		if f.Size != 10*units.KB {
+			t.Errorf("per-sender size %v, want 10KB", f.Size)
+		}
+	}
+}
