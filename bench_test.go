@@ -17,7 +17,9 @@ import (
 
 	"bfc/internal/experiments"
 	"bfc/internal/sim"
+	"bfc/internal/topology"
 	"bfc/internal/units"
+	"bfc/internal/workload"
 )
 
 // benchScale picks reduced or full scale (BFC_FULL=1).
@@ -257,6 +259,60 @@ func BenchmarkFig14_BloomFilterSize(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkFig16_ScaleSweep regenerates the Fig 16 scale tier (fat-tree
+// host-count sweep with streaming statistics) like the other figure
+// benchmarks. At default scale it sweeps up to 128 hosts; BFC_FULL=1 runs the
+// paper-boundary 128 through 1024.
+func BenchmarkFig16_ScaleSweep(b *testing.B) {
+	scale := quickScale()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig16ScaleSweep(scale)
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Fig16 %-14s hosts=%-5d p99slowdown=%-8.2f util=%.2f statsSamples=%d",
+					r.Scheme, r.Hosts, r.P99, r.Utilization, r.StatsSamples)
+			}
+		}
+	}
+}
+
+// BenchmarkFatTreeScalePoint is the scale tier's regression gate: one BFC run
+// on a 64-host three-tier fat-tree with streaming statistics. ns/op is the
+// wall-clock per run (the unit the harness shards), B/op and allocs/op track
+// the hot path and the constant-memory stats mode, and events/run pins the
+// simulated work so a throughput regression cannot hide behind doing less.
+// Unlike the figure benchmarks above it is cheap enough for CI, which feeds
+// it to the benchjson gate against BENCH_baseline.json.
+func BenchmarkFatTreeScalePoint(b *testing.B) {
+	cfg := topology.FatTreeForHosts(64, 100*units.Gbps, units.Microsecond)
+	var totalEvents uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		topo := topology.NewFatTree(cfg)
+		tr, err := workload.Generate(workload.Config{
+			Hosts:    topo.Hosts(),
+			CDF:      workload.Google(),
+			Load:     0.6,
+			HostRate: topo.HostRate(topo.Hosts()[0]),
+			Duration: 150 * units.Microsecond,
+			Seed:     61,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := sim.DefaultOptions(sim.SchemeBFC, topo)
+		opts.Duration = 150 * units.Microsecond
+		opts.Drain = 800 * units.Microsecond
+		opts.StreamingStats = true
+		res, err := sim.Run(opts, tr.Flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += res.Events
+	}
+	b.ReportMetric(float64(totalEvents)/float64(b.N), "events/run")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (events per

@@ -43,7 +43,7 @@ func sortedKeys[V any](m map[string]V) []string {
 func main() {
 	log.SetFlags(0)
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14,15 or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14,15,16 or all")
 		full     = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for harness-backed figures")
 		out      = flag.String("out", "", "results directory for per-job JSONL artifacts (empty = keep results in memory)")
@@ -80,7 +80,7 @@ func main() {
 
 	figs := strings.Split(strings.ToLower(*fig), ",")
 	if *fig == "all" {
-		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"}
+		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16"}
 	}
 	for _, f := range figs {
 		runFigure(strings.TrimSpace(f), scale, runner)
@@ -107,6 +107,7 @@ var figureCatalog = []struct{ key, desc string }{
 	{"13", "sensitivity to VFID table size"},
 	{"14", "sensitivity to bloom filter size"},
 	{"15", "scenario robustness: all schemes through a link fail/recover (see also cmd/scenarios)"},
+	{"16", "scale tier: three-tier fat-tree host-count sweep with streaming stats (128-1024 hosts at -full)"},
 }
 
 func listFigures() {
@@ -237,6 +238,12 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 		for _, r := range experiments.Fig15FromRecords(run(runner, experiments.Fig15Jobs(scale, nil))) {
 			fmt.Printf("  %-14s pre=%-8.2f fail=%-8.2f recovered=%-8.2f reroutes=%-4d stranded=%-5d noroute=%-5d completed=%d/%d\n",
 				r.Scheme, r.PreP99, r.FailP99, r.RecoverP99, r.Reroutes, r.Stranded, r.NoRoute, r.Completed, r.Offered)
+		}
+	case "16":
+		fmt.Println("## Fig 16: scale tier — fat-tree host-count sweep (streaming stats)")
+		for _, r := range experiments.Fig16FromRecords(run(runner, experiments.Fig16Jobs(scale, nil, nil))) {
+			fmt.Printf("  %-14s hosts=%-5d switches=%-4d p99slowdown=%-8.2f util=%-6.2f p99buffer=%-10v statsSamples=%-6d completed=%d/%d digest=%s\n",
+				r.Scheme, r.Hosts, r.Switches, r.P99, r.Utilization, r.BufferP99, r.StatsSamples, r.Completed, r.Offered, r.Digest)
 		}
 	default:
 		log.Fatalf("unknown figure %q", fig)

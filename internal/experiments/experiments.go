@@ -10,6 +10,9 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -945,6 +948,138 @@ func Fig15FromRecords(recs []*harness.Record) []Fig15Row {
 // schemes, sharding the grid across all cores.
 func Fig15ScenarioRobustness(scale Scale) []Fig15Row {
 	return Fig15FromRecords(harness.MustRun(Fig15Jobs(scale, nil)))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16 (beyond the paper): the scale tier. The paper stops at 128 hosts
+// on a two-tier Clos; this sweep grows the fabric to three-tier fat-trees of
+// 1024+ hosts and compares the schemes as the topology scales. Runs use
+// streaming statistics (constant-memory quantile sketches), so the stats
+// footprint stays flat while the flow count grows with the host count.
+
+// Fig16Row is one (scheme, host count) point of the scale sweep.
+type Fig16Row struct {
+	Scheme string
+	// Hosts is the built fabric's host count; Switches its switch count.
+	Hosts, Switches int
+	// P99 is the overall p99 FCT slowdown of background flows.
+	P99 float64
+	// Utilization is delivered payload over aggregate host capacity.
+	Utilization float64
+	// BufferP99 is the p99 shared-buffer occupancy across switches.
+	BufferP99 units.Bytes
+	// StatsSamples counts the samples the run's FCT collector and buffer
+	// distribution hold in memory — bounded by the sketch capacity, not the
+	// flow count.
+	StatsSamples int
+	// Events is the number of simulator events executed.
+	Events uint64
+	// Completed / Offered count background flows.
+	Completed, Offered int
+	// Digest is the SHA-256 of the JSON-marshalled Result; identical digests
+	// across -parallel settings prove the sweep's determinism.
+	Digest string
+}
+
+// Fig16HostCounts returns the default host-count sweep for the scale:
+// 1x/2x/4x/8x the scale's two-tier host count (trimmed by SweepPoints),
+// rounded up to whole fat-tree pods — Full() yields the paper-boundary 128 up
+// through 1024.
+func Fig16HostCounts(scale Scale) []int {
+	base := scale.NumToR * scale.HostsPerToR
+	if base < 8 {
+		base = 8
+	}
+	counts := scale.sweep([]int{base, base * 2, base * 4, base * 8})
+	var out []int
+	seen := map[int]bool{}
+	for _, n := range counts {
+		actual := topology.FatTreeForHosts(n, 100*units.Gbps, units.Microsecond).NumHosts()
+		if !seen[actual] {
+			seen[actual] = true
+			out = append(out, actual)
+		}
+	}
+	return out
+}
+
+// Fig16Jobs declares the scale-sweep grid: host count x scheme, every scheme
+// of a host count seeing identical traffic (the workload seed is derived from
+// the host count, not the scheme). hostCounts defaults to
+// Fig16HostCounts(scale) and schemes to the paper's six when nil. Every job
+// runs with StreamingStats enabled.
+func Fig16Jobs(scale Scale, hostCounts []int, schemes []sim.Scheme) []harness.Job {
+	if hostCounts == nil {
+		hostCounts = Fig16HostCounts(scale)
+	}
+	if schemes == nil {
+		schemes = sim.AllSchemes()
+	}
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name: scale.Name + "/fig16",
+			Meta: map[string]string{"fig": "fig16", "scale": scale.Name},
+			Options: []func(*sim.Options){scale.applyOptions, func(o *sim.Options) {
+				o.StreamingStats = true
+			}},
+		},
+		Axes: []harness.Axis{
+			harness.IntAxis("hosts", hostCounts, func(j *harness.Job, n int) {
+				cfg := topology.FatTreeForHosts(n, 100*units.Gbps, units.Microsecond)
+				seed := harness.DeriveSeed("fig16", scale.Name, "workload", strconv.Itoa(n))
+				j.Topology = func() *topology.Topology { return topology.NewFatTree(cfg) }
+				j.Flows = func(topo *topology.Topology) []*packet.Flow {
+					return scale.backgroundTrace(topo, workload.Google(), 0.60, false, seed)
+				}
+			}),
+			harness.SchemeAxis(schemes),
+		},
+	}
+	return grid.Jobs()
+}
+
+// Fig16FromRecords assembles the scale-sweep rows from harness records.
+func Fig16FromRecords(recs []*harness.Record) []Fig16Row {
+	rows := make([]Fig16Row, 0, len(recs))
+	for _, rec := range recs {
+		hosts, err := strconv.Atoi(rec.Meta["hosts"])
+		if err != nil {
+			panic(fmt.Sprintf("experiments: record %q has no host count: %v", rec.Name, err))
+		}
+		res := rec.Result
+		blob, err := json.Marshal(res)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: record %q: marshal: %v", rec.Name, err))
+		}
+		sum := sha256.Sum256(blob)
+		rows = append(rows, Fig16Row{
+			Scheme:       rec.Scheme,
+			Hosts:        hosts,
+			Switches:     fig16Switches(hosts),
+			P99:          res.FCT.OverallPercentile(99),
+			Utilization:  res.Utilization,
+			BufferP99:    units.Bytes(res.BufferOccupancy.Percentile(99)),
+			StatsSamples: res.FCT.StoredSamples() + res.BufferOccupancy.StoredSamples(),
+			Events:       res.Events,
+			Completed:    res.FlowsCompleted,
+			Offered:      res.FlowsTotal,
+			Digest:       hex.EncodeToString(sum[:]),
+		})
+	}
+	return rows
+}
+
+// fig16Switches recomputes the switch count of a sweep point's fabric from
+// its host count (cheaper than rebuilding the topology for a report row).
+func fig16Switches(hosts int) int {
+	cfg := topology.FatTreeForHosts(hosts, 100*units.Gbps, units.Microsecond)
+	return cfg.Pods*(cfg.EdgePerPod+cfg.AggPerPod) + cfg.NumCore()
+}
+
+// Fig16ScaleSweep runs the fat-tree scale sweep for all six schemes, sharding
+// the grid across all cores.
+func Fig16ScaleSweep(scale Scale) []Fig16Row {
+	return Fig16FromRecords(harness.MustRun(Fig16Jobs(scale, nil, nil)))
 }
 
 // sensitivityJobs declares a BFC resource sweep (Figs 12-14): the same

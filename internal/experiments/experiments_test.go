@@ -251,3 +251,101 @@ func TestFig15Deterministic(t *testing.T) {
 		t.Fatal("Fig 15 records differ between -parallel 1 and -parallel 4")
 	}
 }
+
+func TestFig16HostCounts(t *testing.T) {
+	counts := Fig16HostCounts(Full())
+	want := []int{128, 256, 512, 1024}
+	if len(counts) != len(want) {
+		t.Fatalf("full-scale host counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("full-scale host counts = %v, want %v", counts, want)
+		}
+	}
+	// Reduced/tiny counts must be deduped and increasing after pod rounding.
+	for _, scale := range []Scale{Tiny(), Reduced()} {
+		counts := Fig16HostCounts(scale)
+		if len(counts) == 0 {
+			t.Fatalf("%s: empty host counts", scale.Name)
+		}
+		for i := 1; i < len(counts); i++ {
+			if counts[i] <= counts[i-1] {
+				t.Fatalf("%s: host counts not strictly increasing: %v", scale.Name, counts)
+			}
+		}
+	}
+}
+
+func TestFig16TinyRun(t *testing.T) {
+	scale := Tiny()
+	hostCounts := Fig16HostCounts(scale)[:1]
+	rows := Fig16FromRecords(harness.MustRun(Fig16Jobs(scale, hostCounts, []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Completed == 0 {
+			t.Errorf("%s/hosts=%d: no flows completed", r.Scheme, r.Hosts)
+		}
+		if r.P99 < 1 {
+			t.Errorf("%s/hosts=%d: p99 slowdown = %v, want >= 1", r.Scheme, r.Hosts, r.P99)
+		}
+		if r.Digest == "" || r.StatsSamples == 0 {
+			t.Errorf("%s/hosts=%d: missing digest or stats samples: %+v", r.Scheme, r.Hosts, r)
+		}
+	}
+}
+
+func TestFig16Deterministic(t *testing.T) {
+	// Scale-sweep records (including the streaming sketches inside the
+	// Result) must be byte-identical regardless of runner parallelism.
+	scale := Tiny()
+	hostCounts := Fig16HostCounts(scale)[:1]
+	digest := func(parallel int) string {
+		runner := harness.Runner{Parallel: parallel}
+		recs, err := runner.Run(Fig16Jobs(scale, hostCounts, []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCNWin}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, rec := range recs {
+			blob, err := json.Marshal(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(blob)
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	if a, b := digest(1), digest(4); a != b {
+		t.Fatal("Fig 16 records differ between -parallel 1 and -parallel 4")
+	}
+}
+
+func TestFig16StreamingBounded(t *testing.T) {
+	// A Fig 16 record's distributions must be sketches, and round-trip
+	// through the harness wire format with queries intact.
+	scale := Tiny()
+	hostCounts := Fig16HostCounts(scale)[:1]
+	recs := harness.MustRun(Fig16Jobs(scale, hostCounts, []sim.Scheme{sim.SchemeBFC}))
+	res := recs[0].Result
+	if !res.BufferOccupancy.Streaming() {
+		t.Fatal("Fig 16 runs must use streaming statistics")
+	}
+	blob, err := json.Marshal(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back harness.Record
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Result.FCT.OverallPercentile(99), res.FCT.OverallPercentile(99); got != want {
+		t.Fatalf("decoded p99 = %v, want %v", got, want)
+	}
+	if got, want := back.Result.BufferOccupancy.Percentile(99), res.BufferOccupancy.Percentile(99); got != want {
+		t.Fatalf("decoded buffer p99 = %v, want %v", got, want)
+	}
+}

@@ -181,13 +181,21 @@ func TestRunnerProgressReporting(t *testing.T) {
 	}
 }
 
-func TestRunnerRejectsDuplicateHashes(t *testing.T) {
+func TestRunnerRejectsDuplicateNames(t *testing.T) {
+	// Two jobs with the same name but different configuration have distinct
+	// content hashes, yet Job.Seed() derives from the name alone — they would
+	// silently share a simulation seed. The suite must refuse to run them.
 	jobs := testJobs(t)
 	jobs[1].Name = jobs[0].Name
-	jobs[1].Scheme = jobs[0].Scheme
-	jobs[1].Meta = jobs[0].Meta
-	if _, err := (&Runner{}).Run(jobs); err == nil || !strings.Contains(err.Error(), "same content hash") {
-		t.Fatalf("duplicate hash not rejected: %v", err)
+	jobs[1].Meta = map[string]string{"queues": "different"}
+	if h0, h1 := jobs[0].Hash(), jobs[1].Hash(); h0 == h1 {
+		t.Fatalf("test setup: hashes should differ, both %s", h0)
+	}
+	if s0, s1 := jobs[0].Seed(), jobs[1].Seed(); s0 != s1 {
+		t.Fatalf("test setup: seeds should collide (%d vs %d)", s0, s1)
+	}
+	if _, err := (&Runner{}).Run(jobs); err == nil || !strings.Contains(err.Error(), "duplicate job name") {
+		t.Fatalf("duplicate name with distinct hash not rejected: %v", err)
 	}
 }
 

@@ -161,20 +161,31 @@ func (r *Runner) runOne(j *Job) (rec *Record, elapsed time.Duration, wasCached b
 	return rec, elapsed, false, nil
 }
 
-// validateSuite checks specs and rejects duplicate content hashes, which
-// would make two jobs silently share one artifact.
+// validateSuite checks specs and rejects duplicate job names and duplicate
+// content hashes. Duplicate hashes would make two jobs silently share one
+// artifact; duplicate names are rejected separately because the simulation
+// seed derives from the name alone — two jobs with the same name but
+// different Meta have distinct hashes yet would silently share RNG state.
 func validateSuite(jobs []Job) error {
-	seen := make(map[string]string, len(jobs))
+	seenHash := make(map[string]string, len(jobs))
+	seenName := make(map[string]bool, len(jobs))
 	for i := range jobs {
 		j := &jobs[i]
 		if err := j.Validate(); err != nil {
 			return err
 		}
+		if seenName[j.Name] {
+			return fmt.Errorf("harness: duplicate job name %q (job names key the derived simulation seed)", j.Name)
+		}
+		seenName[j.Name] = true
+		// Hash() truncates sha256 to 64 bits, so two differently-named jobs
+		// can (however improbably) collide in the artifact key space; the
+		// name check above does not subsume this one.
 		h := j.Hash()
-		if prev, dup := seen[h]; dup {
+		if prev, dup := seenHash[h]; dup {
 			return fmt.Errorf("harness: jobs %q and %q have the same content hash %s", prev, j.Name, h)
 		}
-		seen[h] = j.Name
+		seenHash[h] = j.Name
 	}
 	return nil
 }

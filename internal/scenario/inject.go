@@ -40,6 +40,10 @@ type Params struct {
 	Horizon units.Time
 	// FirstFlowID is the first free flow ID (above the base trace's).
 	FirstFlowID packet.FlowID
+	// StatsSketchSize, when positive, puts the per-phase FCT collectors in
+	// constant-memory streaming mode with that sketch capacity (mirroring the
+	// run's sim.Options.StreamingStats); zero keeps them exact.
+	StatsSketchSize int
 }
 
 // compiledEvent is one event with names resolved and flows pre-generated.
@@ -76,7 +80,7 @@ func Install(sched *eventsim.Scheduler, net Network, spec *Spec, p Params) (*Met
 		sched:   sched,
 		net:     net,
 		topo:    p.Topo,
-		metrics: newMetrics(spec, p.Horizon),
+		metrics: newMetrics(spec, p.Horizon, p.StatsSketchSize),
 	}
 	in.startFlow = func(x any) {
 		in.metrics.InjectedFlows++

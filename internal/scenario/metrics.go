@@ -57,9 +57,17 @@ type Phase struct {
 }
 
 // newMetrics builds the phase windows for a spec over the given horizon.
-// Events sharing a timestamp share one window.
-func newMetrics(spec *Spec, horizon units.Time) *Metrics {
+// Events sharing a timestamp share one window. A positive sketchSize makes
+// the phase FCT collectors constant-memory sketches, so a streaming-stats run
+// keeps its footprint bound through a scenario too.
+func newMetrics(spec *Spec, horizon units.Time, sketchSize int) *Metrics {
 	m := &Metrics{Spec: spec.Name}
+	newCollector := func() *stats.FCTCollector {
+		if sketchSize > 0 {
+			return stats.NewStreamingFCTCollector(nil, sketchSize)
+		}
+		return stats.NewFCTCollector(nil)
+	}
 	add := func(name string, start units.Time) {
 		if n := len(m.Phases); n > 0 {
 			m.Phases[n-1].End = start
@@ -68,7 +76,7 @@ func newMetrics(spec *Spec, horizon units.Time) *Metrics {
 			Name:  name,
 			Start: start,
 			End:   horizon,
-			FCT:   stats.NewFCTCollector(nil),
+			FCT:   newCollector(),
 		})
 	}
 	add("pre", 0)

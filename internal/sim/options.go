@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"bfc/internal/scenario"
+	"bfc/internal/stats"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -109,6 +110,18 @@ type Options struct {
 	// BufferSampleInterval controls the buffer-occupancy sampling period.
 	BufferSampleInterval units.Time
 
+	// StreamingStats selects constant-memory streaming statistics: the FCT
+	// collectors and the buffer/queue-occupancy distributions become
+	// fixed-capacity deterministic sketches (see stats.NewStreamingDistribution),
+	// so the run's statistics footprint is independent of flow count and
+	// sample count. Exact and percentile queries: Count/Mean/Max stay exact,
+	// interior percentiles carry a ~1/sqrt(StatsSketchSize) rank error. Off by
+	// default — exact mode keeps every golden digest byte-identical.
+	StreamingStats bool
+	// StatsSketchSize is the per-distribution sketch capacity in streaming
+	// mode (stats.DefaultSketchSize when zero). Ignored in exact mode.
+	StatsSketchSize int
+
 	// Seed drives every random choice in the run.
 	Seed int64
 }
@@ -127,9 +140,29 @@ func DefaultOptions(scheme Scheme, topo *topology.Topology) Options {
 		HighPriorityQueue:    true,
 		Duration:             2 * units.Millisecond,
 		Drain:                2 * units.Millisecond,
-		BufferSampleInterval: 10 * units.Microsecond,
+		BufferSampleInterval: DefaultBufferSampleInterval(topo),
 		Seed:                 1,
 	}
+}
+
+// DefaultBufferSampleInterval scales the buffer-occupancy sampling period with
+// topology size: every switch contributes one sample per tick, so a fixed
+// 10 us cadence on a fabric with hundreds of switches floods the occupancy
+// distributions (and, in exact mode, memory) with samples. Fabrics of up to 32
+// switches — every two-tier topology the paper evaluates — keep the paper's
+// 10 us period, so existing goldens and experiments are unchanged; larger
+// fabrics stretch the period proportionally, keeping samples-per-tick x ticks
+// roughly constant.
+func DefaultBufferSampleInterval(topo *topology.Topology) units.Time {
+	const base = 10 * units.Microsecond
+	if topo == nil {
+		return base
+	}
+	switches := topo.NumNodes() - len(topo.Hosts())
+	if switches <= 32 {
+		return base
+	}
+	return base * units.Time((switches+31)/32)
 }
 
 // Validate reports option errors and fills defaults for zero fields.
@@ -161,7 +194,10 @@ func (o *Options) Validate() error {
 		o.Drain = 2 * units.Millisecond
 	}
 	if o.BufferSampleInterval <= 0 {
-		o.BufferSampleInterval = 10 * units.Microsecond
+		o.BufferSampleInterval = DefaultBufferSampleInterval(o.Topo)
+	}
+	if o.StatsSketchSize <= 0 {
+		o.StatsSketchSize = stats.DefaultSketchSize
 	}
 	if o.NumVFIDs <= 0 {
 		o.NumVFIDs = 16384

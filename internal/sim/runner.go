@@ -133,6 +133,20 @@ type runner struct {
 }
 
 func newRunner(opts Options) *runner {
+	res := &Result{
+		Scheme:            opts.Scheme,
+		FCT:               stats.NewFCTCollector(nil),
+		FCTIncast:         stats.NewFCTCollector(nil),
+		PauseTimeFraction: map[string]float64{},
+	}
+	if opts.StreamingStats {
+		// Constant-memory mode: every distribution the run grows without
+		// bound in exact mode becomes a fixed-capacity sketch.
+		res.FCT = stats.NewStreamingFCTCollector(nil, opts.StatsSketchSize)
+		res.FCTIncast = stats.NewStreamingFCTCollector(nil, opts.StatsSketchSize)
+		res.BufferOccupancy = stats.NewStreamingDistribution(opts.StatsSketchSize)
+		res.OccupiedQueues = stats.NewStreamingDistribution(opts.StatsSketchSize)
+	}
 	return &runner{
 		opts:     opts,
 		sched:    eventsim.New(),
@@ -141,12 +155,7 @@ func newRunner(opts Options) *runner {
 		switches: map[packet.NodeID]*switchsim.Switch{},
 		nics:     map[packet.NodeID]*nic.NIC{},
 		devices:  map[packet.NodeID]netsim.Device{},
-		result: &Result{
-			Scheme:            opts.Scheme,
-			FCT:               stats.NewFCTCollector(nil),
-			FCTIncast:         stats.NewFCTCollector(nil),
-			PauseTimeFraction: map[string]float64{},
-		},
+		result:   res,
 	}
 }
 
@@ -331,12 +340,17 @@ func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error
 			maxID = f.ID
 		}
 	}
+	sketchSize := 0
+	if r.opts.StreamingStats {
+		sketchSize = r.opts.StatsSketchSize
+	}
 	m, err := scenario.Install(r.sched, r, r.opts.Scenario, scenario.Params{
-		Topo:        r.topo,
-		Hosts:       r.topo.Hosts(),
-		HostRate:    r.topo.HostRate(r.topo.Hosts()[0]),
-		Horizon:     horizon,
-		FirstFlowID: maxID + 1,
+		Topo:            r.topo,
+		Hosts:           r.topo.Hosts(),
+		HostRate:        r.topo.HostRate(r.topo.Hosts()[0]),
+		Horizon:         horizon,
+		FirstFlowID:     maxID + 1,
+		StatsSketchSize: sketchSize,
 	})
 	if err != nil {
 		return err

@@ -9,19 +9,82 @@ import (
 // experiment harness can persist completed runs as JSONL artifacts and load
 // them back with every percentile/CDF query still answerable.
 
-// MarshalJSON encodes a Distribution as its raw sample array. Samples are
-// emitted in their current order (insertion order until the first percentile
-// query sorts them); both orders decode to an equivalent distribution.
+// sketchJSON is the wire form of a streaming distribution. It captures the
+// complete sketch state, so a decoded distribution answers every query
+// identically to the original and keeps accepting samples deterministically.
+type sketchJSON struct {
+	Cap     int       `json:"cap"`
+	Seed    uint64    `json:"seed"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Samples []float64 `json:"samples"`
+}
+
+// streamingJSON wraps the sketch so the two distribution modes are
+// distinguishable on the wire: exact mode is a bare sample array, streaming
+// mode an object.
+type streamingJSON struct {
+	Sketch sketchJSON `json:"sketch"`
+}
+
+// MarshalJSON encodes an exact Distribution as its raw sample array (emitted
+// in their current order — insertion order until the first percentile query
+// sorts them; both orders decode to an equivalent distribution) and a
+// streaming Distribution as a {"sketch": ...} object holding the full
+// reservoir state.
 func (d Distribution) MarshalJSON() ([]byte, error) {
+	if s := d.sketch; s != nil {
+		samples := s.samples
+		if samples == nil {
+			samples = []float64{}
+		}
+		return json.Marshal(streamingJSON{Sketch: sketchJSON{
+			Cap: s.cap, Seed: s.seed, Count: s.count,
+			Sum: s.sum, Min: s.min, Max: s.max, Samples: samples,
+		}})
+	}
 	if d.samples == nil {
 		return []byte("[]"), nil
 	}
 	return json.Marshal(d.samples)
 }
 
-// UnmarshalJSON decodes a sample array produced by MarshalJSON, replacing any
-// existing samples.
+// UnmarshalJSON decodes either wire form produced by MarshalJSON, replacing
+// any existing state.
 func (d *Distribution) UnmarshalJSON(b []byte) error {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			var w streamingJSON
+			if err := json.Unmarshal(b, &w); err != nil {
+				return fmt.Errorf("stats: decoding streaming distribution: %w", err)
+			}
+			s := w.Sketch
+			if s.Cap <= 0 {
+				return fmt.Errorf("stats: streaming distribution with non-positive capacity %d", s.Cap)
+			}
+			// add() maintains len(samples) == min(count, cap) exactly; any
+			// other combination is corrupt and would panic later queries.
+			want := s.Count
+			if want > int64(s.Cap) {
+				want = int64(s.Cap)
+			}
+			if s.Count < 0 || int64(len(s.Samples)) != want {
+				return fmt.Errorf("stats: streaming distribution holds %d samples for cap %d, count %d",
+					len(s.Samples), s.Cap, s.Count)
+			}
+			*d = Distribution{sketch: &quantileSketch{
+				cap: s.Cap, seed: s.Seed, count: s.Count,
+				sum: s.Sum, min: s.Min, max: s.Max, samples: s.Samples,
+			}}
+			return nil
+		}
+		break
+	}
 	var samples []float64
 	if err := json.Unmarshal(b, &samples); err != nil {
 		return fmt.Errorf("stats: decoding distribution: %w", err)

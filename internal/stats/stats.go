@@ -13,33 +13,81 @@ import (
 )
 
 // Distribution accumulates scalar samples and answers percentile and CDF
-// queries. The zero value is ready to use.
+// queries. The zero value is ready to use and is exact: it keeps every sample,
+// and all queries are computed over the full sample set.
+//
+// NewStreamingDistribution returns a constant-memory variant backed by a
+// deterministic fixed-capacity reservoir sketch: Count, Mean and Max stay
+// exact, Percentile and CDF become approximations whose rank error shrinks as
+// 1/sqrt(capacity) (see DefaultSketchSize). Both variants answer the same API
+// and JSON round-trip losslessly, so they are interchangeable everywhere a
+// Distribution is consumed.
 type Distribution struct {
 	samples []float64
 	sorted  bool
 	sum     float64
+	// sketch, when non-nil, puts the distribution in streaming mode; samples,
+	// sorted and sum above are then unused.
+	sketch *quantileSketch
+}
+
+// NewStreamingDistribution returns a constant-memory distribution holding at
+// most sketchSize samples (DefaultSketchSize when <= 0).
+func NewStreamingDistribution(sketchSize int) Distribution {
+	return Distribution{sketch: newSketch(sketchSize)}
+}
+
+// Streaming reports whether the distribution is in constant-memory mode.
+func (d *Distribution) Streaming() bool { return d.sketch != nil }
+
+// StoredSamples returns how many samples the distribution currently holds in
+// memory: Count() in exact mode, at most the sketch capacity in streaming
+// mode. It is the quantity the scale tier bounds.
+func (d *Distribution) StoredSamples() int {
+	if d.sketch != nil {
+		return len(d.sketch.samples)
+	}
+	return len(d.samples)
 }
 
 // Add records a sample.
 func (d *Distribution) Add(v float64) {
+	if d.sketch != nil {
+		d.sketch.add(v)
+		return
+	}
 	d.samples = append(d.samples, v)
 	d.sorted = false
 	d.sum += v
 }
 
 // Count returns the number of samples.
-func (d *Distribution) Count() int { return len(d.samples) }
+func (d *Distribution) Count() int {
+	if d.sketch != nil {
+		return int(d.sketch.count)
+	}
+	return len(d.samples)
+}
 
-// Mean returns the sample mean (0 when empty).
+// Mean returns the sample mean (0 when empty). Exact in both modes.
 func (d *Distribution) Mean() float64 {
+	if d.sketch != nil {
+		return d.sketch.mean()
+	}
 	if len(d.samples) == 0 {
 		return 0
 	}
 	return d.sum / float64(len(d.samples))
 }
 
-// Max returns the largest sample (0 when empty).
+// Max returns the largest sample (0 when empty). Exact in both modes.
 func (d *Distribution) Max() float64 {
+	if d.sketch != nil {
+		if d.sketch.count == 0 {
+			return 0
+		}
+		return d.sketch.max
+	}
 	if len(d.samples) == 0 {
 		return 0
 	}
@@ -48,52 +96,79 @@ func (d *Distribution) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using
-// nearest-rank-with-interpolation; 0 when empty.
+// nearest-rank-with-interpolation; 0 when empty. In streaming mode the
+// extremes (p = 0, 100) are exact and interior percentiles are reservoir
+// estimates.
 func (d *Distribution) Percentile(p float64) float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
 	}
-	d.ensureSorted()
-	if len(d.samples) == 1 {
-		return d.samples[0]
+	if d.sketch != nil {
+		return d.sketch.percentile(p)
 	}
-	rank := p / 100 * float64(len(d.samples)-1)
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	return percentileOfSorted(d.samples, p)
+}
+
+// percentileOfSorted interpolates the p-th percentile over a non-empty sorted
+// slice. Shared by the exact and streaming paths so the two modes stay
+// numerically identical (streaming queries are byte-exact while the stream
+// fits in the reservoir).
+func percentileOfSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return d.samples[lo]
+		return sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// CDF returns (value, cumulative fraction) pairs at up to maxPoints evenly
-// spaced quantiles, suitable for plotting.
-func (d *Distribution) CDF(maxPoints int) []CDFPoint {
-	if len(d.samples) == 0 {
-		return nil
-	}
+// cdfOfSorted renders up to maxPoints evenly spaced quantiles of a non-empty
+// sorted slice. Shared by the exact and streaming paths.
+func cdfOfSorted(sorted []float64, maxPoints int) []CDFPoint {
 	if maxPoints < 2 {
 		maxPoints = 2
 	}
-	d.ensureSorted()
-	n := len(d.samples)
+	n := len(sorted)
 	points := maxPoints
 	if points > n {
 		points = n
+	}
+	if points <= 1 {
+		// A single sample (or single requested point): the evenly-spaced
+		// index formula below would divide by points-1 == 0.
+		return []CDFPoint{{Value: sorted[n-1], Cum: 1}}
 	}
 	out := make([]CDFPoint, 0, points)
 	for i := 0; i < points; i++ {
 		idx := i * (n - 1) / (points - 1)
 		out = append(out, CDFPoint{
-			Value: d.samples[idx],
+			Value: sorted[idx],
 			Cum:   float64(idx+1) / float64(n),
 		})
 	}
 	return out
+}
+
+// CDF returns (value, cumulative fraction) pairs at up to maxPoints evenly
+// spaced quantiles, suitable for plotting.
+func (d *Distribution) CDF(maxPoints int) []CDFPoint {
+	if d.sketch != nil {
+		return d.sketch.cdf(maxPoints)
+	}
+	if len(d.samples) == 0 {
+		return nil
+	}
+	d.ensureSorted()
+	return cdfOfSorted(d.samples, maxPoints)
 }
 
 func (d *Distribution) ensureSorted() {
@@ -153,6 +228,34 @@ func NewFCTCollector(buckets []SizeBucket) *FCTCollector {
 		buckets: buckets,
 		perSize: make([]Distribution, len(buckets)),
 	}
+}
+
+// NewStreamingFCTCollector creates a collector whose per-bucket and overall
+// distributions are constant-memory sketches of at most sketchSize samples
+// each (DefaultSketchSize when <= 0), so the collector's footprint is
+// independent of the number of completed flows.
+func NewStreamingFCTCollector(buckets []SizeBucket, sketchSize int) *FCTCollector {
+	c := NewFCTCollector(buckets)
+	c.all = NewStreamingDistribution(sketchSize)
+	for i := range c.perSize {
+		c.perSize[i] = NewStreamingDistribution(sketchSize)
+	}
+	return c
+}
+
+// Streaming reports whether the collector's distributions are
+// constant-memory sketches.
+func (c *FCTCollector) Streaming() bool { return c.all.Streaming() }
+
+// StoredSamples returns the total number of samples the collector holds in
+// memory across all its distributions; in streaming mode it is bounded by
+// (len(buckets)+1) * sketch capacity regardless of Count().
+func (c *FCTCollector) StoredSamples() int {
+	total := c.all.StoredSamples()
+	for i := range c.perSize {
+		total += c.perSize[i].StoredSamples()
+	}
+	return total
 }
 
 // Record adds a completed flow.

@@ -103,6 +103,44 @@ func TestCDF(t *testing.T) {
 	}
 }
 
+// Regression: CDF on tiny sample counts. A single sample used to divide by
+// zero (points clamps to n == 1, then i*(n-1)/(points-1)).
+func TestCDFSmallCounts(t *testing.T) {
+	var empty Distribution
+	if got := empty.CDF(10); got != nil {
+		t.Fatalf("0-sample CDF = %v, want nil", got)
+	}
+
+	var one Distribution
+	one.Add(42)
+	got := one.CDF(10)
+	if len(got) != 1 || got[0].Value != 42 || got[0].Cum != 1 {
+		t.Fatalf("1-sample CDF = %v, want [{42 1}]", got)
+	}
+	// maxPoints below the 2-point clamp must not panic either.
+	if got := one.CDF(1); len(got) != 1 || got[0].Value != 42 {
+		t.Fatalf("1-sample CDF(1) = %v, want [{42 1}]", got)
+	}
+
+	var two Distribution
+	two.Add(1)
+	two.Add(2)
+	got = two.CDF(10)
+	if len(got) != 2 || got[0].Value != 1 || got[1].Value != 2 || got[1].Cum != 1 {
+		t.Fatalf("2-sample CDF = %v, want [{1 0.5} {2 1}]", got)
+	}
+
+	// Streaming mode shares the small-count paths.
+	sk := NewStreamingDistribution(8)
+	if got := sk.CDF(10); got != nil {
+		t.Fatalf("0-sample streaming CDF = %v, want nil", got)
+	}
+	sk.Add(42)
+	if got := sk.CDF(10); len(got) != 1 || got[0].Value != 42 || got[0].Cum != 1 {
+		t.Fatalf("1-sample streaming CDF = %v, want [{42 1}]", got)
+	}
+}
+
 func TestFCTCollector(t *testing.T) {
 	c := NewFCTCollector(nil)
 	// A 500-byte flow with FCT twice its ideal.

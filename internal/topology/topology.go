@@ -43,6 +43,10 @@ const (
 	TierSpine
 	// TierGateway marks cross-data-center gateway switches.
 	TierGateway
+	// TierAgg marks the aggregation (middle) switches of a three-tier
+	// fat-tree; the top tier reuses TierSpine. Appended after TierGateway so
+	// existing tier values (and the statistics keyed on them) are unchanged.
+	TierAgg
 )
 
 func (t Tier) String() string {
@@ -55,6 +59,8 @@ func (t Tier) String() string {
 		return "Spine"
 	case TierGateway:
 		return "Gateway"
+	case TierAgg:
+		return "Agg"
 	default:
 		return fmt.Sprintf("Tier(%d)", uint8(t))
 	}

@@ -141,8 +141,7 @@ func Generate(cfg Config) (*Trace, error) {
 	if cfg.Load > 0 {
 		// Aggregate arrival rate (flows/sec) so that background bytes match
 		// the target fraction of aggregate host capacity.
-		capacityBps := float64(cfg.HostRate) * float64(len(cfg.Hosts))
-		lambda := cfg.Load * capacityBps / 8 / meanSize
+		lambda := cfg.Load * cfg.aggregateCapacityBps() / 8 / meanSize
 		meanInterArrival := 1 / lambda // seconds between flow arrivals network-wide
 
 		now := 0.0
@@ -179,8 +178,7 @@ func Generate(cfg Config) (*Trace, error) {
 		interval := cfg.Incast.Interval
 		if interval <= 0 {
 			// Events spaced so incast bytes are LoadFraction of capacity.
-			capacityBps := float64(cfg.HostRate) * float64(len(cfg.Hosts))
-			eventsPerSec := cfg.Incast.LoadFraction * capacityBps / 8 / float64(cfg.Incast.AggregateSize)
+			eventsPerSec := cfg.Incast.LoadFraction * cfg.aggregateCapacityBps() / 8 / float64(cfg.Incast.AggregateSize)
 			interval = units.Time(float64(units.Second) / eventsPerSec)
 		}
 		perSender := cfg.Incast.AggregateSize / units.Bytes(cfg.Incast.FanIn)
@@ -214,9 +212,16 @@ func Generate(cfg Config) (*Trace, error) {
 	sort.SliceStable(tr.Flows, func(i, j int) bool {
 		return tr.Flows[i].StartTime < tr.Flows[j].StartTime
 	})
-	capacityBits := float64(cfg.HostRate) * float64(len(cfg.Hosts)) * cfg.Duration.Seconds()
+	capacityBits := cfg.aggregateCapacityBps() * cfg.Duration.Seconds()
 	tr.OfferedLoad = float64(tr.BackgroundBytes) * 8 / capacityBits
 	return tr, nil
+}
+
+// aggregateCapacityBps returns the summed uplink capacity of the candidate
+// hosts in bits per second — the denominator every load-fraction computation
+// shares.
+func (c *Config) aggregateCapacityBps() float64 {
+	return float64(c.HostRate) * float64(len(c.Hosts))
 }
 
 // LongLivedFlows creates count never-ending flows to dst from distinct random
