@@ -1,0 +1,311 @@
+// Command bfcctl is the client for the bfcd simulation service.
+//
+//	bfcctl figures                         # what the server can compile
+//	bfcctl submit suite.json               # submit, print the suite id
+//	bfcctl submit -wait suite.json         # submit and stream progress
+//	bfcctl watch s000001                   # follow a running suite (SSE)
+//	bfcctl status s000001                  # one status snapshot
+//	bfcctl fetch s000001 > records.jsonl   # completed records, job order
+//	bfcctl fetch -table s000001            # render the FCT slowdown table
+//	bfcctl cancel s000001
+//	bfcctl store                           # completed artifacts on the server
+//
+// The server address comes from -addr or the BFCD_ADDR environment variable.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"bfc/internal/experiments"
+	"bfc/internal/harness"
+	"bfc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", defaultAddr(), "bfcd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "figures":
+		err = c.figures()
+	case "submit":
+		err = c.submit(rest)
+	case "status":
+		err = c.status(rest)
+	case "watch":
+		err = c.watch(rest)
+	case "fetch":
+		err = c.fetch(rest)
+	case "cancel":
+		err = c.cancel(rest)
+	case "store":
+		err = c.store()
+	default:
+		log.Printf("bfcctl: unknown command %q", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("bfcctl: %v", err)
+	}
+}
+
+func defaultAddr() string {
+	if addr := os.Getenv("BFCD_ADDR"); addr != "" {
+		return addr
+	}
+	return "http://127.0.0.1:8377"
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: bfcctl [-addr URL] <command> [args]
+
+commands:
+  figures                     list compilable figures, scales and schemes
+  submit [-wait] <suite.json> submit a suite spec
+  status <id>                 print one suite status
+  watch <id>                  stream progress until the suite ends
+  fetch [-table] <id>         print completed records as JSONL (or a table)
+  cancel <id>                 cancel a running suite
+  store                       list the server's completed artifacts
+`)
+}
+
+type client struct{ base string }
+
+func (c *client) url(path string) string { return c.base + path }
+
+// getJSON decodes a 200 response into v.
+func (c *client) getJSON(path string, v any) error {
+	resp, err := http.Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(blob)))
+}
+
+func (c *client) figures() error {
+	var idx service.FigureIndex
+	if err := c.getJSON("/api/v1/figures", &idx); err != nil {
+		return err
+	}
+	fmt.Println("figures:")
+	for _, f := range idx.Figures {
+		sel := "fixed schemes"
+		if f.SchemesSelectable {
+			sel = "schemes selectable"
+		}
+		fmt.Printf("  %-8s %-18s %s\n", f.Key, "("+sel+")", f.Desc)
+	}
+	fmt.Printf("scales:  %s\n", strings.Join(idx.Scales, ", "))
+	fmt.Printf("schemes: %s\n", strings.Join(idx.Schemes, ", "))
+	return nil
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	wait := fs.Bool("wait", false, "stream progress and exit when the suite ends")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit needs exactly one suite file")
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.url("/api/v1/suites"), "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var status service.SuiteStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return err
+	}
+	printStatus(status)
+	if !*wait || status.State != service.StateRunning {
+		return nil
+	}
+	return c.follow(status.ID)
+}
+
+func (c *client) status(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("status needs a suite id")
+	}
+	var status service.SuiteStatus
+	if err := c.getJSON("/api/v1/suites/"+args[0], &status); err != nil {
+		return err
+	}
+	printStatus(status)
+	return nil
+}
+
+func (c *client) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("watch needs a suite id")
+	}
+	return c.follow(args[0])
+}
+
+// follow streams the suite's SSE events until the terminal event, then
+// prints the final status line.
+func (c *client) follow(id string) error {
+	resp, err := http.Get(c.url("/api/v1/suites/" + id + "/events"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		switch ev.Type {
+		case "job":
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %s\n", ev.Done, ev.Total, ev.Job)
+		case "end":
+			var status service.SuiteStatus
+			if err := c.getJSON("/api/v1/suites/"+id, &status); err != nil {
+				return err
+			}
+			printStatus(status)
+			if status.State != service.StateDone {
+				return fmt.Errorf("suite %s ended %s: %s", id, status.State, status.Error)
+			}
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("event stream for %s ended without a terminal event", id)
+}
+
+func (c *client) fetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	table := fs.Bool("table", false, "render an FCT-slowdown table instead of raw JSONL")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fetch needs a suite id")
+	}
+	id := fs.Arg(0)
+	resp, err := http.Get(c.url("/api/v1/suites/" + id + "/results"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if !*table {
+		_, err := io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	var recs []*harness.Record
+	dec := json.NewDecoder(resp.Body)
+	for {
+		rec := &harness.Record{}
+		if err := dec.Decode(rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	series := experiments.SeriesFromRecords(recs)
+	fmt.Print(experiments.FormatSeries("suite "+id+": p99 FCT slowdown by flow size", series))
+	return nil
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cancel needs a suite id")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.url("/api/v1/suites/"+args[0]), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	var status service.SuiteStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return err
+	}
+	printStatus(status)
+	return nil
+}
+
+func (c *client) store() error {
+	var entries []harness.ManifestEntry
+	if err := c.getJSON("/api/v1/store", &entries); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		fmt.Printf("%s  %-14s %s\n", e.Hash, e.Scheme, e.Name)
+	}
+	fmt.Fprintf(os.Stderr, "%d completed artifacts\n", len(entries))
+	return nil
+}
+
+// printStatus renders one status line; the stable key=value form is what the
+// CI smoke test greps for its cache-hit assertions.
+func printStatus(s service.SuiteStatus) {
+	line := fmt.Sprintf("suite %s %s: figure=%s scale=%s jobs=%d done=%d cached=%d executed=%d digest=%s",
+		s.ID, s.State, s.Figure, s.Scale, s.Total, s.Done, s.Cached, s.Executed, s.Digest)
+	if s.Error != "" {
+		line += " error=" + s.Error
+	}
+	fmt.Println(line)
+}

@@ -1,0 +1,90 @@
+// Command bfcd is the simulation-as-a-service daemon: it serves the
+// internal/service HTTP API (suite submission, progress streams, results) in
+// front of a content-addressed result store, so repeated submissions of
+// already-computed grids are served from cache without re-simulating.
+//
+//	bfcd -addr 127.0.0.1:8377 -store results/
+//
+// The store directory is the same artifact layout cmd/experiments -out
+// writes: pointing bfcd at an existing results directory serves those records
+// from cache, and artifacts bfcd computes can later be consumed by
+// cmd/experiments -resume.
+//
+// Use cmd/bfcctl (or curl) against the API; see README.md "Service".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bfc/internal/harness"
+	"bfc/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8377", "listen address")
+		storeDir  = flag.String("store", "bfcd-store", "result store directory (shared with cmd/experiments -out)")
+		workers   = flag.Int("parallel", 0, "simulation worker pool size (0 = all cores)")
+		maxSuites = flag.Int("max-suites", 4, "maximum concurrently running suites")
+		cacheSize = flag.Int("cache", 128, "in-memory LRU capacity (decoded records)")
+		history   = flag.Int("history", 64, "retained terminal suites (older ones are forgotten; their artifacts stay in the store)")
+		streaming = flag.Int("streaming-hosts", 0, "force streaming stats on fabrics with at least this many hosts (0 = default threshold, negative = never)")
+	)
+	flag.Parse()
+
+	store, err := harness.NewStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := service.New(service.Config{
+		Store:           store,
+		Workers:         *workers,
+		MaxActiveSuites: *maxSuites,
+		CacheEntries:    *cacheSize,
+		MaxSuiteHistory: *history,
+		StreamingHosts:  *streaming,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The base context is cancelled on the first signal, which unblocks SSE
+	// streams so Shutdown can drain cleanly; a second signal kills the
+	// process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	log.Printf("bfcd: serving on http://%s (store %s)", *addr, store.Dir())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("bfcd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("bfcd: shutdown: %v", err)
+	}
+	svc.Close()
+}

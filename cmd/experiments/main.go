@@ -11,6 +11,7 @@
 // Examples:
 //
 //	experiments -fig 5a                       # headline result at reduced scale
+//	experiments -fig 5a -schemes BFC,DCQCN    # restrict the scheme axis
 //	experiments -fig 8  -full -parallel 16    # paper-scale sweep on 16 workers
 //	experiments -fig all -out results/        # persist every point as JSONL
 //	experiments -fig all -out results/ -resume  # rerun only what is missing
@@ -27,6 +28,7 @@ import (
 
 	"bfc/internal/experiments"
 	"bfc/internal/harness"
+	"bfc/internal/sim"
 )
 
 // sortedKeys returns a map's keys in sorted order: every figure row printed
@@ -48,6 +50,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for harness-backed figures")
 		out      = flag.String("out", "", "results directory for per-job JSONL artifacts (empty = keep results in memory)")
 		resume   = flag.Bool("resume", false, "skip jobs whose artifact already exists under -out")
+		schemes  = flag.String("schemes", "all", `restrict the scheme axis of figures 5a/5b/5c (and 6, which reuses the 5a runs), 15 and 16 ("BFC,DCQCN,..." or "all"); other figures have fixed scheme sets and ignore it`)
 		list     = flag.Bool("list", false, "list the available figures/scenarios with descriptions and exit")
 	)
 	flag.Parse()
@@ -60,6 +63,16 @@ func main() {
 	scale := experiments.Reduced()
 	if *full {
 		scale = experiments.Full()
+	}
+
+	// nil keeps each figure's default scheme set.
+	var schemeList []sim.Scheme
+	if *schemes != "all" {
+		var err error
+		schemeList, err = sim.ParseSchemes(*schemes)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	runner := &harness.Runner{Parallel: *parallel, Progress: printProgress}
@@ -83,7 +96,7 @@ func main() {
 		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16"}
 	}
 	for _, f := range figs {
-		runFigure(strings.TrimSpace(f), scale, runner)
+		runFigure(strings.TrimSpace(f), scale, runner, schemeList)
 	}
 }
 
@@ -141,17 +154,17 @@ func run(runner *harness.Runner, jobs []harness.Job) []*harness.Record {
 // re-simulating the six-scheme panel.
 var fig05Cache = map[experiments.Fig05Variant]*experiments.Fig05Result{}
 
-func fig05(scale experiments.Scale, variant experiments.Fig05Variant, runner *harness.Runner) *experiments.Fig05Result {
+func fig05(scale experiments.Scale, variant experiments.Fig05Variant, runner *harness.Runner, schemes []sim.Scheme) *experiments.Fig05Result {
 	if res, ok := fig05Cache[variant]; ok {
 		return res
 	}
-	recs := run(runner, experiments.Fig05Jobs(scale, variant, nil))
+	recs := run(runner, experiments.Fig05Jobs(scale, variant, schemes))
 	res := experiments.Fig05FromRecords(variant, recs)
 	fig05Cache[variant] = res
 	return res
 }
 
-func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
+func runFigure(fig string, scale experiments.Scale, runner *harness.Runner, schemes []sim.Scheme) {
 	switch fig {
 	case "1":
 		fmt.Println("## Fig 1: switch hardware trend")
@@ -180,11 +193,11 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 			"5b": experiments.Fig05bFBHadoopIncast,
 			"5c": experiments.Fig05cGoogleNoIncast,
 		}[fig]
-		res := fig05(scale, variant, runner)
+		res := fig05(scale, variant, runner, schemes)
 		fmt.Print(experiments.FormatSeries("## Fig "+fig+": p99 FCT slowdown by flow size", res.Series))
 	case "6":
 		fmt.Println("## Fig 6: buffer occupancy and PFC pause time (Fig 5a workload)")
-		res := fig05(scale, experiments.Fig05aGoogleIncast, runner)
+		res := fig05(scale, experiments.Fig05aGoogleIncast, runner, schemes)
 		for _, s := range res.Series {
 			fmt.Printf("  %-14s p99 buffer=%-10v ToR->Spine paused=%.4f Spine->ToR paused=%.4f\n",
 				s.Label, res.BufferP99[s.Label],
@@ -235,13 +248,13 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner) {
 		}
 	case "15":
 		fmt.Println("## Fig 15: scheme robustness under link fail/recover (p99 slowdown by phase)")
-		for _, r := range experiments.Fig15FromRecords(run(runner, experiments.Fig15Jobs(scale, nil))) {
+		for _, r := range experiments.Fig15FromRecords(run(runner, experiments.Fig15Jobs(scale, schemes))) {
 			fmt.Printf("  %-14s pre=%-8.2f fail=%-8.2f recovered=%-8.2f reroutes=%-4d stranded=%-5d noroute=%-5d completed=%d/%d\n",
 				r.Scheme, r.PreP99, r.FailP99, r.RecoverP99, r.Reroutes, r.Stranded, r.NoRoute, r.Completed, r.Offered)
 		}
 	case "16":
 		fmt.Println("## Fig 16: scale tier — fat-tree host-count sweep (streaming stats)")
-		for _, r := range experiments.Fig16FromRecords(run(runner, experiments.Fig16Jobs(scale, nil, nil))) {
+		for _, r := range experiments.Fig16FromRecords(run(runner, experiments.Fig16Jobs(scale, nil, schemes))) {
 			fmt.Printf("  %-14s hosts=%-5d switches=%-4d p99slowdown=%-8.2f util=%-6.2f p99buffer=%-10v statsSamples=%-6d completed=%d/%d digest=%s\n",
 				r.Scheme, r.Hosts, r.Switches, r.P99, r.Utilization, r.BufferP99, r.StatsSamples, r.Completed, r.Offered, r.Digest)
 		}

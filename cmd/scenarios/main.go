@@ -23,7 +23,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"bfc/internal/harness"
@@ -63,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	schemeList, err := parseSchemes(*schemes)
+	schemeList, err := sim.ParseSchemes(*schemes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -135,29 +134,6 @@ func main() {
 		}
 		printResult(rec, sum)
 	}
-}
-
-// parseSchemes resolves the -schemes flag against the scheme labels.
-func parseSchemes(arg string) ([]sim.Scheme, error) {
-	if arg == "all" {
-		return sim.AllSchemes(), nil
-	}
-	byName := map[string]sim.Scheme{}
-	for _, s := range append(sim.AllSchemes(), sim.SchemeBFCStatic) {
-		byName[strings.ToLower(s.String())] = s
-	}
-	var out []sim.Scheme
-	for _, name := range strings.Split(arg, ",") {
-		s, ok := byName[strings.ToLower(strings.TrimSpace(name))]
-		if !ok {
-			return nil, fmt.Errorf("scenarios: unknown scheme %q", name)
-		}
-		out = append(out, s)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("scenarios: no schemes selected")
-	}
-	return out, nil
 }
 
 // resultDigest hashes the full marshalled result: any nondeterminism anywhere

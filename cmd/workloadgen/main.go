@@ -1,5 +1,7 @@
 // Command workloadgen inspects the embedded workload distributions and
-// generates synthetic traces as CSV for external analysis.
+// generates synthetic traces as CSV for external analysis. All logic lives in
+// internal/workload (GenerateCSVTrace, FormatCDFTable); this file is flag
+// parsing only.
 //
 // Examples:
 //
@@ -13,7 +15,8 @@ import (
 	"log"
 	"time"
 
-	"bfc"
+	"bfc/internal/units"
+	"bfc/internal/workload"
 )
 
 func main() {
@@ -30,45 +33,29 @@ func main() {
 	flag.Parse()
 
 	if *printCDF {
+		var cdfs []*workload.CDF
 		for _, name := range []string{"google", "fb_hadoop", "websearch"} {
-			cdf, err := bfc.WorkloadByName(name)
+			cdf, err := workload.ByName(name)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("# %s (size_bytes, flow_cdf, byte_cdf); mean=%v\n", cdf.Name, cdf.Mean())
-			bw := cdf.ByteWeightedCDF()
-			for i, p := range cdf.Points() {
-				fmt.Printf("%d,%.4f,%.4f\n", p.Size, p.Cum, bw[i].Cum)
-			}
-			fmt.Println()
+			cdfs = append(cdfs, cdf)
 		}
+		fmt.Print(workload.FormatCDFTable(cdfs...))
 		return
 	}
 
-	cdf, err := bfc.WorkloadByName(*wlName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	topo := bfc.NewSingleSwitch(*hosts, 100*bfc.Gbps, bfc.Microsecond)
-	cfg := bfc.WorkloadConfig{
-		Hosts:    topo.Hosts(),
-		CDF:      cdf,
+	csv, summary, err := workload.GenerateCSVTrace(workload.CSVTraceConfig{
+		Workload: *wlName,
 		Load:     *load,
-		HostRate: 100 * bfc.Gbps,
-		Duration: bfc.Time(duration.Nanoseconds()) * bfc.Nanosecond,
+		NumHosts: *hosts,
+		Duration: units.Time(duration.Nanoseconds()) * units.Nanosecond,
 		Seed:     *seed,
-	}
-	if *incast {
-		cfg.Incast = bfc.IncastConfig{Enabled: true, FanIn: 100, AggregateSize: 20 * bfc.MB, LoadFraction: 0.05}
-	}
-	trace, err := bfc.GenerateWorkload(cfg)
+		Incast:   *incast,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("# flow_id,src,dst,size_bytes,start_ps,incast")
-	for _, f := range trace.Flows {
-		fmt.Printf("%d,%d,%d,%d,%d,%v\n", f.ID, f.Src, f.Dst, f.Size, int64(f.StartTime), f.IsIncast)
-	}
-	log.Printf("generated %d flows (%v background + %v incast bytes, offered load %.2f)",
-		len(trace.Flows), trace.BackgroundBytes, trace.IncastBytes, trace.OfferedLoad)
+	fmt.Print(csv)
+	log.Print(summary)
 }

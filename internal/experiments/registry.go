@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bfc/internal/harness"
+	"bfc/internal/packet"
+	"bfc/internal/scenario"
+	"bfc/internal/sim"
+	"bfc/internal/topology"
+	"bfc/internal/workload"
+)
+
+// GridFigure is one registry entry: a named, grid-shaped experiment whose
+// jobs can be compiled from (scale, schemes) alone. The registry exists so
+// that servers — the service tier's bfcd in particular — can turn a wire-form
+// request like "fig05a@reduced, schemes BFC,DCQCN" into harness jobs without
+// importing any cmd package, and so that completed artifacts keep the same
+// names and content hashes no matter which entry point produced them.
+type GridFigure struct {
+	// Key is the registry name ("fig05a", ..., "fig16").
+	Key string
+	// Desc is a one-line human description.
+	Desc string
+	// SchemesSelectable reports whether the schemes argument applies; figures
+	// with a paper-fixed scheme set (e.g. Fig 8's BFC vs DCQCN+Win duel)
+	// reject an explicit scheme selection rather than silently ignoring it.
+	SchemesSelectable bool
+	// Jobs compiles the figure's grid. schemes is ignored (and must be nil)
+	// unless SchemesSelectable; nil selects each figure's default set.
+	Jobs func(scale Scale, schemes []sim.Scheme) []harness.Job
+}
+
+// gridFigures is ordered as the paper presents the figures.
+var gridFigures = []GridFigure{
+	{
+		Key: "fig05a", Desc: "headline p99 FCT slowdown, Google traffic at 60% + 5% incast",
+		SchemesSelectable: true,
+		Jobs: func(scale Scale, schemes []sim.Scheme) []harness.Job {
+			return Fig05Jobs(scale, Fig05aGoogleIncast, schemes)
+		},
+	},
+	{
+		Key: "fig05b", Desc: "headline p99 FCT slowdown, FB_Hadoop traffic at 60% + 5% incast",
+		SchemesSelectable: true,
+		Jobs: func(scale Scale, schemes []sim.Scheme) []harness.Job {
+			return Fig05Jobs(scale, Fig05bFBHadoopIncast, schemes)
+		},
+	},
+	{
+		Key: "fig05c", Desc: "headline p99 FCT slowdown, Google traffic at 65%, no incast",
+		SchemesSelectable: true,
+		Jobs: func(scale Scale, schemes []sim.Scheme) []harness.Job {
+			return Fig05Jobs(scale, Fig05cGoogleNoIncast, schemes)
+		},
+	},
+	{
+		Key: "fig08", Desc: "incast fan-in sweep: utilization and buffer p99 (BFC vs DCQCN+Win)",
+		Jobs: func(scale Scale, _ []sim.Scheme) []harness.Job { return Fig08Jobs(scale) },
+	},
+	{
+		Key: "fig09", Desc: "cross-data-center intra/inter tail latency (BFC vs DCQCN+Win)",
+		Jobs: func(scale Scale, _ []sim.Scheme) []harness.Job { return Fig09Jobs(scale) },
+	},
+	{
+		Key: "fig12", Desc: "BFC sensitivity to number of physical queues",
+		Jobs: func(scale Scale, _ []sim.Scheme) []harness.Job { return Fig12NumPhysicalQueuesJobs(scale) },
+	},
+	{
+		Key: "fig13", Desc: "BFC sensitivity to VFID table size",
+		Jobs: func(scale Scale, _ []sim.Scheme) []harness.Job { return Fig13NumVFIDsJobs(scale) },
+	},
+	{
+		Key: "fig14", Desc: "BFC sensitivity to bloom filter size",
+		Jobs: func(scale Scale, _ []sim.Scheme) []harness.Job { return Fig14BloomFilterSizeJobs(scale) },
+	},
+	{
+		Key: "fig15", Desc: "scheme robustness through a link fail/recover scenario",
+		SchemesSelectable: true,
+		Jobs: func(scale Scale, schemes []sim.Scheme) []harness.Job {
+			return Fig15Jobs(scale, schemes)
+		},
+	},
+	{
+		Key: "fig16", Desc: "scale tier: three-tier fat-tree host-count sweep (streaming stats)",
+		SchemesSelectable: true,
+		Jobs: func(scale Scale, schemes []sim.Scheme) []harness.Job {
+			return Fig16Jobs(scale, nil, schemes)
+		},
+	},
+}
+
+// GridFigures returns the registry entries in presentation order.
+func GridFigures() []GridFigure {
+	return append([]GridFigure{}, gridFigures...)
+}
+
+// GridFigureByKey resolves a registry key (case-insensitively).
+func GridFigureByKey(key string) (GridFigure, bool) {
+	key = strings.ToLower(strings.TrimSpace(key))
+	for _, f := range gridFigures {
+		if f.Key == key {
+			return f, true
+		}
+	}
+	return GridFigure{}, false
+}
+
+// ScaleByName resolves the named experiment scale: "tiny", "reduced" or
+// "full".
+func ScaleByName(name string) (Scale, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "reduced":
+		return Reduced(), nil
+	case "tiny":
+		return Tiny(), nil
+	case "full":
+		return Full(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (want tiny, reduced or full)", name)
+	}
+}
+
+// ScenarioJobs declares one job per scheme running the given scenario spec on
+// the scale's Clos fabric under the standard Fig 5a background workload
+// (Google at 60% + 5% incast) — the service tier's path for ad-hoc
+// fault-injection suites. Every scheme sees identical traffic and identical
+// injected events. The spec's JSON digest is carried in job Meta, so two
+// scenarios that share a name but differ in content never alias one cached
+// artifact.
+func ScenarioJobs(scale Scale, spec *scenario.Spec, schemes []sim.Scheme) ([]harness.Job, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("experiments: nil scenario spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if schemes == nil {
+		schemes = sim.AllSchemes()
+	}
+	blob, err := spec.EncodeJSON()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	digest := hex.EncodeToString(sum[:])[:16]
+	seed := harness.DeriveSeed("scenario", spec.Name, scale.Name, "workload")
+	grid := harness.Grid{
+		Base: harness.Job{
+			Name: scale.Name + "/scenario/" + spec.Name,
+			Meta: map[string]string{
+				"fig": "scenario", "scale": scale.Name,
+				"scenario": spec.Name, "scenario_digest": digest,
+			},
+			Topology: scale.clos,
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				return scale.backgroundTrace(topo, workload.Google(), 0.60, true, seed)
+			},
+			Options: []func(*sim.Options){scale.applyOptions, func(o *sim.Options) {
+				o.Scenario = spec
+			}},
+		},
+		Axes: []harness.Axis{harness.SchemeAxis(schemes)},
+	}
+	return grid.Jobs(), nil
+}
+
+// SeriesFromRecords assembles one slowdown series per record, for rendering
+// any grid's records through FormatSeries. Pure scheme grids label series
+// with the scheme name alone (matching the figure tables); grids with more
+// axes keep the distinguishing name segments.
+func SeriesFromRecords(recs []*harness.Record) []SlowdownSeries {
+	out := make([]SlowdownSeries, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, seriesFromResult(recordLabel(rec), rec.Result))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// recordLabel derives a compact series label from a record's identity.
+func recordLabel(rec *harness.Record) string {
+	var axes []string
+	for k := range rec.Meta {
+		if k != "fig" && k != "scale" && k != "scheme" && k != "scenario" && k != "scenario_digest" {
+			axes = append(axes, k)
+		}
+	}
+	if len(axes) == 0 {
+		if rec.Scheme != "" {
+			return rec.Scheme
+		}
+		return rec.Name
+	}
+	sort.Strings(axes)
+	parts := make([]string, 0, len(axes)+1)
+	if rec.Scheme != "" {
+		parts = append(parts, rec.Scheme)
+	}
+	for _, k := range axes {
+		parts = append(parts, k+"="+rec.Meta[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bfc/internal/harness"
+	"bfc/internal/scenario"
+	"bfc/internal/sim"
+	"bfc/internal/units"
+)
+
+func TestGridFigureRegistryCompiles(t *testing.T) {
+	scale := Tiny()
+	for _, f := range GridFigures() {
+		var schemes []sim.Scheme
+		if f.SchemesSelectable {
+			schemes = []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN}
+		}
+		jobs := f.Jobs(scale, schemes)
+		if len(jobs) == 0 {
+			t.Fatalf("figure %s compiled no jobs", f.Key)
+		}
+		if err := harness.ValidateSuite(jobs); err != nil {
+			t.Fatalf("figure %s: %v", f.Key, err)
+		}
+		for _, j := range jobs {
+			if !strings.HasPrefix(j.Name, scale.Name+"/") {
+				t.Fatalf("figure %s job %q does not carry the scale prefix", f.Key, j.Name)
+			}
+		}
+		if f.SchemesSelectable && len(jobs)%2 != 0 {
+			t.Fatalf("figure %s compiled %d jobs for 2 schemes", f.Key, len(jobs))
+		}
+	}
+}
+
+func TestGridFigureByKey(t *testing.T) {
+	if _, ok := GridFigureByKey("FIG05A"); !ok {
+		t.Fatal("registry lookup must be case-insensitive")
+	}
+	if _, ok := GridFigureByKey("fig99"); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+// TestRegistryMatchesDirectFigureJobs pins the property the result cache
+// depends on: registry-compiled jobs carry exactly the names and content
+// hashes of the figure functions cmd/experiments calls, so served artifacts
+// and batch artifacts alias.
+func TestRegistryMatchesDirectFigureJobs(t *testing.T) {
+	scale := Tiny()
+	reg, _ := GridFigureByKey("fig05a")
+	direct := Fig05Jobs(scale, Fig05aGoogleIncast, []sim.Scheme{sim.SchemeBFC})
+	compiled := reg.Jobs(scale, []sim.Scheme{sim.SchemeBFC})
+	if len(direct) != len(compiled) {
+		t.Fatalf("job counts differ: %d vs %d", len(direct), len(compiled))
+	}
+	for i := range direct {
+		if direct[i].Name != compiled[i].Name || direct[i].Hash() != compiled[i].Hash() {
+			t.Fatalf("job %d identity differs: %q/%s vs %q/%s",
+				i, direct[i].Name, direct[i].Hash(), compiled[i].Name, compiled[i].Hash())
+		}
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for name, want := range map[string]string{"tiny": "tiny", "reduced": "reduced", "full": "full", "": "reduced"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != want {
+			t.Fatalf("ScaleByName(%q) = %q, %v", name, s.Name, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestScenarioJobsDigestKeysContent(t *testing.T) {
+	scale := Tiny()
+	specA := &scenario.Spec{Name: "flap", Events: []scenario.Event{
+		{At: 10 * units.Microsecond, Kind: scenario.LinkDown, Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+		{At: 50 * units.Microsecond, Kind: scenario.LinkUp, Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+	}}
+	specB := &scenario.Spec{Name: "flap", Events: []scenario.Event{
+		{At: 20 * units.Microsecond, Kind: scenario.LinkDown, Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+		{At: 50 * units.Microsecond, Kind: scenario.LinkUp, Link: &scenario.LinkRef{A: "tor0", B: "spine0"}},
+	}}
+	jobsA, err := ScenarioJobs(scale, specA, []sim.Scheme{sim.SchemeBFC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsB, err := ScenarioJobs(scale, specB, []sim.Scheme{sim.SchemeBFC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobsA[0].Name != jobsB[0].Name {
+		t.Fatalf("same-named scenarios should share job names: %q vs %q", jobsA[0].Name, jobsB[0].Name)
+	}
+	if jobsA[0].Hash() == jobsB[0].Hash() {
+		t.Fatal("scenarios with different content must not share artifact hashes")
+	}
+	if _, err := ScenarioJobs(scale, &scenario.Spec{}, nil); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

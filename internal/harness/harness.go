@@ -15,9 +15,7 @@ package harness
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
 	"fmt"
-	"sort"
 
 	"bfc/internal/packet"
 	"bfc/internal/sim"
@@ -71,29 +69,9 @@ func (j *Job) Validate() error {
 	return nil
 }
 
-// Hash returns the content hash keying this job's persisted artifact: a
-// sha256 over the name, scheme, and sorted metadata. Closures cannot be
-// hashed, so any parameter that changes a job's outcome must be reflected in
-// Name or Meta — Grid does this automatically for every axis value.
-func (j *Job) Hash() string {
-	h := sha256.New()
-	h.Write([]byte(j.Name))
-	h.Write([]byte{0})
-	h.Write([]byte(j.Scheme.String()))
-	h.Write([]byte{0})
-	keys := make([]string, 0, len(j.Meta))
-	for k := range j.Meta {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		h.Write([]byte(k))
-		h.Write([]byte{1})
-		h.Write([]byte(j.Meta[k]))
-		h.Write([]byte{0})
-	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
-}
+// Hash returns the content hash keying this job's persisted artifact; see
+// JobSpec.Hash for the contract.
+func (j *Job) Hash() string { return j.Spec().Hash() }
 
 // Seed returns the job's derived simulation seed.
 func (j *Job) Seed() int64 { return DeriveSeed(j.Name) }
@@ -135,8 +113,12 @@ type Record struct {
 	Result *sim.Result `json:"result"`
 }
 
-// execute runs the job to completion and builds its record.
-func (j *Job) execute() (*Record, error) {
+// Execute runs the job to completion in the calling goroutine and builds its
+// record. It is the single-job execution primitive under Runner.Run and the
+// service tier's worker pool; unlike Runner it neither consults a store nor
+// recovers panics from misconfigured builders — callers that accept untrusted
+// job specs must wrap it (Runner.runOne and the service pool both do).
+func (j *Job) Execute() (*Record, error) {
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}

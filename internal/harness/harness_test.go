@@ -214,7 +214,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	jobs := testJobs(t)
-	rec, err := jobs[0].execute()
+	rec, err := jobs[0].Execute()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,7 +44,7 @@ type Runner struct {
 // and is returned after in-flight jobs finish.
 func (r *Runner) Run(jobs []Job) ([]*Record, error) {
 	r.Executed, r.Skipped = 0, 0
-	if err := validateSuite(jobs); err != nil {
+	if err := ValidateSuite(jobs); err != nil {
 		return nil, err
 	}
 	workers := r.Parallel
@@ -148,7 +148,7 @@ func (r *Runner) runOne(j *Job) (rec *Record, elapsed time.Duration, wasCached b
 		}
 	}()
 	start := time.Now()
-	rec, err = j.execute()
+	rec, err = j.Execute()
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -161,12 +161,12 @@ func (r *Runner) runOne(j *Job) (rec *Record, elapsed time.Duration, wasCached b
 	return rec, elapsed, false, nil
 }
 
-// validateSuite checks specs and rejects duplicate job names and duplicate
+// ValidateSuite checks specs and rejects duplicate job names and duplicate
 // content hashes. Duplicate hashes would make two jobs silently share one
 // artifact; duplicate names are rejected separately because the simulation
 // seed derives from the name alone — two jobs with the same name but
 // different Meta have distinct hashes yet would silently share RNG state.
-func validateSuite(jobs []Job) error {
+func ValidateSuite(jobs []Job) error {
 	seenHash := make(map[string]string, len(jobs))
 	seenName := make(map[string]bool, len(jobs))
 	for i := range jobs {

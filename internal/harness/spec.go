@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+)
+
+// JobSpec is the declarative, wire-encodable identity of a Job: everything
+// that keys its content hash, and nothing else. A Job's executable parts
+// (Topology/Flows/Options closures) cannot cross a process boundary, so the
+// service tier ships JobSpecs — clients and manifests name completed work by
+// spec, servers recompile specs into runnable Jobs through the experiments
+// registry.
+type JobSpec struct {
+	// Name is the unique job name within its suite.
+	Name string `json:"name"`
+	// Scheme is the human-readable scheme label (sim.Scheme.String()).
+	Scheme string `json:"scheme"`
+	// Meta carries the axis labels that distinguish sweep points.
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Spec returns the job's wire form.
+func (j *Job) Spec() JobSpec {
+	return JobSpec{Name: j.Name, Scheme: j.Scheme.String(), Meta: j.Meta}
+}
+
+// Hash returns the content hash keying this spec's persisted artifact: a
+// truncated sha256 over the name, scheme, and sorted metadata. Closures
+// cannot be hashed, so any parameter that changes a job's outcome must be
+// reflected in Name or Meta — Grid does this automatically for every axis
+// value, and the service tier marks every server-side option override (e.g.
+// forced streaming statistics) in Meta for the same reason.
+func (s JobSpec) Hash() string {
+	h := sha256.New()
+	h.Write([]byte(s.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(s.Scheme))
+	h.Write([]byte{0})
+	keys := make([]string, 0, len(s.Meta))
+	for k := range s.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{1})
+		h.Write([]byte(s.Meta[k]))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

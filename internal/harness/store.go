@@ -7,15 +7,21 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Store persists one JSONL record per completed job under a results
 // directory. Files are keyed by the job's content hash ("<hash>.jsonl", one
 // JSON line each), so a rerun of the same job spec lands on the same
 // artifact, concurrent workers never interleave writes, and Resume can skip
-// completed work with one lookup per job hash.
+// completed work with one lookup per job hash. A MANIFEST.jsonl index,
+// maintained alongside the artifacts, lets List enumerate completed work
+// without decoding records (see manifest.go).
 type Store struct {
 	dir string
+	// mu serializes manifest writes; artifact files need no locking because
+	// each lands via its own temp-file rename.
+	mu sync.Mutex
 }
 
 // NewStore opens (creating if needed) a results directory.
@@ -61,7 +67,7 @@ func (s *Store) Put(rec *Record) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: writing record %q: %w", rec.Name, err)
 	}
-	return nil
+	return s.appendManifest(rec)
 }
 
 // Get loads the record for a job hash; ok is false when no artifact exists.
@@ -89,7 +95,7 @@ func (s *Store) Load() (map[string]*Record, error) {
 	out := map[string]*Record{}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !artifactPattern.MatchString(name) {
 			continue
 		}
 		hash := strings.TrimSuffix(name, ".jsonl")

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec drives the untrusted-JSON boundary the service daemon
+// exposes: arbitrary bytes must produce either a valid Spec or an error —
+// never a panic, and never a Spec that fails its own Validate. Accepted specs
+// must also survive an encode/decode round trip, since the daemon re-encodes
+// specs into job metadata digests.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"name":"flap","events":[{"at_us":100,"kind":"link_down","link":{"a":"tor0","b":"spine0"}},{"at_us":240,"kind":"link_up","link":{"a":"tor0","b":"spine0"}}]}`,
+		`{"name":"storm","seed":7,"events":[{"at_us":50,"kind":"incast","fan_in":16,"aggregate_kb":512}]}`,
+		`{"name":"brownout","events":[{"at_us":10,"kind":"link_degrade","link":{"a":"tor0","b":"spine1"},"rate_gbps":10,"delay_us":5}]}`,
+		`{"name":"shift","events":[{"at_us":20,"kind":"workload_shift","pattern":"random","load":0.5,"cdf":"google","duration_us":100}]}`,
+		`{"name":"perm","events":[{"at_us":20,"kind":"workload_shift","pattern":"permutation","flow_size_kb":64}]}`,
+		`{"name":"bad","events":[{"at_us":1e308,"kind":"incast","fan_in":1,"aggregate_kb":1}]}`,
+		`{"name":"nan","events":[{"at_us":0,"kind":"workload_shift","pattern":"random","load":1e999,"cdf":"google","duration_us":1}]}`,
+		`{"name":"neg","events":[{"at_us":-5,"kind":"link_down","link":{"a":"a","b":"b"}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted a spec its own Validate rejects: %v", err)
+		}
+		blob, err := spec.EncodeJSON()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		if _, err := ParseSpec(blob); err != nil {
+			t.Fatalf("re-encoded spec failed to parse: %v\n%s", err, blob)
+		}
+	})
+}

@@ -132,12 +132,27 @@ type ShiftSpec struct {
 	FlowSize units.Bytes
 }
 
+// MaxSpecEvents bounds a spec's event count. Specs cross trust boundaries —
+// the service daemon accepts them over HTTP — so validation rejects inputs
+// sized to exhaust the compiler rather than describe an experiment.
+const MaxSpecEvents = 4096
+
+// maxSpecString bounds every free-form string in the wire form (names, link
+// endpoints, victims).
+const maxSpecString = 256
+
 // Validate checks spec-internal consistency: event ordering, per-kind
 // parameters, and link up/down pairing. Name resolution against a concrete
 // topology happens at Install time.
 func (s *Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if len(s.Name) > maxSpecString {
+		return fmt.Errorf("scenario: spec name longer than %d bytes", maxSpecString)
+	}
+	if len(s.Events) > MaxSpecEvents {
+		return fmt.Errorf("scenario: %d events exceed the %d-event limit", len(s.Events), MaxSpecEvents)
 	}
 	linkDown := map[string]bool{}
 	var prev units.Time
@@ -155,6 +170,9 @@ func (s *Spec) Validate() error {
 		case LinkDown, LinkUp, LinkDegrade:
 			if e.Link == nil || e.Link.A == "" || e.Link.B == "" {
 				return fmt.Errorf("scenario: event %d (%s) needs a link reference", i, e.Kind)
+			}
+			if len(e.Link.A) > maxSpecString || len(e.Link.B) > maxSpecString {
+				return fmt.Errorf("scenario: event %d link endpoint name longer than %d bytes", i, maxSpecString)
 			}
 			key := canonicalLink(e.Link.A, e.Link.B)
 			switch e.Kind {
@@ -179,6 +197,9 @@ func (s *Spec) Validate() error {
 		case Incast:
 			if e.Incast == nil || e.Incast.FanIn < 1 || e.Incast.AggregateSize <= 0 {
 				return fmt.Errorf("scenario: event %d (incast) needs fan-in >= 1 and a positive aggregate size", i)
+			}
+			if len(e.Incast.Victim) > maxSpecString {
+				return fmt.Errorf("scenario: event %d victim name longer than %d bytes", i, maxSpecString)
 			}
 		case WorkloadShift:
 			if e.Shift == nil {
@@ -253,16 +274,52 @@ type linkJSON struct {
 	B string `json:"b"`
 }
 
-// ParseSpec decodes the JSON wire form and validates the result.
+// Wire-form magnitude caps. The wire form is the untrusted boundary (bfcd
+// accepts specs over HTTP), so every float is checked for finiteness and a
+// generous physical bound before it is converted to the simulator's integer
+// units — a NaN or 1e300 must come back as an error, never flow through
+// math.Round into an implementation-defined integer conversion.
+const (
+	maxWireUS     = 1e9 // 1000 s of simulated time
+	maxWireGbps   = 1e6 // 1 Pbps
+	maxWireKB     = 1e9 // ~1 TB per injected volume
+	maxWireFanIn  = 1 << 20
+	maxWireEvents = MaxSpecEvents
+)
+
+// wireNumber rejects non-finite, negative, or out-of-range wire values.
+func wireNumber(v float64, limit float64, event int, field string) (float64, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("scenario: event %d: %s is not a finite number", event, field)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("scenario: event %d: %s is negative", event, field)
+	}
+	if v > limit {
+		return 0, fmt.Errorf("scenario: event %d: %s %g exceeds the limit %g", event, field, v, limit)
+	}
+	return v, nil
+}
+
+// ParseSpec decodes the JSON wire form and validates the result. It is safe
+// on untrusted input: malformed JSON, non-finite or oversized numbers, and
+// oversized specs return errors, never panics.
 func ParseSpec(data []byte) (*Spec, error) {
 	var w specJSON
 	if err := json.Unmarshal(data, &w); err != nil {
 		return nil, fmt.Errorf("scenario: decoding spec: %w", err)
 	}
+	if len(w.Events) > maxWireEvents {
+		return nil, fmt.Errorf("scenario: %d events exceed the %d-event limit", len(w.Events), maxWireEvents)
+	}
 	s := &Spec{Name: w.Name, Seed: w.Seed}
 	for i, ew := range w.Events {
+		at, err := wireNumber(ew.AtUS, maxWireUS, i, "at_us")
+		if err != nil {
+			return nil, err
+		}
 		e := Event{
-			At:   usToTime(ew.AtUS),
+			At:   usToTime(at),
 			Kind: Kind(ew.Kind),
 		}
 		if ew.Link != nil {
@@ -270,23 +327,50 @@ func ParseSpec(data []byte) (*Spec, error) {
 		}
 		switch e.Kind {
 		case LinkDegrade:
+			rate, err := wireNumber(ew.RateGbps, maxWireGbps, i, "rate_gbps")
+			if err != nil {
+				return nil, err
+			}
+			delay, err := wireNumber(ew.DelayUS, maxWireUS, i, "delay_us")
+			if err != nil {
+				return nil, err
+			}
 			e.Degrade = &DegradeSpec{
-				Rate:  units.Rate(math.Round(ew.RateGbps * float64(units.Gbps))),
-				Delay: usToTime(ew.DelayUS),
+				Rate:  units.Rate(math.Round(rate * float64(units.Gbps))),
+				Delay: usToTime(delay),
 			}
 		case Incast:
+			if ew.FanIn > maxWireFanIn {
+				return nil, fmt.Errorf("scenario: event %d: fan_in %d exceeds the limit %d", i, ew.FanIn, maxWireFanIn)
+			}
+			agg, err := wireNumber(ew.AggregateKB, maxWireKB, i, "aggregate_kb")
+			if err != nil {
+				return nil, err
+			}
 			e.Incast = &IncastSpec{
 				FanIn:         ew.FanIn,
-				AggregateSize: kbToBytes(ew.AggregateKB),
+				AggregateSize: kbToBytes(agg),
 				Victim:        ew.Victim,
 			}
 		case WorkloadShift:
+			load, err := wireNumber(ew.Load, 1, i, "load")
+			if err != nil {
+				return nil, err
+			}
+			dur, err := wireNumber(ew.DurationUS, maxWireUS, i, "duration_us")
+			if err != nil {
+				return nil, err
+			}
+			size, err := wireNumber(ew.FlowSizeKB, maxWireKB, i, "flow_size_kb")
+			if err != nil {
+				return nil, err
+			}
 			e.Shift = &ShiftSpec{
 				Pattern:  Pattern(ew.Pattern),
-				Load:     ew.Load,
+				Load:     load,
 				CDFName:  ew.CDF,
-				Duration: usToTime(ew.DurationUS),
-				FlowSize: kbToBytes(ew.FlowSizeKB),
+				Duration: usToTime(dur),
+				FlowSize: kbToBytes(size),
 			}
 		case LinkDown, LinkUp:
 			// link reference only

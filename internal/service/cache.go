@@ -1,0 +1,121 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"bfc/internal/harness"
+)
+
+// recordCache is the content-addressed result cache: a bounded LRU of decoded
+// records in front of the store's JSONL artifacts. The store is the source of
+// truth (and is shared with batch cmd/experiments runs via the common content
+// hashes); the LRU only saves re-decoding multi-megabyte records for hot
+// suites. Records are treated as immutable once cached — every consumer only
+// marshals or reads them.
+type recordCache struct {
+	store *harness.Store
+
+	mu      sync.Mutex
+	cap     int
+	byHash  map[string]*list.Element
+	lru     list.List // front = most recently used; values are *cacheEntry
+	hits    uint64    // served from the LRU
+	loads   uint64    // served by decoding a store artifact
+	misses  uint64    // not computed yet anywhere
+	faults  uint64    // store lookups that failed (unreadable artifact)
+	evicted uint64
+}
+
+type cacheEntry struct {
+	hash string
+	rec  *harness.Record
+}
+
+func newRecordCache(store *harness.Store, capacity int) *recordCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &recordCache{
+		store:  store,
+		cap:    capacity,
+		byHash: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the record for a content hash, consulting the LRU first and
+// falling back to the store. ok is false when the job has never completed.
+func (c *recordCache) Get(hash string) (*harness.Record, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byHash[hash]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		rec := el.Value.(*cacheEntry).rec
+		c.mu.Unlock()
+		return rec, true, nil
+	}
+	c.mu.Unlock()
+
+	rec, ok, err := c.store.Get(hash)
+	if err != nil || !ok {
+		c.mu.Lock()
+		if err != nil {
+			c.faults++
+		} else {
+			c.misses++
+		}
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	c.mu.Lock()
+	c.loads++
+	c.mu.Unlock()
+	c.Add(hash, rec)
+	return rec, true, nil
+}
+
+// Add inserts a freshly computed or freshly decoded record, evicting the
+// least recently used entry beyond capacity.
+func (c *recordCache) Add(hash string, rec *harness.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byHash[hash]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).rec = rec
+		return
+	}
+	c.byHash[hash] = c.lru.PushFront(&cacheEntry{hash: hash, rec: rec})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.byHash, el.Value.(*cacheEntry).hash)
+		c.evicted++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Entries is the current LRU population; Capacity its bound.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Hits counts lookups served from the in-memory LRU, Loads lookups that
+	// decoded a store artifact, Misses lookups for never-computed work, and
+	// Faults store lookups that failed (unreadable artifacts — a storage
+	// problem, not a cold cache).
+	Hits   uint64 `json:"hits"`
+	Loads  uint64 `json:"loads"`
+	Misses uint64 `json:"misses"`
+	Faults uint64 `json:"faults"`
+	// Evicted counts LRU evictions.
+	Evicted uint64 `json:"evicted"`
+}
+
+func (c *recordCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: c.lru.Len(), Capacity: c.cap,
+		Hits: c.hits, Loads: c.loads, Misses: c.misses, Faults: c.faults,
+		Evicted: c.evicted,
+	}
+}

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"bfc/internal/experiments"
+	"bfc/internal/sim"
+)
+
+// NewHandler wraps a Service in its REST + SSE API:
+//
+//	GET    /healthz                    liveness probe
+//	GET    /api/v1/figures             the compilable grid figures and scales
+//	POST   /api/v1/suites              submit a SuiteSpec; 202 + SuiteStatus
+//	GET    /api/v1/suites              list suite statuses
+//	GET    /api/v1/suites/{id}         one suite status
+//	DELETE /api/v1/suites/{id}         cancel a running suite
+//	GET    /api/v1/suites/{id}/results completed records as JSONL, job order
+//	GET    /api/v1/suites/{id}/events  Server-Sent-Events progress stream
+//	GET    /api/v1/store               the store manifest (completed work)
+//	GET    /api/v1/stats               service + cache counters
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/v1/figures", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, figureIndex())
+	})
+	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("GET /api/v1/store", func(w http.ResponseWriter, r *http.Request) {
+		entries, err := svc.Store().List()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, entries)
+	})
+	mux.HandleFunc("POST /api/v1/suites", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxSuiteSpecBytes))
+		if err != nil {
+			code := http.StatusBadRequest
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				code = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, code, fmt.Errorf("service: reading suite spec: %w", err))
+			return
+		}
+		spec, err := ParseSuiteSpec(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, err := svc.Submit(spec)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrBusy):
+			httpError(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrStorage):
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		default:
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, status)
+	})
+	mux.HandleFunc("GET /api/v1/suites", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.ListStatuses())
+	})
+	mux.HandleFunc("GET /api/v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
+		status, err := svc.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("DELETE /api/v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, err := svc.Status(id); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if err := svc.Cancel(id); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		status, _ := svc.Status(id)
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /api/v1/suites/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		recs, err := svc.Results(id)
+		if err != nil {
+			if _, serr := svc.Status(id); serr != nil {
+				httpError(w, http.StatusNotFound, serr)
+			} else {
+				httpError(w, http.StatusConflict, err)
+			}
+			return
+		}
+		// One record per line, exactly as the store artifacts encode them, so
+		// served bytes diff cleanly against cmd/experiments -out files.
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return // client went away mid-stream
+			}
+		}
+	})
+	mux.HandleFunc("GET /api/v1/suites/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(svc, w, r)
+	})
+	return mux
+}
+
+// serveEvents streams suite progress as Server-Sent Events: one "message"
+// event per completed job and a final "end" event, then closes. Subscribing
+// to an already-finished suite yields the end event immediately.
+func serveEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
+	status, ch, cancel, err := svc.Subscribe(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("service: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Opening snapshot, so late subscribers know where the suite stands.
+	writeSSE(w, Event{
+		Type: "status", Suite: status.ID, Done: status.Done, Total: status.Total,
+		State: status.State, Error: status.Error,
+	})
+	flusher.Flush()
+	if ch == nil { // already terminal
+		final, _ := svc.Status(status.ID)
+		writeSSE(w, Event{
+			Type: "end", Suite: final.ID, Done: final.Done, Total: final.Total,
+			State: final.State, Error: final.Error,
+		})
+		flusher.Flush()
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Channel closed: the suite is terminal. Emit a final end
+				// event from the snapshot in case the subscriber missed it.
+				final, err := svc.Status(status.ID)
+				if err == nil {
+					writeSSE(w, Event{
+						Type: "end", Suite: final.ID, Done: final.Done, Total: final.Total,
+						State: final.State, Error: final.Error,
+					})
+					flusher.Flush()
+				}
+				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev Event) {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "data: %s\n\n", blob)
+}
+
+// FigureIndex is the GET /api/v1/figures document.
+type FigureIndex struct {
+	// Figures lists the compilable grid figures.
+	Figures []FigureInfo `json:"figures"`
+	// Scales lists the accepted scale names.
+	Scales []string `json:"scales"`
+	// Schemes lists the scheme labels accepted in SuiteSpec.Schemes.
+	Schemes []string `json:"schemes"`
+}
+
+// FigureInfo describes one registry entry.
+type FigureInfo struct {
+	Key               string `json:"key"`
+	Desc              string `json:"desc"`
+	SchemesSelectable bool   `json:"schemes_selectable"`
+}
+
+func figureIndex() FigureIndex {
+	idx := FigureIndex{Scales: []string{"tiny", "reduced", "full"}}
+	for _, f := range experiments.GridFigures() {
+		idx.Figures = append(idx.Figures, FigureInfo{
+			Key: f.Key, Desc: f.Desc, SchemesSelectable: f.SchemesSelectable,
+		})
+	}
+	var labels []string
+	for _, s := range append(sim.AllSchemes(), sim.SchemeBFCStatic) {
+		labels = append(labels, s.String())
+	}
+	sort.Strings(labels)
+	idx.Schemes = labels
+	return idx
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bfc/internal/harness"
+)
+
+func newTestServer(t *testing.T, dir string) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := newTestService(t, dir, nil)
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postSuite(t *testing.T, ts *httptest.Server, body string) (SuiteStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/suites", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status SuiteStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return status, resp
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc := newTestServer(t, dir)
+
+	// Figures index.
+	resp, err := http.Get(ts.URL + "/api/v1/figures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx FigureIndex
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(idx.Figures) == 0 || idx.Figures[0].Key != "fig05a" {
+		t.Fatalf("figure index: %+v", idx)
+	}
+
+	// Submit and follow the SSE stream to completion.
+	body := `{"figure":"fig05a","scale":"tiny","schemes":["BFC","DCQCN"]}`
+	status, raw := postSuite(t, ts, body)
+	if raw.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s", raw.Status)
+	}
+	events, err := http.Get(ts.URL + "/api/v1/suites/" + status.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer events.Body.Close()
+	if ct := events.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var sawJob, sawEnd bool
+	sc := bufio.NewScanner(events.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Type == "job" {
+			sawJob = true
+		}
+		if ev.Type == "end" {
+			sawEnd = true
+			if ev.State != StateDone {
+				t.Fatalf("suite ended %s: %s", ev.State, ev.Error)
+			}
+			break
+		}
+	}
+	if !sawEnd {
+		t.Fatalf("no end event (sawJob=%v, scan err %v)", sawJob, sc.Err())
+	}
+
+	// Results come back as JSONL whose lines are byte-identical to the
+	// store's artifacts.
+	res, err := http.Get(ts.URL + "/api/v1/suites/" + status.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("results: %s", res.Status)
+	}
+	var lines []string
+	rs := bufio.NewScanner(res.Body)
+	rs.Buffer(make([]byte, 1<<20), 1<<24)
+	for rs.Scan() {
+		if s := strings.TrimSpace(rs.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("results returned %d records", len(lines))
+	}
+	for _, line := range lines {
+		rec := &harness.Record{}
+		if err := json.Unmarshal([]byte(line), rec); err != nil {
+			t.Fatal(err)
+		}
+		artifact, err := os.ReadFile(filepath.Join(dir, rec.Hash+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(string(artifact)) != line {
+			t.Fatalf("served record %s differs from its store artifact", rec.Name)
+		}
+	}
+
+	// Store listing matches.
+	var entries []harness.ManifestEntry
+	if err := getJSON(ts.URL+"/api/v1/store", &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("store listing has %d entries", len(entries))
+	}
+
+	// Resubmission over HTTP is fully cached.
+	second, raw2 := postSuite(t, ts, body)
+	if raw2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: %s", raw2.Status)
+	}
+	if second.State != StateDone || second.Cached != 2 || second.Executed != 0 {
+		t.Fatalf("resubmission: %+v", second)
+	}
+	// SSE on a finished suite yields an immediate end event.
+	done, err := http.Get(ts.URL + "/api/v1/suites/" + second.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer done.Body.Close()
+	var gotEnd bool
+	ds := bufio.NewScanner(done.Body)
+	for ds.Scan() {
+		if strings.Contains(ds.Text(), `"end"`) {
+			gotEnd = true
+			break
+		}
+	}
+	if !gotEnd {
+		t.Fatal("no end event for a finished suite")
+	}
+
+	// Stats reflect the work split.
+	var stats Stats
+	if err := getJSON(ts.URL+"/api/v1/stats", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.JobsExecuted != 2 || stats.Suites != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	_ = svc
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t, t.TempDir())
+
+	// Malformed and invalid submissions.
+	for _, body := range []string{`{`, `{}`, `{"figure":"fig99"}`, `{"figure":"fig05a","bogus":1}`} {
+		_, resp := postSuite(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit %q: %s, want 400", body, resp.Status)
+		}
+	}
+
+	// Unknown suite.
+	for _, path := range []string{"/api/v1/suites/nope", "/api/v1/suites/nope/results", "/api/v1/suites/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %s, want 404", path, resp.Status)
+		}
+	}
+
+	// Cancelling a finished suite conflicts.
+	status, _ := postSuite(t, ts, `{"figure":"fig05a","scale":"tiny","schemes":["BFC"]}`)
+	waitHTTPDone(t, ts, status.ID)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/suites/"+status.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done suite: %s, want 409", resp.Status)
+	}
+
+	// Results of a running/unknown state: covered above; an oversized body is
+	// rejected.
+	big := strings.NewReader(`{"figure":"` + strings.Repeat("x", MaxSuiteSpecBytes+1) + `"}`)
+	bigResp, err := http.Post(ts.URL+"/api/v1/suites", "application/json", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigResp.Body.Close()
+	if bigResp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: %s, want 413", bigResp.Status)
+	}
+}
+
+func waitHTTPDone(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	for i := 0; i < 24000; i++ {
+		var status SuiteStatus
+		if err := getJSON(ts.URL+"/api/v1/suites/"+id, &status); err != nil {
+			t.Fatal(err)
+		}
+		if status.State != StateRunning {
+			if status.State != StateDone {
+				t.Fatalf("suite ended %s: %s", status.State, status.Error)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("suite %s did not finish", id)
+}

@@ -1,0 +1,674 @@
+// Package service is the simulation-as-a-service tier: a long-lived Service
+// accepts JSON-declared suites (a figure grid or a scenario, see SuiteSpec),
+// compiles them to harness jobs through the experiments registry, satisfies
+// every already-computed job from a content-addressed result cache, and runs
+// the rest on a bounded worker pool with per-suite progress events.
+//
+// Caching is content-addressed end to end: a job's artifact is keyed by the
+// hash of its wire-form spec (harness.JobSpec), the store is the same JSONL
+// artifact layout cmd/experiments -out writes, and records served from cache
+// are byte-identical to the first computation — resubmitting a completed
+// suite performs zero simulation runs. Determinism carries over from the
+// harness: per-job seeds derive from job names, so served records are
+// byte-identical no matter the worker count or which process computed them.
+//
+// cmd/bfcd wraps the Service in an HTTP API (see http.go) and cmd/bfcctl is
+// the matching client.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bfc/internal/harness"
+	"bfc/internal/sim"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Store persists and serves completed records. Required.
+	Store *harness.Store
+	// Workers bounds the simulation worker pool; <= 0 means
+	// runtime.GOMAXPROCS(0) via the default in New.
+	Workers int
+	// MaxActiveSuites bounds the number of suites simultaneously holding
+	// uncached work; submissions beyond it fail with ErrBusy. Fully-cached
+	// submissions never count against it. <= 0 means 4.
+	MaxActiveSuites int
+	// MaxSuiteJobs bounds a single suite's job count. <= 0 means 4096.
+	MaxSuiteJobs int
+	// CacheEntries bounds the in-memory LRU of decoded records. <= 0 means
+	// 128.
+	CacheEntries int
+	// MaxSuiteHistory bounds retained terminal suites: once exceeded, the
+	// oldest done/failed/cancelled suites are forgotten (their records stay
+	// in the store and LRU; only the per-suite bookkeeping and pinned record
+	// slices are released). Running suites are never evicted. <= 0 means 64.
+	MaxSuiteHistory int
+	// StreamingHosts is the fabric size at which served runs are forced onto
+	// constant-memory streaming statistics (the jobs get a Meta marker so the
+	// override is visible in their content hashes). 0 means
+	// sim.DefaultStreamingHostThreshold; negative disables the policy.
+	StreamingHosts int
+}
+
+// SuiteState is a suite's lifecycle state.
+type SuiteState string
+
+// The suite states.
+const (
+	// StateRunning covers everything from submission to the last job.
+	StateRunning SuiteState = "running"
+	// StateDone means every job completed; Results is available.
+	StateDone SuiteState = "done"
+	// StateFailed means a job failed; the suite stopped at the first error.
+	StateFailed SuiteState = "failed"
+	// StateCancelled means Cancel (or shutdown) stopped the suite early.
+	StateCancelled SuiteState = "cancelled"
+)
+
+// ErrBusy is returned when MaxActiveSuites suites are already running.
+var ErrBusy = fmt.Errorf("service: too many active suites, retry later")
+
+// ErrClosed is returned for submissions after Close began.
+var ErrClosed = fmt.Errorf("service: shutting down")
+
+// ErrStorage wraps server-side store/cache failures, so the HTTP layer can
+// report them as 500s instead of blaming the client's spec.
+var ErrStorage = fmt.Errorf("service: storage failure")
+
+// Service is the daemon core. Create with New, stop with Close.
+type Service struct {
+	cfg   Config
+	cache *recordCache
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []work
+	suites map[string]*suite
+	// order lists running suites in submission order (for shutdown);
+	// history lists terminal suites in completion order (for eviction).
+	order   []string
+	history []string
+	nextID  int
+	active  int
+	jobsRun uint64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// work is one queued job execution.
+type work struct {
+	st  *suite
+	idx int
+}
+
+// suite is the server-side state of one submission.
+type suite struct {
+	id     string
+	title  string
+	figure string
+	scale  string
+	digest string
+	jobs   []harness.Job
+
+	mu       sync.Mutex
+	records  []*harness.Record
+	done     int
+	cached   int
+	executed int
+	state    SuiteState
+	err      string
+	subs     map[int]chan Event
+	nextSub  int
+}
+
+// Event is one progress notification on a suite's subscription stream.
+type Event struct {
+	// Type is "job" (one job finished), "end" (the suite reached a terminal
+	// state), or "status" (the opening snapshot every SSE stream begins
+	// with).
+	Type string `json:"type"`
+	// Suite is the suite ID.
+	Suite string `json:"suite"`
+	// Job is the finished job's name (Type "job").
+	Job string `json:"job,omitempty"`
+	// Cached is true when the job was served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Done / Total track suite progress.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// State and Error describe the terminal state (Type "end").
+	State SuiteState `json:"state,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// SuiteStatus is a point-in-time snapshot of one suite.
+type SuiteStatus struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Figure string     `json:"figure"`
+	Scale  string     `json:"scale"`
+	Digest string     `json:"digest"`
+	State  SuiteState `json:"state"`
+	// Total counts the suite's jobs; Done the completed ones; Cached those
+	// satisfied from the result cache without simulating; Executed those this
+	// suite actually simulated.
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Cached   int    `json:"cached"`
+	Executed int    `json:"executed"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Stats is a service-wide snapshot.
+type Stats struct {
+	// Suites counts submissions since start; ActiveSuites those still
+	// running; QueuedJobs the jobs waiting for a worker.
+	Suites       int `json:"suites"`
+	ActiveSuites int `json:"active_suites"`
+	QueuedJobs   int `json:"queued_jobs"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// JobsExecuted counts simulations actually run since start — the number
+	// the cache-hit acceptance test pins at zero for a resubmission.
+	JobsExecuted uint64 `json:"jobs_executed"`
+	// Cache summarizes the result cache.
+	Cache CacheStats `json:"cache"`
+}
+
+// New starts a Service and its worker pool.
+func New(cfg Config) (*Service, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: a store is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxActiveSuites <= 0 {
+		cfg.MaxActiveSuites = 4
+	}
+	if cfg.MaxSuiteJobs <= 0 {
+		cfg.MaxSuiteJobs = 4096
+	}
+	if cfg.MaxSuiteHistory <= 0 {
+		cfg.MaxSuiteHistory = 64
+	}
+	s := &Service{
+		cfg:    cfg,
+		cache:  newRecordCache(cfg.Store, cfg.CacheEntries),
+		suites: map[string]*suite{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting work, cancels every running suite (queued jobs are
+// dropped; in-flight simulations finish and their records are still cached),
+// and waits for the workers to exit.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	running := make([]*suite, 0, s.active)
+	for _, id := range s.order {
+		st := s.suites[id]
+		running = append(running, st)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, st := range running {
+		s.finishSuite(st, StateCancelled, "service shutting down")
+	}
+	s.wg.Wait()
+}
+
+// Submit compiles and starts a suite. Jobs already present in the result
+// cache complete immediately; a suite whose every job is cached returns in
+// state done without consuming an active-suite slot.
+func (s *Service) Submit(spec *SuiteSpec) (SuiteStatus, error) {
+	cs, err := spec.Compile()
+	if err != nil {
+		return SuiteStatus{}, err
+	}
+	return s.SubmitCompiled(cs)
+}
+
+// SubmitCompiled starts a pre-compiled suite (the path Submit and the HTTP
+// layer share; also the seam tests use to inject custom jobs).
+func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
+	if len(cs.Jobs) == 0 {
+		return SuiteStatus{}, fmt.Errorf("service: suite compiled to no jobs")
+	}
+	if len(cs.Jobs) > s.cfg.MaxSuiteJobs {
+		return SuiteStatus{}, fmt.Errorf("service: suite has %d jobs, limit %d", len(cs.Jobs), s.cfg.MaxSuiteJobs)
+	}
+	// Server-side option policy; it may mark job Meta, so it must run before
+	// hashes are used.
+	s.applyMemoryPolicy(cs.Jobs)
+	cs.Digest = suiteDigest(cs.Jobs)
+
+	st := &suite{
+		title:   cs.Title,
+		figure:  cs.Figure,
+		scale:   cs.Scale,
+		digest:  cs.Digest,
+		jobs:    cs.Jobs,
+		records: make([]*harness.Record, len(cs.Jobs)),
+		state:   StateRunning,
+		subs:    map[int]chan Event{},
+	}
+
+	// Resolve the cache before taking an active-suite slot: hits are free.
+	var pending []int
+	for i := range st.jobs {
+		rec, ok, err := s.cache.Get(st.jobs[i].Hash())
+		if err != nil {
+			return SuiteStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+		if ok {
+			st.records[i] = rec
+			st.done++
+			st.cached++
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	allCached := len(pending) == 0
+	if allCached {
+		st.state = StateDone
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SuiteStatus{}, ErrClosed
+	}
+	if !allCached && s.active >= s.cfg.MaxActiveSuites {
+		s.mu.Unlock()
+		return SuiteStatus{}, ErrBusy
+	}
+	s.nextID++
+	st.id = fmt.Sprintf("s%06d", s.nextID)
+	s.suites[st.id] = st
+	if allCached {
+		s.retireLocked(st.id)
+	} else {
+		s.order = append(s.order, st.id)
+		s.active++
+		for _, i := range pending {
+			s.queue = append(s.queue, work{st: st, idx: i})
+		}
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	return s.statusOf(st), nil
+}
+
+// retireLocked (s.mu held) records a suite as terminal and evicts the oldest
+// terminal suites beyond MaxSuiteHistory, releasing their pinned record
+// slices. Evicted suite IDs become unknown to Status/Results; the records
+// themselves remain available through the store and LRU.
+func (s *Service) retireLocked(id string) {
+	s.history = append(s.history, id)
+	for len(s.history) > s.cfg.MaxSuiteHistory {
+		old := s.history[0]
+		s.history = s.history[1:]
+		delete(s.suites, old)
+	}
+}
+
+// Status returns a suite snapshot.
+func (s *Service) Status(id string) (SuiteStatus, error) {
+	st, err := s.lookup(id)
+	if err != nil {
+		return SuiteStatus{}, err
+	}
+	return s.statusOf(st), nil
+}
+
+// ListStatuses returns every suite in submission order.
+func (s *Service) ListStatuses() []SuiteStatus {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.suites))
+	for id := range s.suites {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	// IDs are zero-padded sequence numbers, so lexical order is submission
+	// order.
+	sort.Strings(ids)
+	out := make([]SuiteStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, err := s.lookup(id); err == nil {
+			out = append(out, s.statusOf(st))
+		}
+	}
+	return out
+}
+
+// Results returns the completed suite's records in job order. It fails until
+// the suite is done.
+func (s *Service) Results(id string) ([]*harness.Record, error) {
+	st, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.state != StateDone {
+		return nil, fmt.Errorf("service: suite %s is %s, results need state done", id, st.state)
+	}
+	return append([]*harness.Record{}, st.records...), nil
+}
+
+// Cancel stops a running suite: queued jobs are dropped, in-flight jobs
+// finish (their records still land in the cache) but the suite no longer
+// waits for them.
+func (s *Service) Cancel(id string) error {
+	st, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	if !s.finishSuite(st, StateCancelled, "cancelled") {
+		return fmt.Errorf("service: suite %s is already %s", id, st.terminalState())
+	}
+	return nil
+}
+
+// Subscribe returns the suite's current status plus a progress event channel.
+// The channel is closed when the suite reaches a terminal state (after an
+// "end" event); for an already-terminal suite it is nil. cancel releases the
+// subscription early.
+func (s *Service) Subscribe(id string) (SuiteStatus, <-chan Event, func(), error) {
+	st, err := s.lookup(id)
+	if err != nil {
+		return SuiteStatus{}, nil, nil, err
+	}
+	st.mu.Lock()
+	if st.state != StateRunning {
+		st.mu.Unlock()
+		return s.statusOf(st), nil, func() {}, nil
+	}
+	ch := make(chan Event, 256)
+	sub := st.nextSub
+	st.nextSub++
+	st.subs[sub] = ch
+	st.mu.Unlock()
+	cancel := func() {
+		st.mu.Lock()
+		if c, ok := st.subs[sub]; ok {
+			delete(st.subs, sub)
+			close(c)
+		}
+		st.mu.Unlock()
+	}
+	return s.statusOf(st), ch, cancel, nil
+}
+
+// Stats returns a service-wide snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	out := Stats{
+		Suites:       s.nextID,
+		ActiveSuites: s.active,
+		QueuedJobs:   len(s.queue),
+		Workers:      s.cfg.Workers,
+		JobsExecuted: s.jobsRun,
+	}
+	s.mu.Unlock()
+	out.Cache = s.cache.Stats()
+	return out
+}
+
+// Store exposes the underlying artifact store (for manifest listings).
+func (s *Service) Store() *harness.Store { return s.cfg.Store }
+
+// ---------------------------------------------------------------------------
+// internals
+
+func (s *Service) lookup(id string) (*suite, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.suites[id]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown suite %q", id)
+	}
+	return st, nil
+}
+
+func (s *Service) statusOf(st *suite) SuiteStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SuiteStatus{
+		ID: st.id, Title: st.title, Figure: st.figure, Scale: st.scale,
+		Digest: st.digest, State: st.state,
+		Total: len(st.jobs), Done: st.done, Cached: st.cached, Executed: st.executed,
+		Error: st.err,
+	}
+}
+
+// worker executes queued jobs until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.runJob(w)
+	}
+}
+
+// runJob executes one queued job and folds the outcome into its suite.
+func (s *Service) runJob(w work) {
+	st := w.st
+	st.mu.Lock()
+	running := st.state == StateRunning
+	st.mu.Unlock()
+	if !running {
+		return // suite failed or was cancelled while this job sat queued
+	}
+
+	rec, err := executeJob(&st.jobs[w.idx])
+	if err == nil {
+		if perr := s.cfg.Store.Put(rec); perr != nil {
+			err = perr
+		} else {
+			s.cache.Add(rec.Hash, rec)
+		}
+		s.mu.Lock()
+		s.jobsRun++
+		s.mu.Unlock()
+	}
+
+	if err != nil {
+		s.finishSuite(st, StateFailed, err.Error())
+		return
+	}
+
+	st.mu.Lock()
+	if st.state != StateRunning {
+		// The suite ended while this job simulated; the record is cached for
+		// future submissions but no longer counts toward this suite.
+		st.mu.Unlock()
+		return
+	}
+	st.records[w.idx] = rec
+	st.done++
+	st.executed++
+	finished := st.done == len(st.jobs)
+	ev := Event{
+		Type: "job", Suite: st.id, Job: st.jobs[w.idx].Name,
+		Done: st.done, Total: len(st.jobs),
+	}
+	st.notifyLocked(ev)
+	st.mu.Unlock()
+	if finished {
+		s.finishSuite(st, StateDone, "")
+	}
+}
+
+// finishSuite moves a suite to a terminal state (once), emits the end event,
+// closes subscriptions, and releases the active-suite slot. It reports
+// whether this call performed the transition.
+func (s *Service) finishSuite(st *suite, state SuiteState, reason string) bool {
+	st.mu.Lock()
+	if st.state != StateRunning {
+		st.mu.Unlock()
+		return false
+	}
+	st.state = state
+	if state != StateDone {
+		st.err = reason
+	}
+	ev := Event{
+		Type: "end", Suite: st.id, Done: st.done, Total: len(st.jobs),
+		State: state, Error: st.err,
+	}
+	st.notifyLocked(ev)
+	for sub, ch := range st.subs {
+		delete(st.subs, sub)
+		close(ch)
+	}
+	st.mu.Unlock()
+
+	s.mu.Lock()
+	s.active--
+	// Drop the suite's queued jobs so workers don't churn through them, and
+	// remove it from the running list.
+	kept := s.queue[:0]
+	for _, w := range s.queue {
+		if w.st != st {
+			kept = append(kept, w)
+		}
+	}
+	s.queue = kept
+	order := s.order[:0]
+	for _, id := range s.order {
+		if id != st.id {
+			order = append(order, id)
+		}
+	}
+	s.order = order
+	s.retireLocked(st.id)
+	s.mu.Unlock()
+	return true
+}
+
+// notifyLocked fans an event out to subscribers without blocking: a
+// subscriber that fell 256 events behind loses intermediate events (it will
+// see the channel close and re-fetch the status).
+func (st *suite) notifyLocked(ev Event) {
+	for _, ch := range st.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (st *suite) terminalState() SuiteState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.state
+}
+
+// executeJob runs one job, converting builder panics into errors so a
+// malformed sweep point cannot take down the daemon.
+func executeJob(j *harness.Job) (rec *harness.Record, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("service: job %q panicked: %v", j.Name, p)
+		}
+	}()
+	return j.Execute()
+}
+
+// applyMemoryPolicy probes each job's topology size and forces
+// constant-memory streaming statistics on large fabrics (the served-run
+// memory bound). The override is recorded in job Meta — it changes the run's
+// statistics encoding, so the content hash must reflect it; small-fabric jobs
+// are untouched and keep aliasing batch artifacts byte-for-byte.
+func (s *Service) applyMemoryPolicy(jobs []harness.Job) {
+	threshold := s.cfg.StreamingHosts
+	if threshold < 0 {
+		return
+	}
+	if threshold == 0 {
+		threshold = sim.DefaultStreamingHostThreshold
+	}
+	for i := range jobs {
+		bindStreamingPolicy(&jobs[i], threshold)
+	}
+}
+
+func bindStreamingPolicy(j *harness.Job, threshold int) {
+	if j.Topology == nil {
+		return // ValidateSuite will reject the job with a better error
+	}
+	// Fast path: the option mutators alone reveal whether the figure already
+	// selected streaming mode (fig16 does) — no topology needed. This keeps
+	// the submit path free of expensive fabric builds exactly for the grids
+	// whose fabrics are expensive to build.
+	if streaming, ok := probeStreamingOption(j); ok && streaming {
+		return
+	}
+	topo := j.Topology()
+	opts := sim.DefaultOptions(j.Scheme, topo)
+	for _, mutate := range j.Options {
+		if mutate != nil {
+			mutate(&opts)
+		}
+	}
+	if opts.StreamingStats {
+		return
+	}
+	hosts := len(topo.Hosts())
+	if hosts < threshold {
+		return
+	}
+	if j.Meta == nil {
+		j.Meta = map[string]string{}
+	}
+	j.Meta["stats"] = "streaming"
+	j.Options = append(j.Options, func(o *sim.Options) {
+		o.BoundStatsMemory(hosts, threshold)
+	})
+}
+
+// probeStreamingOption evaluates the job's option mutators against a
+// topology-free default option set. ok is false when a mutator needs the real
+// topology (dereferences Options.Topo and panics), in which case the caller
+// falls back to building it.
+func probeStreamingOption(j *harness.Job) (streaming, ok bool) {
+	defer func() {
+		if recover() != nil {
+			streaming, ok = false, false
+		}
+	}()
+	opts := sim.DefaultOptions(j.Scheme, nil)
+	for _, mutate := range j.Options {
+		if mutate != nil {
+			mutate(&opts)
+		}
+	}
+	return opts.StreamingStats, true
+}

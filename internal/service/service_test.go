@@ -1,0 +1,569 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bfc/internal/experiments"
+	"bfc/internal/harness"
+	"bfc/internal/packet"
+	"bfc/internal/sim"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// tinySpec is the standard test submission: a two-scheme Fig 5a panel at tiny
+// scale — real simulations, but seconds not minutes.
+func tinySpec() *SuiteSpec {
+	return &SuiteSpec{Figure: "fig05a", Scale: "tiny", Schemes: []string{"BFC", "DCQCN"}}
+}
+
+func newTestService(t *testing.T, dir string, mutate func(*Config)) *Service {
+	t.Helper()
+	store, err := harness.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Store: store, Workers: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// waitState polls until the suite leaves StateRunning.
+func waitState(t *testing.T, svc *Service, id string) SuiteStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		status, err := svc.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State != StateRunning {
+			return status
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("suite %s did not finish in time", id)
+	return SuiteStatus{}
+}
+
+func marshalRecords(t *testing.T, recs []*harness.Record) []byte {
+	t.Helper()
+	blob, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestSubmitComputesThenServesFromCache(t *testing.T) {
+	dir := t.TempDir()
+	svc := newTestService(t, dir, nil)
+
+	first, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Total != 2 || first.Cached != 0 {
+		t.Fatalf("fresh submission: %+v", first)
+	}
+	done := waitState(t, svc, first.ID)
+	if done.State != StateDone || done.Executed != 2 || done.Cached != 0 {
+		t.Fatalf("first run ended %+v", done)
+	}
+	recs, err := svc.Results(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The acceptance criterion: served records must be byte-identical to a
+	// direct harness run of the same grid (what cmd/experiments executes).
+	scale, _ := experiments.ScaleByName("tiny")
+	jobs := experiments.Fig05Jobs(scale, experiments.Fig05aGoogleIncast,
+		[]sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})
+	direct, err := (&harness.Runner{Parallel: 2}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalRecords(t, recs), marshalRecords(t, direct); string(got) != string(want) {
+		t.Fatal("served records differ from a direct harness run of the same grid")
+	}
+
+	// Resubmission must perform zero simulation runs.
+	execBefore := svc.Stats().JobsExecuted
+	second, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != StateDone || second.Cached != 2 || second.Executed != 0 {
+		t.Fatalf("resubmission was not fully cached: %+v", second)
+	}
+	if got := svc.Stats().JobsExecuted; got != execBefore {
+		t.Fatalf("resubmission executed %d simulations", got-execBefore)
+	}
+	if second.Digest != first.Digest {
+		t.Fatalf("suite digests differ: %s vs %s", second.Digest, first.Digest)
+	}
+	recs2, err := svc.Results(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshalRecords(t, recs2)) != string(marshalRecords(t, recs)) {
+		t.Fatal("cached records differ from the originals")
+	}
+}
+
+// TestFreshServiceServesFromStoreArtifacts proves the cache layering: a new
+// Service instance (empty LRU) over the same store directory serves a
+// previously computed suite without simulating, and the decoded records
+// re-encode byte-identically.
+func TestFreshServiceServesFromStoreArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	svc1 := newTestService(t, dir, nil)
+	first, err := svc1.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc1, first.ID)
+	recs1, err := svc1.Results(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	svc2 := newTestService(t, dir, nil)
+	second, err := svc2.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != StateDone || second.Cached != 2 {
+		t.Fatalf("store-backed resubmission was not fully cached: %+v", second)
+	}
+	if svc2.Stats().JobsExecuted != 0 {
+		t.Fatal("store-backed resubmission ran simulations")
+	}
+	recs2, err := svc2.Results(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshalRecords(t, recs2)) != string(marshalRecords(t, recs1)) {
+		t.Fatal("records decoded from store artifacts re-encode differently")
+	}
+	stats := svc2.Stats()
+	if stats.Cache.Loads != 2 {
+		t.Fatalf("expected 2 artifact loads, got %+v", stats.Cache)
+	}
+}
+
+// blockingSuite builds a controllable compiled suite: each job's Flows
+// builder signals started and then blocks until released.
+func blockingSuite(n int, started chan<- string, release <-chan struct{}) *CompiledSuite {
+	jobs := make([]harness.Job, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("test/block/job=%d", i)
+		jobs = append(jobs, harness.Job{
+			Name:   name,
+			Scheme: sim.SchemeBFC,
+			Meta:   map[string]string{"job": fmt.Sprint(i)},
+			Topology: func() *topology.Topology {
+				return topology.NewSingleSwitch(topology.SingleSwitchConfig{
+					NumHosts: 2, LinkRate: 100 * units.Gbps, LinkDelay: units.Microsecond,
+				})
+			},
+			Flows: func(topo *topology.Topology) []*packet.Flow {
+				started <- name
+				<-release
+				hosts := topo.Hosts()
+				return []*packet.Flow{{ID: 1, Src: hosts[0], Dst: hosts[1], Size: units.KB}}
+			},
+			Options: []func(*sim.Options){func(o *sim.Options) {
+				o.Duration = 10 * units.Microsecond
+				o.Drain = 50 * units.Microsecond
+			}},
+		})
+	}
+	return &CompiledSuite{Title: "block", Figure: "test", Scale: "tiny", Jobs: jobs, Digest: suiteDigest(jobs)}
+}
+
+func TestCancelStopsQueuedWork(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), func(c *Config) { c.Workers = 1 })
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	status, err := svc.SubmitCompiled(blockingSuite(3, started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // first job is now in a worker; two more are queued
+	if err := svc.Cancel(status.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release) // let the in-flight job finish
+	final := waitState(t, svc, status.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("suite ended %s, want cancelled", final.State)
+	}
+	if final.Done != 0 {
+		t.Fatalf("cancelled suite reports %d done jobs", final.Done)
+	}
+	if err := svc.Cancel(status.ID); err == nil {
+		t.Fatal("double cancel succeeded")
+	}
+	if _, err := svc.Results(status.ID); err == nil {
+		t.Fatal("results of a cancelled suite were served")
+	}
+	// The in-flight job's record must still have landed in the store for
+	// future submissions.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		entries, err := svc.Store().List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight record never reached the store (%d entries)", len(entries))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMaxActiveSuitesLimit(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), func(c *Config) {
+		c.Workers = 1
+		c.MaxActiveSuites = 1
+	})
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	first, err := svc.SubmitCompiled(blockingSuite(1, started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := svc.Submit(tinySpec()); err != ErrBusy {
+		t.Fatalf("second concurrent suite: got %v, want ErrBusy", err)
+	}
+	close(release)
+	if done := waitState(t, svc, first.ID); done.State != StateDone {
+		t.Fatalf("blocking suite ended %s: %s", done.State, done.Error)
+	}
+	// Capacity is free again.
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitState(t, svc, status.ID); final.State != StateDone {
+		t.Fatalf("follow-up suite ended %s: %s", final.State, final.Error)
+	}
+}
+
+func TestSubscribeStreamsProgressAndEnd(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), nil)
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ch, cancel, err := svc.Subscribe(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if ch == nil {
+		// The suite finished before we subscribed; nothing to stream.
+		return
+	}
+	var jobs int
+	var sawEnd bool
+	for ev := range ch {
+		switch ev.Type {
+		case "job":
+			jobs++
+		case "end":
+			sawEnd = true
+			if ev.State != StateDone {
+				t.Fatalf("end event state %s: %s", ev.State, ev.Error)
+			}
+		}
+	}
+	if !sawEnd {
+		t.Fatal("subscription closed without an end event")
+	}
+	if jobs == 0 {
+		t.Fatal("no job events before the end event")
+	}
+	// Subscribing after the end returns a nil channel and the final status.
+	final, ch2, cancel2, err := svc.Subscribe(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	if ch2 != nil || final.State != StateDone {
+		t.Fatalf("late subscription: ch=%v state=%s", ch2, final.State)
+	}
+}
+
+func TestFailedJobFailsSuite(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), func(c *Config) { c.Workers = 1 })
+	jobs := []harness.Job{{
+		Name:   "test/panic",
+		Scheme: sim.SchemeBFC,
+		Topology: func() *topology.Topology {
+			return topology.NewSingleSwitch(topology.SingleSwitchConfig{
+				NumHosts: 2, LinkRate: 100 * units.Gbps, LinkDelay: units.Microsecond,
+			})
+		},
+		Flows: func(topo *topology.Topology) []*packet.Flow {
+			panic("builder misconfigured")
+		},
+	}}
+	status, err := svc.SubmitCompiled(&CompiledSuite{
+		Title: "panic", Figure: "test", Scale: "tiny", Jobs: jobs, Digest: suiteDigest(jobs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, svc, status.ID)
+	if final.State != StateFailed || final.Error == "" {
+		t.Fatalf("suite ended %+v, want failed with an error", final)
+	}
+}
+
+func TestMemoryPolicyMarksLargeFabricJobs(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), func(c *Config) { c.StreamingHosts = 4 })
+	jobs := []harness.Job{{
+		Name:   "test/large",
+		Scheme: sim.SchemeBFC,
+		Meta:   map[string]string{"fig": "test"},
+		Topology: func() *topology.Topology {
+			return topology.NewSingleSwitch(topology.SingleSwitchConfig{
+				NumHosts: 8, LinkRate: 100 * units.Gbps, LinkDelay: units.Microsecond,
+			})
+		},
+		Flows: func(topo *topology.Topology) []*packet.Flow { return nil },
+	}}
+	before := jobs[0].Hash()
+	svc.applyMemoryPolicy(jobs)
+	if jobs[0].Meta["stats"] != "streaming" {
+		t.Fatal("large-fabric job was not marked for streaming stats")
+	}
+	if jobs[0].Hash() == before {
+		t.Fatal("the streaming override must change the content hash")
+	}
+	// Below the threshold nothing changes.
+	small := []harness.Job{{
+		Name:   "test/small",
+		Scheme: sim.SchemeBFC,
+		Topology: func() *topology.Topology {
+			return topology.NewSingleSwitch(topology.SingleSwitchConfig{
+				NumHosts: 2, LinkRate: 100 * units.Gbps, LinkDelay: units.Microsecond,
+			})
+		},
+		Flows: func(topo *topology.Topology) []*packet.Flow { return nil },
+	}}
+	beforeSmall := small[0].Hash()
+	svc.applyMemoryPolicy(small)
+	if small[0].Hash() != beforeSmall || small[0].Meta["stats"] != "" {
+		t.Fatal("small-fabric job was touched by the memory policy")
+	}
+	// A job that already selects streaming (fig16-style) is detected from
+	// its options alone — no topology build, no Meta marker.
+	var built bool
+	already := []harness.Job{{
+		Name:   "test/streaming",
+		Scheme: sim.SchemeBFC,
+		Topology: func() *topology.Topology {
+			built = true
+			return topology.NewSingleSwitch(topology.SingleSwitchConfig{
+				NumHosts: 8, LinkRate: 100 * units.Gbps, LinkDelay: units.Microsecond,
+			})
+		},
+		Flows:   func(topo *topology.Topology) []*packet.Flow { return nil },
+		Options: []func(*sim.Options){func(o *sim.Options) { o.StreamingStats = true }},
+	}}
+	svc.applyMemoryPolicy(already)
+	if built {
+		t.Fatal("memory policy built a topology for a job that already streams")
+	}
+	if already[0].Meta["stats"] != "" {
+		t.Fatal("already-streaming job must not get the Meta marker")
+	}
+}
+
+func TestSuiteHistoryIsBounded(t *testing.T) {
+	dir := t.TempDir()
+	svc := newTestService(t, dir, func(c *Config) { c.MaxSuiteHistory = 3 })
+	first, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, first.ID)
+	// Flood with fully-cached submissions; the service must forget old
+	// terminal suites instead of pinning every record set forever.
+	var lastID string
+	for i := 0; i < 10; i++ {
+		status, err := svc.Submit(tinySpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State != StateDone {
+			t.Fatalf("submission %d not cached: %+v", i, status)
+		}
+		lastID = status.ID
+	}
+	if n := len(svc.ListStatuses()); n != 3 {
+		t.Fatalf("service retains %d suites, want MaxSuiteHistory=3", n)
+	}
+	if _, err := svc.Status(first.ID); err == nil {
+		t.Fatal("oldest suite was not evicted")
+	}
+	if _, err := svc.Results(lastID); err != nil {
+		t.Fatalf("newest suite evicted too eagerly: %v", err)
+	}
+}
+
+func TestSubmitSurfacesStorageFaults(t *testing.T) {
+	dir := t.TempDir()
+	svc := newTestService(t, dir, nil)
+	first, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, first.ID)
+	svc.Close()
+
+	// Corrupt one artifact, then resubmit through a fresh service (empty
+	// LRU): the cache lookup must fail as a storage error, not a spec error.
+	entries, err := svc.Store().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entries[0].Hash+".jsonl"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc2 := newTestService(t, dir, nil)
+	_, err = svc2.Submit(tinySpec())
+	if err == nil {
+		t.Fatal("corrupt artifact went unnoticed")
+	}
+	if !errors.Is(err, ErrStorage) {
+		t.Fatalf("storage fault not tagged ErrStorage: %v", err)
+	}
+}
+
+func TestLRUEvictionFallsBackToStore(t *testing.T) {
+	store, err := harness.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newRecordCache(store, 2)
+	recs := make([]*harness.Record, 3)
+	for i := range recs {
+		j := harness.Job{Name: fmt.Sprintf("lru/%d", i), Scheme: sim.SchemeBFC}
+		recs[i] = &harness.Record{Name: j.Name, Hash: j.Hash(), Scheme: "BFC", Seed: j.Seed()}
+		if err := store.Put(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+		cache.Add(recs[i].Hash, recs[i])
+	}
+	stats := cache.Stats()
+	if stats.Entries != 2 || stats.Evicted != 1 {
+		t.Fatalf("eviction accounting: %+v", stats)
+	}
+	// recs[0] was evicted; Get must reload it from the store.
+	got, ok, err := cache.Get(recs[0].Hash)
+	if err != nil || !ok {
+		t.Fatalf("evicted record not served from store: %v %v", ok, err)
+	}
+	if got.Name != recs[0].Name {
+		t.Fatalf("wrong record: %s", got.Name)
+	}
+	if s := cache.Stats(); s.Loads != 1 {
+		t.Fatalf("expected one store load, got %+v", s)
+	}
+	// A hot record is an LRU hit.
+	if _, ok, _ := cache.Get(recs[2].Hash); !ok {
+		t.Fatal("hot record missing")
+	}
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Fatalf("expected one LRU hit, got %+v", s)
+	}
+}
+
+func TestSuiteSpecValidation(t *testing.T) {
+	bad := []string{
+		``,                                       // empty
+		`{`,                                      // malformed
+		`{}`,                                     // neither figure nor scenario
+		`{"figure":"fig05a","scenario":{}}`,      // both
+		`{"figure":"fig99"}`,                     // unknown figure
+		`{"figure":"fig05a","scale":"huge"}`,     // unknown scale
+		`{"figure":"fig05a","schemes":["NOPE"]}`, // unknown scheme
+		`{"figure":"fig08","schemes":["BFC"]}`,   // fixed-scheme figure
+		`{"figure":"fig05a","extra_axis":true}`,  // unknown field
+		`{"scenario":{"name":""}}`,               // invalid scenario
+		`{"figure":"fig05a","schemes":["BFC","BFC"]}`,    // duplicate scheme
+		`{"figure":"` + string(make([]byte, 300)) + `"}`, // oversized name
+	}
+	for _, in := range bad {
+		spec, err := ParseSuiteSpec([]byte(in))
+		if err == nil {
+			if _, cerr := spec.Compile(); cerr == nil {
+				t.Fatalf("bad spec accepted: %s", in)
+			}
+		}
+	}
+	good := `{"name":"demo","figure":"fig05a","scale":"tiny","schemes":["BFC","DCQCN"]}`
+	spec, err := ParseSuiteSpec([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Jobs) != 2 || cs.Figure != "fig05a" || cs.Scale != "tiny" || cs.Title != "demo" {
+		t.Fatalf("compiled suite: %+v", cs)
+	}
+}
+
+func TestScenarioSuiteCompiles(t *testing.T) {
+	blob := `{
+		"name": "flap-suite",
+		"scale": "tiny",
+		"schemes": ["BFC", "DCQCN"],
+		"scenario": {
+			"name": "flap",
+			"events": [
+				{"at_us": 30, "kind": "link_down", "link": {"a": "tor0", "b": "spine0"}},
+				{"at_us": 90, "kind": "link_up", "link": {"a": "tor0", "b": "spine0"}}
+			]
+		}
+	}`
+	spec, err := ParseSuiteSpec([]byte(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Jobs) != 2 || cs.Figure != "scenario/flap" {
+		t.Fatalf("compiled scenario suite: figure=%s jobs=%d", cs.Figure, len(cs.Jobs))
+	}
+	if cs.Jobs[0].Meta["scenario_digest"] == "" {
+		t.Fatal("scenario jobs must carry the spec digest in Meta")
+	}
+}

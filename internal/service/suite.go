@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bfc/internal/experiments"
+	"bfc/internal/harness"
+	"bfc/internal/scenario"
+	"bfc/internal/sim"
+)
+
+// MaxSuiteSpecBytes bounds a submitted suite document. Specs are tiny — a
+// figure key and a scheme list, or a scenario of at most a few thousand
+// events — so anything larger is a mistake or an attack.
+const MaxSuiteSpecBytes = 1 << 20
+
+// maxSuiteString bounds the free-form strings of the wire form.
+const maxSuiteString = 256
+
+// SuiteSpec is the wire form of one submission: a JSON-declared grid the
+// server compiles to harness jobs. Exactly one of Figure or Scenario selects
+// the grid shape:
+//
+//   - Figure names a registry entry (experiments.GridFigures); the suite is
+//     that figure's job grid at Scale, optionally restricted to Schemes.
+//   - Scenario embeds a scenario.Spec wire document; the suite runs it on the
+//     scale's Clos fabric under the standard Fig 5a background workload, one
+//     job per scheme.
+//
+// The compiled jobs carry exactly the names and content hashes a direct
+// cmd/experiments (or cmd/scenarios figure-15-style) run of the same grid
+// would produce, which is what makes the daemon's result cache shareable
+// with batch artifacts.
+type SuiteSpec struct {
+	// Name optionally labels the suite for humans; it does not affect job
+	// identity.
+	Name string `json:"name,omitempty"`
+	// Figure is a grid-figure registry key ("fig05a" ... "fig16").
+	Figure string `json:"figure,omitempty"`
+	// Scale selects the experiment scale: "tiny", "reduced" (default) or
+	// "full".
+	Scale string `json:"scale,omitempty"`
+	// Schemes optionally restricts the scheme axis (labels as printed by the
+	// figures, e.g. "BFC", "DCQCN+Win"). Only valid for figures whose scheme
+	// set is selectable, and for scenarios.
+	Schemes []string `json:"schemes,omitempty"`
+	// Scenario is a scenario.Spec wire document (see examples/scenarios).
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+}
+
+// ParseSuiteSpec decodes and structurally validates a suite document. It is
+// safe on untrusted input: errors, never panics. Unknown fields are rejected
+// so a typoed axis name fails loudly instead of silently running the default
+// grid.
+func ParseSuiteSpec(data []byte) (*SuiteSpec, error) {
+	if len(data) > MaxSuiteSpecBytes {
+		return nil, fmt.Errorf("service: suite spec exceeds %d bytes", MaxSuiteSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	spec := &SuiteSpec{}
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("service: decoding suite spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("service: trailing data after suite spec")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// validate checks the wire-form fields without compiling jobs.
+func (s *SuiteSpec) validate() error {
+	if len(s.Name) > maxSuiteString {
+		return fmt.Errorf("service: suite name longer than %d bytes", maxSuiteString)
+	}
+	if len(s.Figure) > maxSuiteString || len(s.Scale) > maxSuiteString {
+		return fmt.Errorf("service: figure/scale name longer than %d bytes", maxSuiteString)
+	}
+	if len(s.Schemes) > 16 {
+		return fmt.Errorf("service: %d schemes exceed the limit 16", len(s.Schemes))
+	}
+	for _, name := range s.Schemes {
+		if len(name) > maxSuiteString {
+			return fmt.Errorf("service: scheme name longer than %d bytes", maxSuiteString)
+		}
+	}
+	hasFigure := s.Figure != ""
+	hasScenario := len(s.Scenario) > 0
+	if hasFigure == hasScenario {
+		return fmt.Errorf("service: a suite needs exactly one of figure or scenario")
+	}
+	return nil
+}
+
+// CompiledSuite is a validated, executable suite: the jobs plus the identity
+// information the service tracks.
+type CompiledSuite struct {
+	Spec  SuiteSpec
+	Title string
+	// Figure is the resolved registry key, or "scenario/<name>".
+	Figure string
+	// Scale is the resolved scale name.
+	Scale string
+	// Jobs is the compiled grid, validated by harness.ValidateSuite.
+	Jobs []harness.Job
+	// Digest content-addresses the whole suite: a sha256 over the sorted job
+	// hashes. Two submissions with the same digest ask for exactly the same
+	// simulation work.
+	Digest string
+}
+
+// Compile resolves the wire form against the figure registry and scales,
+// producing the job grid. Compilation builds no topologies and runs no
+// simulations; it is cheap enough to do on every submission.
+func (s *SuiteSpec) Compile() (*CompiledSuite, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	scale, err := experiments.ScaleByName(s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var schemes []sim.Scheme
+	if len(s.Schemes) > 0 {
+		schemes, err = sim.ParseSchemes(strings.Join(s.Schemes, ","))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cs := &CompiledSuite{Spec: *s, Scale: scale.Name}
+	switch {
+	case s.Figure != "":
+		fig, ok := experiments.GridFigureByKey(s.Figure)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown figure %q (see GET /api/v1/figures)", s.Figure)
+		}
+		if schemes != nil && !fig.SchemesSelectable {
+			return nil, fmt.Errorf("service: figure %q has a fixed scheme set", fig.Key)
+		}
+		cs.Figure = fig.Key
+		cs.Jobs = fig.Jobs(scale, schemes)
+	default:
+		spec, err := scenario.ParseSpec(s.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		cs.Figure = "scenario/" + spec.Name
+		cs.Jobs, err = experiments.ScenarioJobs(scale, spec, schemes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := harness.ValidateSuite(cs.Jobs); err != nil {
+		return nil, err
+	}
+	cs.Title = s.Name
+	if cs.Title == "" {
+		cs.Title = cs.Figure + "@" + cs.Scale
+	}
+	cs.Digest = suiteDigest(cs.Jobs)
+	return cs, nil
+}
+
+// suiteDigest hashes the sorted job content hashes.
+func suiteDigest(jobs []harness.Job) string {
+	hashes := make([]string, 0, len(jobs))
+	for i := range jobs {
+		hashes = append(hashes, jobs[i].Hash())
+	}
+	sort.Strings(hashes)
+	h := sha256.New()
+	for _, hash := range hashes {
+		h.Write([]byte(hash))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"bfc/internal/scenario"
 	"bfc/internal/stats"
@@ -61,6 +62,49 @@ func (s Scheme) String() string {
 // AllSchemes lists every scheme compared in Fig 5.
 func AllSchemes() []Scheme {
 	return []Scheme{SchemeBFC, SchemeIdealFQ, SchemeDCQCN, SchemeDCQCNWin, SchemeHPCC, SchemeDCQCNWinSFQ}
+}
+
+// SchemeByName resolves a scheme label as printed by Scheme.String
+// (case-insensitively), covering all schemes including the Fig 7 straw
+// proposal BFC-VFID.
+func SchemeByName(name string) (Scheme, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range append(AllSchemes(), SchemeBFCStatic) {
+		if strings.ToLower(s.String()) == want {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown scheme %q", name)
+}
+
+// ParseSchemes resolves a comma-separated list of scheme labels; "all" (or
+// the empty string) selects AllSchemes. It is the shared parser behind the
+// CLI -schemes flags and the service tier's suite wire form.
+func ParseSchemes(arg string) ([]Scheme, error) {
+	arg = strings.TrimSpace(arg)
+	if arg == "" || strings.EqualFold(arg, "all") {
+		return AllSchemes(), nil
+	}
+	var out []Scheme
+	seen := map[Scheme]bool{}
+	for _, name := range strings.Split(arg, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		s, err := SchemeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("sim: scheme %q listed twice", s)
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: no schemes selected")
+	}
+	return out, nil
 }
 
 // Options configures one simulation run.
@@ -163,6 +207,38 @@ func DefaultBufferSampleInterval(topo *topology.Topology) units.Time {
 		return base
 	}
 	return base * units.Time((switches+31)/32)
+}
+
+// DefaultStreamingHostThreshold is the fabric size at which exact statistics
+// stop being a sensible default for a long-lived process: exact mode stores
+// every FCT and occupancy sample, so its footprint grows with flow count and
+// horizon. Batch CLI runs accept that for byte-stable goldens; the service
+// tier (internal/service), which must survive arbitrarily many served runs,
+// forces streaming statistics on any run whose topology reaches this many
+// hosts. Every two-tier topology the paper evaluates stays below it, so
+// served small-fabric records remain byte-identical to batch runs.
+const DefaultStreamingHostThreshold = 256
+
+// BoundStatsMemory enables constant-memory streaming statistics when the
+// fabric has at least threshold hosts (DefaultStreamingHostThreshold when
+// threshold <= 0). Runs that already selected streaming mode, and fabrics
+// below the threshold, are untouched. It reports whether streaming statistics
+// are on after the call.
+func (o *Options) BoundStatsMemory(numHosts, threshold int) bool {
+	if o.StreamingStats {
+		return true
+	}
+	if threshold <= 0 {
+		threshold = DefaultStreamingHostThreshold
+	}
+	if numHosts < threshold {
+		return false
+	}
+	o.StreamingStats = true
+	if o.StatsSketchSize <= 0 {
+		o.StatsSketchSize = stats.DefaultSketchSize
+	}
+	return true
 }
 
 // Validate reports option errors and fills defaults for zero fields.

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+// This file holds the rendering/generation logic behind cmd/workloadgen, kept
+// here so it is unit-testable; the command itself is flag parsing only.
+
+// CSVTraceConfig parameterizes GenerateCSVTrace: the workloadgen parameters
+// in one declarative bundle.
+type CSVTraceConfig struct {
+	// Workload names the flow-size distribution ("google", "fb_hadoop",
+	// "websearch").
+	Workload string
+	// Load is the target background load in [0, 1).
+	Load float64
+	// NumHosts is the number of candidate endpoints; hosts are labelled with
+	// NodeIDs 1..NumHosts in the CSV.
+	NumHosts int
+	// HostRate is the host uplink rate (100 Gbps when zero).
+	HostRate units.Rate
+	// Duration is the trace horizon.
+	Duration units.Time
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Incast adds the paper's 5% 100-to-1 incast traffic.
+	Incast bool
+}
+
+// GenerateCSVTrace synthesizes a trace and renders it as CSV plus a one-line
+// summary. The CSV is a pure function of the config: same config, same bytes.
+func GenerateCSVTrace(cfg CSVTraceConfig) (csv, summary string, err error) {
+	cdf, err := ByName(cfg.Workload)
+	if err != nil {
+		return "", "", err
+	}
+	if cfg.NumHosts < 2 {
+		return "", "", fmt.Errorf("workload: need at least 2 hosts, got %d", cfg.NumHosts)
+	}
+	rate := cfg.HostRate
+	if rate == 0 {
+		rate = 100 * units.Gbps
+	}
+	hosts := make([]packet.NodeID, cfg.NumHosts)
+	for i := range hosts {
+		hosts[i] = packet.NodeID(i + 1)
+	}
+	gen := Config{
+		Hosts:    hosts,
+		CDF:      cdf,
+		Load:     cfg.Load,
+		HostRate: rate,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+	}
+	if cfg.Incast {
+		gen.Incast = IncastConfig{Enabled: true, FanIn: 100, AggregateSize: 20 * units.MB, LoadFraction: 0.05}
+	}
+	trace, err := Generate(gen)
+	if err != nil {
+		return "", "", err
+	}
+	return FormatTraceCSV(trace), trace.Summary(), nil
+}
+
+// FormatTraceCSV renders a trace as CSV, one flow per row.
+func FormatTraceCSV(tr *Trace) string {
+	var sb strings.Builder
+	sb.WriteString("# flow_id,src,dst,size_bytes,start_ps,incast\n")
+	for _, f := range tr.Flows {
+		fmt.Fprintf(&sb, "%d,%d,%d,%d,%d,%v\n", f.ID, f.Src, f.Dst, f.Size, int64(f.StartTime), f.IsIncast)
+	}
+	return sb.String()
+}
+
+// Summary describes the trace in one line.
+func (tr *Trace) Summary() string {
+	return fmt.Sprintf("generated %d flows (%v background + %v incast bytes, offered load %.2f)",
+		len(tr.Flows), tr.BackgroundBytes, tr.IncastBytes, tr.OfferedLoad)
+}
+
+// FormatCDFTable renders flow-count and byte-weighted CDFs of the given
+// distributions as CSV blocks (the workloadgen -cdf output).
+func FormatCDFTable(cdfs ...*CDF) string {
+	var sb strings.Builder
+	for _, cdf := range cdfs {
+		fmt.Fprintf(&sb, "# %s (size_bytes, flow_cdf, byte_cdf); mean=%v\n", cdf.Name, cdf.Mean())
+		bw := cdf.ByteWeightedCDF()
+		for i, p := range cdf.Points() {
+			fmt.Fprintf(&sb, "%d,%.4f,%.4f\n", p.Size, p.Cum, bw[i].Cum)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

