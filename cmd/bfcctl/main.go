@@ -4,7 +4,9 @@
 //	bfcctl submit suite.json               # submit, print the suite id
 //	bfcctl submit -wait suite.json         # submit and stream progress
 //	bfcctl watch s000001                   # follow a running suite (SSE)
+//	bfcctl status                          # server version + service stats
 //	bfcctl status s000001                  # one status snapshot
+//	bfcctl trace s000001 'test/scheme=BFC' # flight-recorder trace of one job
 //	bfcctl fetch s000001 > records.jsonl   # completed records, job order
 //	bfcctl fetch -table s000001            # render the FCT slowdown table
 //	bfcctl cancel s000001
@@ -28,13 +30,16 @@ import (
 	"bfc/internal/experiments"
 	"bfc/internal/harness"
 	"bfc/internal/service"
+	"bfc/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", defaultAddr(), "bfcd base URL")
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
+	telemetry.SetupLogging(logOpts)
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -54,6 +59,8 @@ func main() {
 		err = c.watch(rest)
 	case "fetch":
 		err = c.fetch(rest)
+	case "trace":
+		err = c.trace(rest)
 	case "cancel":
 		err = c.cancel(rest)
 	case "store":
@@ -81,9 +88,11 @@ func usage() {
 commands:
   figures                     list compilable figures, scales and schemes
   submit [-wait] <suite.json> submit a suite spec
-  status <id>                 print one suite status
+  status [id]                 print one suite status (no id: server version + stats)
   watch <id>                  stream progress until the suite ends
   fetch [-table] <id>         print completed records as JSONL (or a table)
+  trace [-jsonl] <id> <job>   fetch one job's flight-recorder trace
+                              (Chrome trace_event JSON; load in Perfetto)
   cancel <id>                 cancel a running suite
   store                       list the server's completed artifacts
 `)
@@ -166,8 +175,11 @@ func (c *client) submit(args []string) error {
 }
 
 func (c *client) status(args []string) error {
+	if len(args) == 0 {
+		return c.serverStatus()
+	}
 	if len(args) != 1 {
-		return fmt.Errorf("status needs a suite id")
+		return fmt.Errorf("status takes at most one suite id")
 	}
 	var status service.SuiteStatus
 	if err := c.getJSON("/api/v1/suites/"+args[0], &status); err != nil {
@@ -175,6 +187,63 @@ func (c *client) status(args []string) error {
 	}
 	printStatus(status)
 	return nil
+}
+
+// serverStatus prints the server's build information and service counters —
+// the no-argument form of "bfcctl status".
+func (c *client) serverStatus() error {
+	var info telemetry.BuildInfo
+	if err := c.getJSON("/api/v1/version", &info); err != nil {
+		return err
+	}
+	fmt.Printf("server  %s %s (%s", info.Module, info.Version, info.GoVersion)
+	if info.Revision != "" {
+		rev := info.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Printf(", rev %s", rev)
+		if info.Dirty {
+			fmt.Print("+dirty")
+		}
+	}
+	fmt.Println(")")
+	var stats service.Stats
+	if err := c.getJSON("/api/v1/stats", &stats); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	return nil
+}
+
+// trace fetches one job's flight-recorder trace to stdout: Chrome trace_event
+// JSON by default (load it at https://ui.perfetto.dev), raw event JSONL with
+// -jsonl.
+func (c *client) trace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	jsonl := fs.Bool("jsonl", false, "raw event JSONL instead of Chrome trace JSON")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("trace needs a suite id and a job name")
+	}
+	path := "/api/v1/suites/" + fs.Arg(0) + "/trace/" + fs.Arg(1)
+	if *jsonl {
+		path += "?format=jsonl"
+	}
+	resp, err := http.Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 func (c *client) watch(args []string) error {

@@ -10,6 +10,11 @@
 // from cache, and artifacts bfcd computes can later be consumed by
 // cmd/experiments -resume.
 //
+// Observability: GET /metrics exposes Prometheus text-format counters for the
+// suite/job/cache/HTTP planes, GET /api/v1/version reports build information,
+// and -pprof mounts net/http/pprof under /debug/pprof/. Requests are logged
+// through the shared -log-level / -log-json slog flags.
+//
 // Use cmd/bfcctl (or curl) against the API; see README.md "Service".
 package main
 
@@ -17,9 +22,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,10 +32,10 @@ import (
 
 	"bfc/internal/harness"
 	"bfc/internal/service"
+	"bfc/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
 	var (
 		addr      = flag.String("addr", "127.0.0.1:8377", "listen address")
 		storeDir  = flag.String("store", "bfcd-store", "result store directory (shared with cmd/experiments -out)")
@@ -39,12 +44,17 @@ func main() {
 		cacheSize = flag.Int("cache", 128, "in-memory LRU capacity (decoded records)")
 		history   = flag.Int("history", 64, "retained terminal suites (older ones are forgotten; their artifacts stay in the store)")
 		streaming = flag.Int("streaming-hosts", 0, "force streaming stats on fabrics with at least this many hosts (0 = default threshold, negative = never)")
+		traceRing = flag.Int("trace-ring", 0, "flight-recorder ring capacity per traced job (0 = default)")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	logger := telemetry.SetupLogging(logOpts)
 
 	store, err := harness.NewStore(*storeDir)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("opening store", "err", err)
+		os.Exit(1)
 	}
 	svc, err := service.New(service.Config{
 		Store:           store,
@@ -53,9 +63,27 @@ func main() {
 		CacheEntries:    *cacheSize,
 		MaxSuiteHistory: *history,
 		StreamingHosts:  *streaming,
+		TraceRingSize:   *traceRing,
+		Logger:          logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("starting service", "err", err)
+		os.Exit(1)
+	}
+
+	handler := service.NewHandler(svc)
+	if *withPprof {
+		// The profiling mux wraps the API so pprof traffic skips the request
+		// metrics (scrapes of /debug/pprof/profile run for seconds and would
+		// distort the latency histogram).
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
 	}
 
 	// The base context is cancelled on the first signal, which unblocks SSE
@@ -66,25 +94,29 @@ func main() {
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return ctx },
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("bfcd: serving on http://%s (store %s)", *addr, store.Dir())
+	info := telemetry.ReadBuildInfo()
+	logger.Info("bfcd serving",
+		"addr", *addr, "store", store.Dir(), "pprof", *withPprof,
+		"version", info.Version, "go", info.GoVersion)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("bfcd: shutting down")
+	logger.Info("bfcd shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("bfcd: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	svc.Close()
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bfc"
+	"bfc/internal/telemetry"
 	"bfc/internal/units"
 )
 
@@ -32,7 +33,9 @@ func main() {
 		queues     = flag.Int("queues", 32, "physical queues per egress port")
 		buffer     = flag.Int("buffer-mb", 12, "switch shared buffer (MB)")
 	)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	telemetry.SetupLogging(logOpts)
 
 	scheme, err := parseScheme(*schemeName)
 	if err != nil {

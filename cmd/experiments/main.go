@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"bfc/internal/experiments"
 	"bfc/internal/harness"
 	"bfc/internal/sim"
+	"bfc/internal/telemetry"
 )
 
 // sortedKeys returns a map's keys in sorted order: every figure row printed
@@ -45,13 +47,14 @@ func sortedKeys[V any](m map[string]V) []string {
 func main() {
 	log.SetFlags(0)
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14,15,16 or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,5a,5b,5c,6,7,8,9,10,11,12,13,14,15,16,17 or all")
 		full     = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for harness-backed figures")
 		out      = flag.String("out", "", "results directory for per-job JSONL artifacts (empty = keep results in memory)")
 		resume   = flag.Bool("resume", false, "skip jobs whose artifact already exists under -out")
-		schemes  = flag.String("schemes", "all", `restrict the scheme axis of figures 5a/5b/5c (and 6, which reuses the 5a runs), 15 and 16 ("BFC,DCQCN,..." or "all"); other figures have fixed scheme sets and ignore it`)
+		schemes  = flag.String("schemes", "all", `restrict the scheme axis of figures 5a/5b/5c (and 6, which reuses the 5a runs), 15, 16 and 17 ("BFC,DCQCN,..." or "all"); other figures have fixed scheme sets and ignore it`)
 		list     = flag.Bool("list", false, "list the available figures/scenarios with descriptions and exit")
+		traceDir = flag.String("trace-dir", "", "directory for fig 17's per-scheme flight-recorder exports (<scheme>.trace.json Chrome/Perfetto trace + <scheme>.events.jsonl)")
 	)
 	flag.Parse()
 
@@ -93,10 +96,10 @@ func main() {
 
 	figs := strings.Split(strings.ToLower(*fig), ",")
 	if *fig == "all" {
-		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16"}
+		figs = []string{"1", "2", "3", "4", "5a", "5b", "5c", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17"}
 	}
 	for _, f := range figs {
-		runFigure(strings.TrimSpace(f), scale, runner, schemeList)
+		runFigure(strings.TrimSpace(f), scale, runner, schemeList, *traceDir)
 	}
 }
 
@@ -121,6 +124,7 @@ var figureCatalog = []struct{ key, desc string }{
 	{"14", "sensitivity to bloom filter size"},
 	{"15", "scenario robustness: all schemes through a link fail/recover (see also cmd/scenarios)"},
 	{"16", "scale tier: three-tier fat-tree host-count sweep with streaming stats (128-1024 hosts at -full)"},
+	{"17", "congestion dynamics through an incast: queue occupancy + pause activity time-series, exportable as Perfetto traces (-trace-dir)"},
 }
 
 func listFigures() {
@@ -164,7 +168,7 @@ func fig05(scale experiments.Scale, variant experiments.Fig05Variant, runner *ha
 	return res
 }
 
-func runFigure(fig string, scale experiments.Scale, runner *harness.Runner, schemes []sim.Scheme) {
+func runFigure(fig string, scale experiments.Scale, runner *harness.Runner, schemes []sim.Scheme, traceDir string) {
 	switch fig {
 	case "1":
 		fmt.Println("## Fig 1: switch hardware trend")
@@ -258,8 +262,47 @@ func runFigure(fig string, scale experiments.Scale, runner *harness.Runner, sche
 			fmt.Printf("  %-14s hosts=%-5d switches=%-4d p99slowdown=%-8.2f util=%-6.2f p99buffer=%-10v statsSamples=%-6d completed=%d/%d digest=%s\n",
 				r.Scheme, r.Hosts, r.Switches, r.P99, r.Utilization, r.BufferP99, r.StatsSamples, r.Completed, r.Offered, r.Digest)
 		}
+	case "17":
+		fmt.Println("## Fig 17: congestion dynamics through an incast (flight recorder + series sampler)")
+		for _, r := range experiments.Fig17Dynamics(scale, schemes) {
+			fmt.Printf("  %-14s p99slowdown=%-8.2f peakBuffer=%-10v peakPauseFrac=%-7.4f pauseEvents=%-6d assigns=%-6d drops=%-4d events=%d\n",
+				r.Scheme, r.P99, r.PeakBuffer, r.PeakPauseFraction, r.PauseEvents, r.QueueAssignments, r.Drops, r.EventsSeen)
+			for _, p := range experiments.Fig17Timeline(r, 8) {
+				fmt.Printf("      t=%-12v buffer=%-10v pauseFrac=%.4f\n", p.At, p.Buffer, p.PauseFraction)
+			}
+			if traceDir != "" {
+				if err := writeFig17Traces(traceDir, r); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if traceDir != "" {
+			fmt.Printf("  traces written to %s (load *.trace.json at https://ui.perfetto.dev)\n", traceDir)
+		}
 	default:
 		log.Fatalf("unknown figure %q", fig)
 	}
 	fmt.Println()
+}
+
+// writeFig17Traces exports one scheme's flight-recorder trace as a Chrome
+// trace_event file (Perfetto-loadable) and a raw JSONL event stream.
+func writeFig17Traces(dir string, r experiments.Fig17Row) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, r.Scheme+".trace.json"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := telemetry.WriteChromeTrace(tf, r.Trace, r.Events); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, r.Scheme+".events.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	return telemetry.WriteJSONL(jf, r.Events)
 }

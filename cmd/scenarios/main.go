@@ -6,29 +6,33 @@
 // The digest is the determinism contract made visible: the same spec, seed
 // and -parallel-independent job sharding must print identical digests on
 // every run (the CI scenario-smoke job diffs two invocations with different
-// -parallel values).
+// -parallel values). The digest excludes attached telemetry, so -trace-dir
+// runs print the same digests as untraced ones (the CI telemetry-smoke job
+// diffs exactly that).
 //
 // Examples:
 //
 //	scenarios -spec examples/scenarios/linkflap.json
 //	scenarios -spec examples/scenarios/incast-storm.json -schemes BFC,DCQCN -digest
 //	scenarios -spec my.json -tor 4 -spine 4 -hosts 16 -duration 1ms -load 0.7
+//	scenarios -spec examples/scenarios/linkflap.json -trace-dir traces/
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"bfc/internal/harness"
 	"bfc/internal/packet"
 	"bfc/internal/scenario"
 	"bfc/internal/sim"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 	"bfc/internal/workload"
@@ -49,8 +53,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
 		digest   = flag.Bool("digest", false, "print only scheme digests (for determinism checks)")
+		traceDir = flag.String("trace-dir", "", "write per-scheme flight-recorder traces (<scheme>.trace.json + <scheme>.events.jsonl) to this directory")
 	)
+	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+	telemetry.SetupLogging(logOpts)
 	if *specPath == "" {
 		log.Fatal("scenarios: -spec is required (see examples/scenarios/)")
 	}
@@ -116,10 +123,31 @@ func main() {
 		Axes: []harness.Axis{harness.SchemeAxis(schemeList)},
 	}
 
+	jobs := grid.Jobs()
+	// Flight recorders are observational: attaching one leaves the job hash,
+	// the result, and therefore the printed digest unchanged. The rings are
+	// created up front and only read after Run returns, so the worker count
+	// cannot influence what a trace contains.
+	var rings []*telemetry.Ring
+	if *traceDir != "" {
+		rings = make([]*telemetry.Ring, len(jobs))
+		for i := range jobs {
+			ring := telemetry.NewRing(telemetry.DefaultRingCapacity)
+			rings[i] = ring
+			jobs[i].Options = append(jobs[i].Options, func(o *sim.Options) { o.Recorder = ring })
+		}
+	}
+
 	runner := &harness.Runner{Parallel: *parallel}
-	recs, err := runner.Run(grid.Jobs())
+	recs, err := runner.Run(jobs)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *traceDir != "" {
+		if err := writeTraces(*traceDir, jobs, recs, rings); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if !*digest {
@@ -136,14 +164,57 @@ func main() {
 	}
 }
 
-// resultDigest hashes the full marshalled result: any nondeterminism anywhere
-// in the run shows up as a digest change.
+// resultDigest hashes the full marshalled result (minus attached telemetry,
+// which is observational): any nondeterminism anywhere in the run shows up as
+// a digest change.
 func resultDigest(rec *harness.Record) string {
-	blob, err := json.Marshal(rec.Result)
+	sum, err := sim.ResultDigest(rec.Result)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return fmt.Sprintf("%x", sha256.Sum256(blob))
+	return sum
+}
+
+// writeTraces exports each scheme's recorded events as a Perfetto-loadable
+// Chrome trace plus the raw JSONL event stream.
+func writeTraces(dir string, jobs []harness.Job, recs []*harness.Record, rings []*telemetry.Ring) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range jobs {
+		topo := jobs[i].Topology()
+		cfg := telemetry.TraceConfig{
+			RunName:  jobs[i].Name,
+			NodeName: func(n packet.NodeID) string { return topo.Node(n).Name },
+		}
+		events := rings[i].Events()
+		scheme := strings.ReplaceAll(recs[i].Scheme, "+", "_")
+		tf, err := os.Create(filepath.Join(dir, scheme+".trace.json"))
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteChromeTrace(tf, cfg, events); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		jf, err := os.Create(filepath.Join(dir, scheme+".events.jsonl"))
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteJSONL(jf, events); err != nil {
+			jf.Close()
+			return err
+		}
+		if err := jf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s traces: %d events (%d seen, %d overwritten)\n",
+			recs[i].Scheme, len(events), rings[i].Seen(), rings[i].Overwritten())
+	}
+	return nil
 }
 
 func printResult(rec *harness.Record, sum string) {

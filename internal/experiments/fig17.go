@@ -1,0 +1,164 @@
+package experiments
+
+// Figure 17 (companion figure, not in the paper): congestion dynamics through
+// an incast, per scheme. It exercises the telemetry plane end to end — the
+// per-run flight recorder captures the control-plane events (pauses, queue
+// assignments, drops) while the series sampler captures the data-plane
+// time-series (goodput, buffer occupancy, pause fractions) — and renders both
+// as a table plus exportable traces. It is the observability analogue of
+// Fig 6: instead of scalar pause-time totals, the full trajectory.
+
+import (
+	"fmt"
+	"strings"
+
+	"bfc/internal/harness"
+	"bfc/internal/packet"
+	"bfc/internal/sim"
+	"bfc/internal/telemetry"
+	"bfc/internal/units"
+	"bfc/internal/workload"
+)
+
+// Fig17Row is one scheme's congestion-dynamics trajectory.
+type Fig17Row struct {
+	Scheme string
+	// Series is the run's sampled time-series bundle (goodput, utilization,
+	// pause fractions, per-switch occupancy).
+	Series *telemetry.RunSeries
+	// Events is the chronological flight-recorder trace.
+	Events []telemetry.Event
+	// EventsSeen counts events observed (>= len(Events) if the ring wrapped).
+	EventsSeen uint64
+	// Trace renders Events as a Chrome trace_event file for this run.
+	Trace telemetry.TraceConfig
+	// PeakBuffer is the maximum shared-buffer occupancy across switches.
+	PeakBuffer units.Bytes
+	// PeakPauseFraction is the worst per-link-class pause fraction sampled in
+	// any tick.
+	PeakPauseFraction float64
+	// PauseEvents counts PFC + BFC pause edges the recorder saw.
+	PauseEvents int
+	// QueueAssignments counts BFC dynamic queue assignments (0 for others).
+	QueueAssignments int
+	// Drops counts recorded admission drops.
+	Drops int
+	// P99 is the overall p99 FCT slowdown, tying the trajectory back to the
+	// headline metric.
+	P99 float64
+}
+
+// Fig17Dynamics runs the incast workload under each scheme with the flight
+// recorder and series sampler enabled. Schemes defaults to BFC and the two
+// PFC-backstopped baselines. The runs execute directly (not through the
+// harness): each needs its live ring and series, not a persisted record.
+func Fig17Dynamics(scale Scale, schemes []sim.Scheme) []Fig17Row {
+	if schemes == nil {
+		schemes = []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN, sim.SchemeHPCC}
+	}
+	topo := scale.clos()
+	seed := harness.DeriveSeed("fig17", scale.Name, "workload")
+	flows := scale.backgroundTrace(topo, workload.Google(), 0.60, true, seed)
+
+	nodeName := func(id packet.NodeID) string { return topo.Node(id).Name }
+	rows := make([]Fig17Row, 0, len(schemes))
+	for _, scheme := range schemes {
+		ring := telemetry.NewRing(1 << 17)
+		res := runScheme(scale, scheme, topo, flows, func(o *sim.Options) {
+			o.Recorder = ring
+			o.SampleSeries = true
+		})
+		row := Fig17Row{
+			Scheme:     scheme.String(),
+			Series:     res.Telemetry,
+			Events:     ring.Events(),
+			EventsSeen: ring.Seen(),
+			Trace: telemetry.TraceConfig{
+				RunName:  fmt.Sprintf("fig17/%s/%s", scale.Name, scheme),
+				NodeName: nodeName,
+			},
+			P99: res.FCT.OverallPercentile(99),
+		}
+		for _, ev := range row.Events {
+			switch ev.Kind {
+			case telemetry.KindPFCPause, telemetry.KindBFCPause:
+				row.PauseEvents++
+			case telemetry.KindQueueAssign:
+				row.QueueAssignments++
+			case telemetry.KindDrop:
+				row.Drops++
+			}
+		}
+		if row.Series != nil {
+			for _, s := range row.Series.Series {
+				switch {
+				case strings.HasPrefix(s.Name, "switch/") && strings.HasSuffix(s.Name, "/buffer_bytes"):
+					if b := units.Bytes(s.Max()); b > row.PeakBuffer {
+						row.PeakBuffer = b
+					}
+				case strings.HasPrefix(s.Name, "links/") && strings.HasSuffix(s.Name, "/pause_fraction"):
+					if m := s.Max(); m > row.PeakPauseFraction {
+						row.PeakPauseFraction = m
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig17Timeline condenses one row's trajectory to n evenly spaced points of
+// (time, max switch buffer occupancy, max pause fraction), for the text
+// rendering of the figure.
+func Fig17Timeline(row Fig17Row, n int) []Fig17TimelinePoint {
+	if row.Series == nil || n <= 0 {
+		return nil
+	}
+	var buffers, pauses []*telemetry.Series
+	maxLen := 0
+	for _, s := range row.Series.Series {
+		switch {
+		case strings.HasPrefix(s.Name, "switch/") && strings.HasSuffix(s.Name, "/buffer_bytes"):
+			buffers = append(buffers, s)
+		case strings.HasPrefix(s.Name, "links/") && strings.HasSuffix(s.Name, "/pause_fraction"):
+			pauses = append(pauses, s)
+		}
+		if len(s.Samples) > maxLen {
+			maxLen = len(s.Samples)
+		}
+	}
+	if maxLen == 0 {
+		return nil
+	}
+	if n > maxLen {
+		n = maxLen
+	}
+	points := make([]Fig17TimelinePoint, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (maxLen - 1) / max(n-1, 1)
+		p := Fig17TimelinePoint{}
+		for _, s := range buffers {
+			if idx < len(s.Samples) {
+				p.At = s.At(idx)
+				if b := units.Bytes(s.Samples[idx]); b > p.Buffer {
+					p.Buffer = b
+				}
+			}
+		}
+		for _, s := range pauses {
+			if idx < len(s.Samples) && s.Samples[idx] > p.PauseFraction {
+				p.PauseFraction = s.Samples[idx]
+			}
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// Fig17TimelinePoint is one condensed timeline sample.
+type Fig17TimelinePoint struct {
+	At            units.Time
+	Buffer        units.Bytes
+	PauseFraction float64
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bfc/internal/sim"
+	"bfc/internal/telemetry"
+)
+
+func TestFig17Dynamics(t *testing.T) {
+	rows := Fig17Dynamics(Tiny(), []sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Series == nil || len(r.Series.Series) == 0 {
+			t.Fatalf("%s: no sampled series", r.Scheme)
+		}
+		if r.EventsSeen == 0 || len(r.Events) == 0 {
+			t.Fatalf("%s: no recorded events", r.Scheme)
+		}
+		if r.PeakBuffer <= 0 {
+			t.Errorf("%s: peak buffer occupancy not observed", r.Scheme)
+		}
+		if r.Scheme == "BFC" && r.QueueAssignments == 0 {
+			t.Errorf("BFC run recorded no queue assignments")
+		}
+		tl := Fig17Timeline(r, 8)
+		if len(tl) != 8 {
+			t.Fatalf("%s: timeline has %d points, want 8", r.Scheme, len(tl))
+		}
+
+		// The exported Chrome trace must be valid JSON with the expected shape.
+		var buf bytes.Buffer
+		if err := telemetry.WriteChromeTrace(&buf, r.Trace, r.Events); err != nil {
+			t.Fatalf("%s: trace export: %v", r.Scheme, err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("%s: trace not parseable: %v", r.Scheme, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Fatalf("%s: empty trace", r.Scheme)
+		}
+	}
+}

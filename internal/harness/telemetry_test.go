@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"bfc/internal/sim"
+	"bfc/internal/telemetry"
+)
+
+// tracedJobs attaches one pre-created ring per job via an appended Options
+// mutator — the pattern the service tier uses. The rings map is built before
+// Run and only read inside workers, so parallel execution needs no locking.
+func tracedJobs(t *testing.T) ([]Job, map[string]*telemetry.Ring) {
+	t.Helper()
+	jobs := testJobs(t)
+	rings := make(map[string]*telemetry.Ring, len(jobs))
+	for i := range jobs {
+		ring := telemetry.NewRing(1 << 14)
+		rings[jobs[i].Name] = ring
+		jobs[i].Options = append(jobs[i].Options, func(o *sim.Options) {
+			o.Recorder = ring
+		})
+	}
+	return jobs, rings
+}
+
+// TestTracedRunsDeterministicAcrossWorkerCounts extends the worker-count
+// determinism guarantee to the flight recorder: each job's trace must be
+// byte-identical whether the suite ran serially or over a parallel pool.
+func TestTracedRunsDeterministicAcrossWorkerCounts(t *testing.T) {
+	traces := func(parallel int) map[string][]byte {
+		jobs, rings := tracedJobs(t)
+		r := &Runner{Parallel: parallel}
+		recs, err := r.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != len(jobs) {
+			t.Fatalf("got %d records, want %d", len(recs), len(jobs))
+		}
+		out := map[string][]byte{}
+		for name, ring := range rings {
+			if ring.Seen() == 0 {
+				t.Fatalf("job %q recorded no events", name)
+			}
+			var buf bytes.Buffer
+			if err := telemetry.WriteJSONL(&buf, ring.Events()); err != nil {
+				t.Fatal(err)
+			}
+			out[name] = buf.Bytes()
+		}
+		return out
+	}
+
+	serial := traces(1)
+	parallel := traces(4)
+	for name, want := range serial {
+		if !bytes.Equal(parallel[name], want) {
+			t.Errorf("job %q: parallel trace differs from serial (%d vs %d bytes)",
+				name, len(parallel[name]), len(want))
+		}
+	}
+}
+
+// TestTracedJobsKeepHashes pins the hash-neutrality the service tier relies
+// on: attaching a recorder mutator must not change a job's content hash, so
+// traced and untraced executions share cache artifacts.
+func TestTracedJobsKeepHashes(t *testing.T) {
+	plain := testJobs(t)
+	traced, _ := tracedJobs(t)
+	for i := range plain {
+		if plain[i].Hash() != traced[i].Hash() {
+			t.Errorf("job %q: hash changed when tracing was attached", plain[i].Name)
+		}
+	}
+}

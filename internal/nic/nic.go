@@ -14,6 +14,7 @@ import (
 	"bfc/internal/netsim"
 	"bfc/internal/packet"
 	"bfc/internal/queue"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -62,6 +63,10 @@ type Config struct {
 	// OnFlowComplete is invoked (once) when the receiver has all bytes of a
 	// flow in order.
 	OnFlowComplete func(f *packet.Flow)
+
+	// Recorder, when non-nil, receives flow start/finish flight-recorder
+	// events. Recording is observational only.
+	Recorder telemetry.Recorder
 }
 
 // Validate reports configuration errors.
@@ -222,6 +227,10 @@ func (n *NIC) StartFlow(f *packet.Flow) {
 	n.senders[f.ID] = sf
 	n.sendOrder = append(n.sendOrder, sf)
 	n.stats.FlowsStarted++
+	if n.cfg.Recorder != nil {
+		n.cfg.Recorder.Record(telemetry.Event{At: n.sched.Now(), Kind: telemetry.KindFlowStart,
+			Node: n.ID(), Port: -1, Queue: -1, Flow: f.ID, Value: int64(f.Size)})
+	}
 	n.tryTransmit()
 }
 
@@ -449,6 +458,10 @@ func (n *NIC) receiveData(p *packet.Packet) {
 			rf.finished = true
 			p.Flow.FinishTime = now
 			n.stats.FlowsCompleted++
+			if n.cfg.Recorder != nil {
+				n.cfg.Recorder.Record(telemetry.Event{At: now, Kind: telemetry.KindFlowFinish,
+					Node: n.ID(), Port: -1, Queue: -1, Flow: p.Flow.ID, Value: int64(p.Flow.Size)})
+			}
 			if n.cfg.OnFlowComplete != nil {
 				n.cfg.OnFlowComplete(p.Flow)
 			}

@@ -9,6 +9,7 @@ import (
 
 	"bfc/internal/eventsim"
 	"bfc/internal/packet"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 	"bfc/internal/workload"
@@ -44,11 +45,16 @@ type Params struct {
 	// constant-memory streaming mode with that sketch capacity (mirroring the
 	// run's sim.Options.StreamingStats); zero keeps them exact.
 	StatsSketchSize int
+	// Recorder, when non-nil, receives a flight-recorder event each time a
+	// scenario event fires. Recording is observational only: it never
+	// schedules simulator events or consumes randomness.
+	Recorder telemetry.Recorder
 }
 
 // compiledEvent is one event with names resolved and flows pre-generated.
 type compiledEvent struct {
 	ev   *Event
+	idx  int            // index in the spec's event list
 	a, b packet.NodeID  // resolved link endpoints
 	flow []*packet.Flow // injected flows (incast, workload shift)
 }
@@ -59,6 +65,7 @@ type Injector struct {
 	net     Network
 	topo    *topology.Topology
 	metrics *Metrics
+	rec     telemetry.Recorder
 	// startFlow is the pre-allocated ScheduleCall callback for flow
 	// injection, so the per-flow hot path schedules without closures.
 	startFlow func(any)
@@ -81,6 +88,7 @@ func Install(sched *eventsim.Scheduler, net Network, spec *Spec, p Params) (*Met
 		net:     net,
 		topo:    p.Topo,
 		metrics: newMetrics(spec, p.Horizon, p.StatsSketchSize),
+		rec:     p.Recorder,
 	}
 	in.startFlow = func(x any) {
 		in.metrics.InjectedFlows++
@@ -94,6 +102,7 @@ func Install(sched *eventsim.Scheduler, net Network, spec *Spec, p Params) (*Met
 		if err != nil {
 			return nil, err
 		}
+		ce.idx = i
 		in.schedule(ce)
 	}
 	return in.metrics, nil
@@ -198,11 +207,13 @@ func (in *Injector) schedule(ce *compiledEvent) {
 		up := ce.ev.Kind == LinkUp
 		in.sched.Schedule(ce.ev.At, func() {
 			in.metrics.EventsApplied++
+			in.record(ce)
 			in.metrics.Reroutes += in.net.SetLinkState(ce.a, ce.b, up)
 		})
 	case LinkDegrade:
 		in.sched.Schedule(ce.ev.At, func() {
 			in.metrics.EventsApplied++
+			in.record(ce)
 			// Zero fields mean "keep the current value": resolve them at
 			// fire time, so stacked degrades compose instead of a later
 			// event silently reverting an earlier one.
@@ -220,11 +231,29 @@ func (in *Injector) schedule(ce *compiledEvent) {
 	case Incast, WorkloadShift:
 		in.sched.Schedule(ce.ev.At, func() {
 			in.metrics.EventsApplied++
+			in.record(ce)
 		})
 		for _, f := range ce.flow {
 			in.sched.ScheduleCall(f.StartTime, in.startFlow, f)
 		}
 	}
+}
+
+// record emits the flight-recorder trace of a fired scenario event. For link
+// events Node carries the resolved A endpoint; injections leave it zero. The
+// event's spec index rides in Value so traces can be matched back to the spec.
+func (in *Injector) record(ce *compiledEvent) {
+	if in.rec == nil {
+		return
+	}
+	in.rec.Record(telemetry.Event{
+		At:    in.sched.Now(),
+		Kind:  telemetry.KindScenario,
+		Node:  ce.a,
+		Port:  -1,
+		Queue: -1,
+		Value: int64(ce.idx),
+	})
 }
 
 // eventRNG derives the deterministic RNG of one event from the spec alone

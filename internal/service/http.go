@@ -7,14 +7,20 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"bfc/internal/experiments"
 	"bfc/internal/sim"
+	"bfc/internal/telemetry"
 )
 
 // NewHandler wraps a Service in its REST + SSE API:
 //
 //	GET    /healthz                    liveness probe
+//	GET    /metrics                    Prometheus text exposition
+//	GET    /api/v1/version             server build information
 //	GET    /api/v1/figures             the compilable grid figures and scales
 //	POST   /api/v1/suites              submit a SuiteSpec; 202 + SuiteStatus
 //	GET    /api/v1/suites              list suite statuses
@@ -22,12 +28,22 @@ import (
 //	DELETE /api/v1/suites/{id}         cancel a running suite
 //	GET    /api/v1/suites/{id}/results completed records as JSONL, job order
 //	GET    /api/v1/suites/{id}/events  Server-Sent-Events progress stream
+//	GET    /api/v1/suites/{id}/trace/{job...}  flight-recorder trace of one
+//	       executed job of a trace-enabled suite (Chrome trace_event JSON;
+//	       ?format=jsonl for the raw event stream)
 //	GET    /api/v1/store               the store manifest (completed work)
 //	GET    /api/v1/stats               service + cache counters
+//
+// Every request is counted in the bfcd_http_* metrics and, when the service
+// has a logger, logged with a per-request ID.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /metrics", svc.Metrics().Handler())
+	mux.HandleFunc("GET /api/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, telemetry.ReadBuildInfo())
 	})
 	mux.HandleFunc("GET /api/v1/figures", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, figureIndex())
@@ -125,7 +141,85 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("GET /api/v1/suites/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(svc, w, r)
 	})
-	return mux
+	// Job names contain slashes ("test/scheme=BFC"), hence the {job...} tail.
+	mux.HandleFunc("GET /api/v1/suites/{id}/trace/{job...}", func(w http.ResponseWriter, r *http.Request) {
+		events, cfg, err := svc.Trace(r.PathValue("id"), r.PathValue("job"))
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTracePending):
+			httpError(w, http.StatusConflict, err)
+			return
+		default:
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			w.WriteHeader(http.StatusOK)
+			telemetry.WriteJSONL(w, events)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		telemetry.WriteChromeTrace(w, cfg, events)
+	})
+	return instrument(svc, mux)
+}
+
+// statusRecorder captures the response code for metrics and logging. It must
+// forward Flush: serveEvents type-asserts http.Flusher to stream SSE.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// nextRequestID numbers requests across all handlers of the process, so log
+// lines from concurrent requests can be correlated.
+var nextRequestID atomic.Uint64
+
+// instrument wraps the API mux with request counting, latency observation and
+// (when the service has a logger) structured request logging.
+func instrument(svc *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w}
+		id := nextRequestID.Add(1)
+		next.ServeHTTP(sr, r)
+		if sr.code == 0 {
+			sr.code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		svc.metrics.httpRequests.With(strconv.Itoa(sr.code)).Inc()
+		svc.metrics.httpLatency.Observe(elapsed.Seconds())
+		if svc.cfg.Logger != nil {
+			svc.cfg.Logger.Info("http request",
+				"req", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"code", sr.code,
+				"remote", r.RemoteAddr,
+				"elapsed", elapsed.Round(time.Microsecond).String(),
+			)
+		}
+	})
 }
 
 // serveEvents streams suite progress as Server-Sent Events: one "message"

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"bfc/internal/telemetry"
+)
+
+// serviceMetrics is the daemon's Prometheus-style instrument set, exposed by
+// the /metrics endpoint. Every instrument is updated at the event it counts
+// (submission, completion, job execution), never recomputed at scrape time,
+// so scrapes are cheap and lock-free.
+type serviceMetrics struct {
+	reg *telemetry.Registry
+
+	suitesSubmitted *telemetry.Counter
+	suitesCompleted *telemetry.CounterVec // label "state": done | failed | cancelled
+	suitesRejected  *telemetry.Counter
+	jobsExecuted    *telemetry.Counter
+	jobsCached      *telemetry.Counter
+	cacheHits       *telemetry.Counter
+	cacheMisses     *telemetry.Counter
+	activeSuites    *telemetry.Gauge
+	queuedJobs      *telemetry.Gauge
+	workers         *telemetry.Gauge
+	workersBusy     *telemetry.Gauge
+	httpRequests    *telemetry.CounterVec // label "code"
+	httpLatency     *telemetry.Histogram
+}
+
+func newServiceMetrics() *serviceMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serviceMetrics{
+		reg:             reg,
+		suitesSubmitted: reg.NewCounter("bfcd_suites_submitted_total", "Suites accepted since start."),
+		suitesCompleted: reg.NewCounterVec("bfcd_suites_completed_total", "Suites reaching a terminal state, by state.", "state"),
+		suitesRejected:  reg.NewCounter("bfcd_suites_rejected_total", "Submissions refused (busy, shutting down, storage failure, bad spec)."),
+		jobsExecuted:    reg.NewCounter("bfcd_jobs_executed_total", "Simulation jobs actually executed (cache misses that ran)."),
+		jobsCached:      reg.NewCounter("bfcd_jobs_cached_total", "Jobs satisfied from the result cache at submission."),
+		cacheHits:       reg.NewCounter("bfcd_cache_hits_total", "Submission-time result-cache hits."),
+		cacheMisses:     reg.NewCounter("bfcd_cache_misses_total", "Submission-time result-cache misses."),
+		activeSuites:    reg.NewGauge("bfcd_active_suites", "Suites currently holding uncached work."),
+		queuedJobs:      reg.NewGauge("bfcd_queued_jobs", "Jobs waiting for a worker."),
+		workers:         reg.NewGauge("bfcd_workers", "Simulation worker pool size."),
+		workersBusy:     reg.NewGauge("bfcd_workers_busy", "Workers currently executing a job."),
+		httpRequests:    reg.NewCounterVec("bfcd_http_requests_total", "HTTP requests served, by status code.", "code"),
+		httpLatency:     reg.NewHistogram("bfcd_http_request_seconds", "HTTP request latency in seconds.", nil),
+	}
+	info := telemetry.ReadBuildInfo()
+	reg.Const("bfcd_build_info", "Build information (value is always 1).", 1, map[string]string{
+		"module":   info.Module,
+		"version":  info.Version,
+		"go":       info.GoVersion,
+		"revision": info.Revision,
+	})
+	return m
+}
+
+// Metrics exposes the service's metric registry (for /metrics and tests).
+func (s *Service) Metrics() *telemetry.Registry { return s.metrics.reg }

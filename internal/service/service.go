@@ -18,12 +18,14 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
 
 	"bfc/internal/harness"
 	"bfc/internal/sim"
+	"bfc/internal/telemetry"
 )
 
 // Config parameterizes a Service.
@@ -52,6 +54,13 @@ type Config struct {
 	// override is visible in their content hashes). 0 means
 	// sim.DefaultStreamingHostThreshold; negative disables the policy.
 	StreamingHosts int
+	// TraceRingSize bounds each traced job's flight-recorder ring (events
+	// retained per job for Trace-enabled suites). <= 0 means
+	// telemetry.DefaultRingCapacity.
+	TraceRingSize int
+	// Logger, when non-nil, receives structured request/lifecycle logs from
+	// the service and its HTTP handler.
+	Logger *slog.Logger
 }
 
 // SuiteState is a suite's lifecycle state.
@@ -81,8 +90,9 @@ var ErrStorage = fmt.Errorf("service: storage failure")
 
 // Service is the daemon core. Create with New, stop with Close.
 type Service struct {
-	cfg   Config
-	cache *recordCache
+	cfg     Config
+	cache   *recordCache
+	metrics *serviceMetrics
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -123,6 +133,12 @@ type suite struct {
 	err      string
 	subs     map[int]chan Event
 	nextSub  int
+
+	// traces holds the per-job flight-recorder rings of a Trace-enabled
+	// suite (nil otherwise; nil entries mark cache-satisfied jobs). The map
+	// is fully built before any job is queued and never written afterwards,
+	// so workers and trace fetches read it without locking.
+	traces map[int]*telemetry.Ring
 }
 
 // Event is one progress notification on a suite's subscription stream.
@@ -196,11 +212,16 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxSuiteHistory <= 0 {
 		cfg.MaxSuiteHistory = 64
 	}
-	s := &Service{
-		cfg:    cfg,
-		cache:  newRecordCache(cfg.Store, cfg.CacheEntries),
-		suites: map[string]*suite{},
+	if cfg.TraceRingSize <= 0 {
+		cfg.TraceRingSize = telemetry.DefaultRingCapacity
 	}
+	s := &Service{
+		cfg:     cfg,
+		cache:   newRecordCache(cfg.Store, cfg.CacheEntries),
+		suites:  map[string]*suite{},
+		metrics: newServiceMetrics(),
+	}
+	s.metrics.workers.Set(int64(cfg.Workers))
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -248,9 +269,11 @@ func (s *Service) Submit(spec *SuiteSpec) (SuiteStatus, error) {
 // layer share; also the seam tests use to inject custom jobs).
 func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
 	if len(cs.Jobs) == 0 {
+		s.metrics.suitesRejected.Inc()
 		return SuiteStatus{}, fmt.Errorf("service: suite compiled to no jobs")
 	}
 	if len(cs.Jobs) > s.cfg.MaxSuiteJobs {
+		s.metrics.suitesRejected.Inc()
 		return SuiteStatus{}, fmt.Errorf("service: suite has %d jobs, limit %d", len(cs.Jobs), s.cfg.MaxSuiteJobs)
 	}
 	// Server-side option policy; it may mark job Meta, so it must run before
@@ -274,14 +297,18 @@ func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
 	for i := range st.jobs {
 		rec, ok, err := s.cache.Get(st.jobs[i].Hash())
 		if err != nil {
+			s.metrics.suitesRejected.Inc()
 			return SuiteStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
 		}
 		if ok {
 			st.records[i] = rec
 			st.done++
 			st.cached++
+			s.metrics.cacheHits.Inc()
+			s.metrics.jobsCached.Inc()
 		} else {
 			pending = append(pending, i)
+			s.metrics.cacheMisses.Inc()
 		}
 	}
 	allCached := len(pending) == 0
@@ -289,30 +316,61 @@ func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
 		st.state = StateDone
 	}
 
+	// Attach a flight recorder to every job this suite will actually run.
+	// The rings are created up front in a read-only map, so the parallel
+	// workers and later trace fetches need no extra synchronization; the
+	// appended mutator leaves the job's content hash untouched (see
+	// harness.JobSpec.Hash), which keeps traced runs cache-compatible.
+	if cs.Trace && !allCached {
+		st.traces = make(map[int]*telemetry.Ring, len(pending))
+		for _, i := range pending {
+			ring := telemetry.NewRing(s.cfg.TraceRingSize)
+			st.traces[i] = ring
+			st.jobs[i].Options = append(st.jobs[i].Options, func(o *sim.Options) {
+				o.Recorder = ring
+			})
+		}
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.metrics.suitesRejected.Inc()
 		return SuiteStatus{}, ErrClosed
 	}
 	if !allCached && s.active >= s.cfg.MaxActiveSuites {
 		s.mu.Unlock()
+		s.metrics.suitesRejected.Inc()
 		return SuiteStatus{}, ErrBusy
 	}
 	s.nextID++
 	st.id = fmt.Sprintf("s%06d", s.nextID)
 	s.suites[st.id] = st
+	s.metrics.suitesSubmitted.Inc()
 	if allCached {
 		s.retireLocked(st.id)
+		s.metrics.suitesCompleted.With(string(StateDone)).Inc()
 	} else {
 		s.order = append(s.order, st.id)
 		s.active++
+		s.metrics.activeSuites.Inc()
 		for _, i := range pending {
 			s.queue = append(s.queue, work{st: st, idx: i})
 		}
+		s.metrics.queuedJobs.Set(int64(len(s.queue)))
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
+	s.log("suite submitted", "suite", st.id, "figure", st.figure, "scale", st.scale,
+		"jobs", len(st.jobs), "cached", st.cached, "traced", st.traces != nil)
 	return s.statusOf(st), nil
+}
+
+// log emits a structured log line when a logger is configured.
+func (s *Service) log(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, args...)
+	}
 }
 
 // retireLocked (s.mu held) records a suite as terminal and evicts the oldest
@@ -472,6 +530,7 @@ func (s *Service) worker() {
 		}
 		w := s.queue[0]
 		s.queue = s.queue[1:]
+		s.metrics.queuedJobs.Set(int64(len(s.queue)))
 		s.mu.Unlock()
 		s.runJob(w)
 	}
@@ -487,7 +546,9 @@ func (s *Service) runJob(w work) {
 		return // suite failed or was cancelled while this job sat queued
 	}
 
+	s.metrics.workersBusy.Inc()
 	rec, err := executeJob(&st.jobs[w.idx])
+	s.metrics.workersBusy.Dec()
 	if err == nil {
 		if perr := s.cfg.Store.Put(rec); perr != nil {
 			err = perr
@@ -497,6 +558,7 @@ func (s *Service) runJob(w work) {
 		s.mu.Lock()
 		s.jobsRun++
 		s.mu.Unlock()
+		s.metrics.jobsExecuted.Inc()
 	}
 
 	if err != nil {
@@ -569,7 +631,11 @@ func (s *Service) finishSuite(st *suite, state SuiteState, reason string) bool {
 	}
 	s.order = order
 	s.retireLocked(st.id)
+	s.metrics.queuedJobs.Set(int64(len(s.queue)))
 	s.mu.Unlock()
+	s.metrics.activeSuites.Dec()
+	s.metrics.suitesCompleted.With(string(state)).Inc()
+	s.log("suite finished", "suite", st.id, "state", string(state), "error", reason)
 	return true
 }
 

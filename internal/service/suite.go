@@ -52,6 +52,12 @@ type SuiteSpec struct {
 	Schemes []string `json:"schemes,omitempty"`
 	// Scenario is a scenario.Spec wire document (see examples/scenarios).
 	Scenario json.RawMessage `json:"scenario,omitempty"`
+	// Trace attaches a flight recorder to every job this suite executes;
+	// completed traces are served by GET /api/v1/suites/{id}/trace/{job}.
+	// Tracing is observational: it changes neither job content hashes nor
+	// results, so traced and untraced submissions share cache artifacts.
+	// Jobs satisfied from the cache are not re-simulated and have no trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ParseSuiteSpec decodes and structurally validates a suite document. It is
@@ -116,6 +122,8 @@ type CompiledSuite struct {
 	// hashes. Two submissions with the same digest ask for exactly the same
 	// simulation work.
 	Digest string
+	// Trace carries the spec's flight-recorder request through to execution.
+	Trace bool
 }
 
 // Compile resolves the wire form against the figure registry and scales,
@@ -137,7 +145,7 @@ func (s *SuiteSpec) Compile() (*CompiledSuite, error) {
 		}
 	}
 
-	cs := &CompiledSuite{Spec: *s, Scale: scale.Name}
+	cs := &CompiledSuite{Spec: *s, Scale: scale.Name, Trace: s.Trace}
 	switch {
 	case s.Figure != "":
 		fig, ok := experiments.GridFigureByKey(s.Figure)

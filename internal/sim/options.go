@@ -9,6 +9,7 @@ import (
 
 	"bfc/internal/scenario"
 	"bfc/internal/stats"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -153,6 +154,24 @@ type Options struct {
 
 	// BufferSampleInterval controls the buffer-occupancy sampling period.
 	BufferSampleInterval units.Time
+
+	// Recorder, when non-nil, receives the run's flight-recorder events (flow
+	// start/finish, drops, PFC and BFC pause transitions, queue assignments,
+	// scenario events). Recording is purely observational: it never schedules
+	// events or consumes RNG, so the Result is byte-identical with or without
+	// a recorder. Nil disables recording at zero cost.
+	Recorder telemetry.Recorder
+	// SampleSeries attaches bounded time series (per-switch occupancy,
+	// per-link-class utilization and pause fractions, active flows, goodput)
+	// to Result.Telemetry, sampled on the existing BufferSampleInterval ticker
+	// so no extra simulator events are created. Off by default; the Telemetry
+	// field is omitted from the Result JSON when off, keeping golden digests
+	// unchanged.
+	SampleSeries bool
+	// SeriesMaxSamples bounds each sampled series
+	// (telemetry.DefaultSeriesCap when zero); beyond the bound a series
+	// halves its resolution instead of growing.
+	SeriesMaxSamples int
 
 	// StreamingStats selects constant-memory streaming statistics: the FCT
 	// collectors and the buffer/queue-occupancy distributions become

@@ -15,6 +15,7 @@ import (
 	"bfc/internal/scenario"
 	"bfc/internal/stats"
 	"bfc/internal/switchsim"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -79,6 +80,13 @@ type Result struct {
 	// counts, stranded-packet accounting) when the run injected a scenario;
 	// nil otherwise.
 	Scenario *scenario.Metrics `json:"Scenario,omitempty"`
+
+	// Telemetry carries the bounded time-series bundle when
+	// Options.SampleSeries was set; nil (and absent from the JSON) otherwise,
+	// so untraced results stay byte-identical to pre-telemetry ones. Digest
+	// comparisons across the on/off boundary use ResultDigest, which excludes
+	// this field.
+	Telemetry *telemetry.RunSeries `json:"Telemetry,omitempty"`
 }
 
 // CollisionFraction returns the fraction of queue assignments that collided
@@ -129,6 +137,11 @@ type runner struct {
 	// scen is the installed scenario's metrics (nil without a scenario).
 	scen *scenario.Metrics
 
+	// rec is the flight recorder (nil when disabled); sampler is the series
+	// sampler (nil unless Options.SampleSeries).
+	rec     telemetry.Recorder
+	sampler *seriesSampler
+
 	result *Result
 }
 
@@ -155,6 +168,7 @@ func newRunner(opts Options) *runner {
 		switches: map[packet.NodeID]*switchsim.Switch{},
 		nics:     map[packet.NodeID]*nic.NIC{},
 		devices:  map[packet.NodeID]netsim.Device{},
+		rec:      opts.Recorder,
 		result:   res,
 	}
 }
@@ -240,6 +254,7 @@ func (r *runner) buildSwitches(hopRTT units.Time) {
 			PFCThresholdFrac: 0.11,
 			Seed:             opts.Seed,
 			Pool:             r.pool,
+			Recorder:         r.rec,
 		}
 		switch opts.Scheme {
 		case SchemeBFC, SchemeBFCStatic:
@@ -281,6 +296,7 @@ func (r *runner) buildNICs(hostRate units.Rate, baseRTT units.Time, windowCap un
 			RTO:            4 * units.Millisecond,
 			OnFlowComplete: r.onFlowComplete,
 			Pool:           r.pool,
+			Recorder:       r.rec,
 		}
 		switch opts.Scheme {
 		case SchemeBFC, SchemeBFCStatic:
@@ -325,6 +341,17 @@ func (r *runner) wireLinks() {
 			name := fmt.Sprintf("%s:p%d->%s", node.Name, portIdx, r.topo.Node(port.Peer).Name)
 			link := netsim.NewLink(r.sched, name, port.Rate, port.Delay, peer, port.PeerPort)
 			link.OnStranded = r.onStranded
+			if r.rec != nil {
+				// When tracing, identify the sending end of the link in the
+				// stranding event. The extra closure exists only on traced
+				// runs; untraced runs keep the shared allocation-free handler.
+				nodeID, p := node.ID, portIdx
+				link.OnStranded = func(pkt *packet.Packet) {
+					r.rec.Record(telemetry.Event{At: r.sched.Now(), Kind: telemetry.KindStranded,
+						Node: nodeID, Port: int32(p), Queue: -1, Flow: pkt.Flow.ID, Value: int64(pkt.Size)})
+					r.onStranded(pkt)
+				}
+			}
 			dev.AttachLink(portIdx, link)
 		}
 	}
@@ -351,6 +378,7 @@ func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error
 		Horizon:         horizon,
 		FirstFlowID:     maxID + 1,
 		StatsSketchSize: sketchSize,
+		Recorder:        r.rec,
 	})
 	if err != nil {
 		return err
@@ -386,6 +414,14 @@ func (r *runner) SetLinkState(a, b packet.NodeID, up bool) int {
 		panic(fmt.Sprintf("sim: no link between nodes %d and %d", a, b))
 	}
 	reroutes := r.topo.SetLinkState(a, b, up)
+	if r.rec != nil {
+		kind := telemetry.KindLinkDown
+		if up {
+			kind = telemetry.KindLinkUp
+		}
+		r.rec.Record(telemetry.Event{At: r.sched.Now(), Kind: kind,
+			Node: a, Port: int32(pa), Queue: -1, Value: int64(reroutes)})
+	}
 	if l := r.outLink(a, pa); l != nil {
 		l.SetDown(!up)
 	}
@@ -413,6 +449,10 @@ func (r *runner) SetLinkParams(a, b packet.NodeID, rate units.Rate, delay units.
 		panic(fmt.Sprintf("sim: no link between nodes %d and %d", a, b))
 	}
 	r.topo.SetLinkParams(a, b, rate, delay)
+	if r.rec != nil {
+		r.rec.Record(telemetry.Event{At: r.sched.Now(), Kind: telemetry.KindLinkDegrade,
+			Node: a, Port: int32(pa), Queue: -1, Value: int64(rate)})
+	}
 	for _, l := range []*netsim.Link{r.outLink(a, pa), r.outLink(b, pb)} {
 		if l != nil {
 			l.SetRate(rate)
@@ -494,6 +534,12 @@ func (r *runner) startSampling() {
 			sws = append(sws, sw)
 		}
 	}
+	// The time-series sampler piggybacks on this one ticker rather than
+	// scheduling its own, so enabling it adds no simulator events and the
+	// run's event stream is unchanged.
+	if r.opts.SampleSeries {
+		r.sampler = r.newSeriesSampler()
+	}
 	eventsim.NewTicker(r.sched, r.opts.BufferSampleInterval, func() {
 		for _, sw := range sws {
 			occ := sw.BufferOccupancy()
@@ -505,6 +551,9 @@ func (r *runner) startSampling() {
 			if q := sw.MaxPhysicalQueueBytes(); q > r.result.MaxPhysicalQueueBytes {
 				r.result.MaxPhysicalQueueBytes = q
 			}
+		}
+		if r.sampler != nil {
+			r.sampler.sample()
 		}
 	})
 }
@@ -587,4 +636,7 @@ func (r *runner) collect(horizon units.Time, flows []*packet.Flow) {
 		res.PauseTimeFraction[key] = tracker.Fraction(key)
 	}
 	res.Scenario = r.scen
+	if r.sampler != nil {
+		res.Telemetry = r.sampler.finish()
+	}
 }

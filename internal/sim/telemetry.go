@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/nic"
+	"bfc/internal/switchsim"
+	"bfc/internal/telemetry"
+	"bfc/internal/units"
+)
+
+// ResultDigest returns the SHA-256 hex digest of the marshalled Result with
+// the Telemetry series excluded. Excluding them makes the digest directly
+// comparable between telemetry-enabled and telemetry-disabled runs of the
+// same configuration — the determinism contract telemetry must honor — while
+// still covering every statistic the figures report. For runs without
+// telemetry it is identical to hashing the full marshalled Result.
+func ResultDigest(res *Result) (string, error) {
+	saved := res.Telemetry
+	res.Telemetry = nil
+	blob, err := json.Marshal(res)
+	res.Telemetry = saved
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// linkClass groups the links of one tier pair ("ToR->Spine", ...), the same
+// keying Result.PauseTimeFraction uses.
+type linkClass struct {
+	key   string
+	links []*netsim.Link
+}
+
+// seriesSampler turns the existing buffer-occupancy tick into the bounded
+// time-series bundle attached to Result.Telemetry. It piggybacks on the one
+// sampling ticker the run already schedules — no additional simulator events
+// are created, so the run's event stream (and its golden digest) is identical
+// with sampling on or off.
+type seriesSampler struct {
+	sched *eventsim.Scheduler
+
+	// Sampling order is fixed at construction (topology order), so the series
+	// bundle is byte-stable across reruns and worker counts.
+	switches []*switchsim.Switch
+	nics     []*nic.NIC
+	classes  []linkClass
+
+	goodput    *telemetry.Series
+	active     *telemetry.Series
+	events     *telemetry.Series
+	util       []*telemetry.Series
+	pause      []*telemetry.Series
+	swBuffer   []*telemetry.Series
+	swMaxQ     []*telemetry.Series
+	interval   units.Time
+	prevDeliv  units.Bytes
+	prevEvents uint64
+	prevBusy   []units.Time
+	prevPause  []units.Time
+
+	out *telemetry.RunSeries
+}
+
+// newSeriesSampler builds the sampler; call after wireLinks so every link
+// exists. The runner invokes sample() from the shared sampling ticker.
+func (r *runner) newSeriesSampler() *seriesSampler {
+	interval := r.opts.BufferSampleInterval
+	capacity := r.opts.SeriesMaxSamples
+	s := &seriesSampler{interval: interval}
+
+	// Group links by tier-pair class, in topology order.
+	classIdx := map[string]int{}
+	for _, node := range r.topo.Nodes() {
+		for portIdx, port := range node.Ports {
+			key := fmt.Sprintf("%s->%s", node.Tier, r.topo.Node(port.Peer).Tier)
+			link := r.outLink(node.ID, portIdx)
+			if link == nil {
+				continue
+			}
+			i, ok := classIdx[key]
+			if !ok {
+				i = len(s.classes)
+				classIdx[key] = i
+				s.classes = append(s.classes, linkClass{key: key})
+			}
+			s.classes[i].links = append(s.classes[i].links, link)
+		}
+	}
+	sort.Slice(s.classes, func(i, j int) bool { return s.classes[i].key < s.classes[j].key })
+
+	for _, node := range r.topo.Nodes() {
+		if sw, ok := r.switches[node.ID]; ok {
+			s.switches = append(s.switches, sw)
+			s.swBuffer = append(s.swBuffer,
+				telemetry.NewSeries("switch/"+node.Name+"/buffer_bytes", 0, interval, capacity))
+			s.swMaxQ = append(s.swMaxQ,
+				telemetry.NewSeries("switch/"+node.Name+"/max_queue_bytes", 0, interval, capacity))
+		}
+		if n, ok := r.nics[node.ID]; ok {
+			s.nics = append(s.nics, n)
+		}
+	}
+
+	s.goodput = telemetry.NewSeries("fabric/goodput_gbps", 0, interval, capacity)
+	s.active = telemetry.NewSeries("fabric/active_flows", 0, interval, capacity)
+	s.events = telemetry.NewSeries("fabric/events_per_tick", 0, interval, capacity)
+	for _, c := range s.classes {
+		s.util = append(s.util,
+			telemetry.NewSeries("links/"+c.key+"/utilization", 0, interval, capacity))
+		s.pause = append(s.pause,
+			telemetry.NewSeries("links/"+c.key+"/pause_fraction", 0, interval, capacity))
+	}
+	s.prevBusy = make([]units.Time, len(s.classes))
+	s.prevPause = make([]units.Time, len(s.classes))
+	s.sched = r.sched
+
+	s.out = &telemetry.RunSeries{Interval: interval}
+	s.out.Series = append(s.out.Series, s.goodput, s.active, s.events)
+	s.out.Series = append(s.out.Series, s.util...)
+	s.out.Series = append(s.out.Series, s.pause...)
+	for i := range s.swBuffer {
+		s.out.Series = append(s.out.Series, s.swBuffer[i], s.swMaxQ[i])
+	}
+	return s
+}
+
+// sample appends one point to every series. Called from the shared sampling
+// ticker; it only reads state.
+func (s *seriesSampler) sample() {
+	// Fabric goodput: delta of in-order delivered payload bytes across NICs.
+	var delivered units.Bytes
+	activeFlows := 0
+	for _, n := range s.nics {
+		delivered += n.Stats().DeliveredBytes
+		activeFlows += n.ActiveSenders()
+	}
+	gbps := float64((delivered-s.prevDeliv)*8) / (float64(units.Gbps) * s.interval.Seconds())
+	s.prevDeliv = delivered
+	s.goodput.Append(gbps)
+	s.active.Append(float64(activeFlows))
+
+	// Event-scheduler throughput (the eventsim contribution): executed events
+	// per sampling tick.
+	ev := s.sched.Executed
+	s.events.Append(float64(ev - s.prevEvents))
+	s.prevEvents = ev
+
+	// Per-link-class utilization and PFC pause fraction over the last tick.
+	for i, c := range s.classes {
+		var busy, paused units.Time
+		for _, l := range c.links {
+			busy += l.BusyTime()
+			paused += l.PausedTime()
+		}
+		denom := float64(s.interval) * float64(len(c.links))
+		s.util[i].Append(float64(busy-s.prevBusy[i]) / denom)
+		s.pause[i].Append(float64(paused-s.prevPause[i]) / denom)
+		s.prevBusy[i] = busy
+		s.prevPause[i] = paused
+	}
+
+	// Per-switch occupancy.
+	for i, sw := range s.switches {
+		s.swBuffer[i].Append(float64(sw.BufferOccupancy()))
+		s.swMaxQ[i].Append(float64(sw.MaxPhysicalQueueBytes()))
+	}
+}
+
+// finish returns the completed bundle.
+func (s *seriesSampler) finish() *telemetry.RunSeries { return s.out }

@@ -15,6 +15,7 @@ import (
 	"bfc/internal/core"
 	"bfc/internal/eventsim"
 	"bfc/internal/packet"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -63,6 +64,11 @@ type Config struct {
 
 	// Seed drives ECN marking randomness.
 	Seed int64
+
+	// Recorder, when non-nil, receives flight-recorder events (drops, PFC
+	// pause/resume, BFC queue pause/resume and assignments). Recording is
+	// observational only and never alters switch behavior.
+	Recorder telemetry.Recorder
 
 	// Pool recycles packet objects across the simulation (see packet.Pool
 	// for the ownership rules); the switch recycles the packets it drops.

@@ -9,6 +9,7 @@ import (
 	"bfc/internal/netsim"
 	"bfc/internal/packet"
 	"bfc/internal/queue"
+	"bfc/internal/telemetry"
 	"bfc/internal/units"
 )
 
@@ -46,6 +47,9 @@ type Switch struct {
 	cfg   Config
 	sched *eventsim.Scheduler
 	rng   *rand.Rand
+	// rec receives flight-recorder events; nil disables recording and every
+	// emit site guards on that, so the disabled path costs one branch.
+	rec telemetry.Recorder
 
 	links []*netsim.Link
 	ports []*egressPort
@@ -79,6 +83,7 @@ func New(cfg Config) *Switch {
 		cfg:             cfg,
 		sched:           cfg.Scheduler,
 		rng:             rand.New(rand.NewSource(cfg.Seed + int64(cfg.Node.ID))),
+		rec:             cfg.Recorder,
 		links:           make([]*netsim.Link, numPorts),
 		ports:           make([]*egressPort, numPorts),
 		perIngressBytes: make([]units.Bytes, numPorts),
@@ -202,6 +207,10 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 		// link onward while it was in flight). The switch is the terminal
 		// owner of the drop.
 		s.stats.NoRouteDrops++
+		if s.rec != nil {
+			s.rec.Record(telemetry.Event{At: now, Kind: telemetry.KindNoRouteDrop,
+				Node: s.ID(), Port: int32(ingress), Queue: -1, Flow: p.Flow.ID, Value: int64(p.Size)})
+		}
 		s.cfg.Pool.Put(p)
 		return
 	}
@@ -220,6 +229,10 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 	// switch, so it goes back to the pool here.
 	if !s.cfg.InfiniteBuffer && s.bufferUsed+p.Size > s.cfg.BufferSize {
 		s.stats.Drops++
+		if s.rec != nil {
+			s.rec.Record(telemetry.Event{At: now, Kind: telemetry.KindDrop,
+				Node: s.ID(), Port: int32(ingress), Queue: -1, Flow: p.Flow.ID, Value: int64(p.Size)})
+		}
 		s.cfg.Pool.Put(p)
 		return
 	}
@@ -238,7 +251,25 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 	// Placement.
 	switch {
 	case s.engine != nil:
+		var prevAssignments, prevCollided uint64
+		if s.rec != nil {
+			es := s.engine.Stats()
+			prevAssignments, prevCollided = es.Assignments, es.CollidedAssignments
+		}
 		pl := s.engine.OnArrival(now, ingress, egress, p)
+		if s.rec != nil {
+			// A stats delta means the engine assigned a queue to a newly
+			// active flow on this arrival.
+			if es := s.engine.Stats(); es.Assignments > prevAssignments {
+				collided := int64(0)
+				if es.CollidedAssignments > prevCollided {
+					collided = 1
+				}
+				s.rec.Record(telemetry.Event{At: now, Kind: telemetry.KindQueueAssign,
+					Node: s.ID(), Port: int32(egress), Queue: int32(pl.Queue),
+					Flow: p.Flow.ID, Value: collided})
+			}
+		}
 		switch {
 		case pl.HighPriority:
 			port.hiPrio.Push(p)
@@ -352,6 +383,10 @@ func (s *Switch) checkPFCPause(ingress int) {
 	if s.perIngressBytes[ingress] > s.pfcThreshold() {
 		s.pfcPauseSent[ingress] = true
 		s.stats.PFCPausesSent++
+		if s.rec != nil {
+			s.rec.Record(telemetry.Event{At: s.sched.Now(), Kind: telemetry.KindPFCPause,
+				Node: s.ID(), Port: int32(ingress), Queue: -1})
+		}
 		s.links[ingress].SendControl(netsim.PFCFrame{Pause: true}, 64)
 	}
 }
@@ -366,6 +401,10 @@ func (s *Switch) checkPFCResume(ingress int) {
 	hysteresis := 2 * (s.cfg.MTU + packet.DataHeaderSize)
 	if s.perIngressBytes[ingress]+hysteresis < th || s.perIngressBytes[ingress] == 0 {
 		s.pfcPauseSent[ingress] = false
+		if s.rec != nil {
+			s.rec.Record(telemetry.Event{At: s.sched.Now(), Kind: telemetry.KindPFCResume,
+				Node: s.ID(), Port: int32(ingress), Queue: -1})
+		}
 		s.links[ingress].SendControl(netsim.PFCFrame{Pause: false}, 64)
 	}
 }
@@ -407,7 +446,16 @@ func (s *Switch) refreshQueuePause(egress, q int) {
 	}
 	fifo := s.ports[egress].data[q]
 	head := fifo.Head()
-	fifo.SetPaused(head != nil && s.upstream[egress].PacketPaused(head))
+	paused := head != nil && s.upstream[egress].PacketPaused(head)
+	if s.rec != nil && paused != fifo.Paused() {
+		kind := telemetry.KindBFCResume
+		if paused {
+			kind = telemetry.KindBFCPause
+		}
+		s.rec.Record(telemetry.Event{At: s.sched.Now(), Kind: kind,
+			Node: s.ID(), Port: int32(egress), Queue: int32(q)})
+	}
+	fifo.SetPaused(paused)
 }
 
 func (s *Switch) refreshOverflowPause(egress int) {
@@ -416,7 +464,18 @@ func (s *Switch) refreshOverflowPause(egress int) {
 	}
 	fifo := s.ports[egress].overflow
 	head := fifo.Head()
-	fifo.SetPaused(head != nil && s.upstream[egress].PacketPaused(head))
+	paused := head != nil && s.upstream[egress].PacketPaused(head)
+	if s.rec != nil && paused != fifo.Paused() {
+		kind := telemetry.KindBFCResume
+		if paused {
+			kind = telemetry.KindBFCPause
+		}
+		// The overflow queue reports as queue index NumQueues (one past the
+		// data queues).
+		s.rec.Record(telemetry.Event{At: s.sched.Now(), Kind: kind,
+			Node: s.ID(), Port: int32(egress), Queue: int32(s.cfg.NumQueues)})
+	}
+	fifo.SetPaused(paused)
 }
 
 // bfcTick runs every Tau: advances the engine (throttled resumes) and sends

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"runtime/debug"
+	"strings"
+)
+
+// LogOptions carries the logging flags every command shares.
+type LogOptions struct {
+	// Level is the minimum level: "debug", "info", "warn" or "error".
+	Level string
+	// JSON selects JSON output instead of logfmt-style text.
+	JSON bool
+}
+
+// RegisterLogFlags installs the shared -log-level and -log-json flags on a
+// flag set and returns the options they populate.
+func RegisterLogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{}
+	fs.StringVar(&o.Level, "log-level", "info", "minimum log level (debug, info, warn, error)")
+	fs.BoolVar(&o.JSON, "log-json", false, "emit structured JSON logs instead of text")
+	return o
+}
+
+// NewLogger builds a slog.Logger writing to w per the options.
+func NewLogger(w io.Writer, o *LogOptions) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(strings.TrimSpace(o.Level)) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q", o.Level)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if o.JSON {
+		h = slog.NewJSONHandler(w, hopts)
+	} else {
+		h = slog.NewTextHandler(w, hopts)
+	}
+	return slog.New(h), nil
+}
+
+// SetupLogging builds the process logger from the options, installs it as the
+// slog default, and returns it. Commands call this right after flag.Parse; an
+// invalid level is reported on stderr and exits, matching the fatal-flag
+// convention of the CLIs.
+func SetupLogging(o *LogOptions) *slog.Logger {
+	logger, err := NewLogger(os.Stderr, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	return logger
+}
+
+// BuildInfo describes the running binary, as reported by the Go runtime.
+type BuildInfo struct {
+	// Module is the main module path.
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time, when stamped.
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted local modifications at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuildInfo extracts the binary's build information via
+// runtime/debug.ReadBuildInfo. All fields degrade gracefully when the binary
+// was built without module or VCS stamping (e.g. go test binaries).
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{Module: "unknown", Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "A counter.")
+	g := r.NewGauge("test_gauge", "A gauge.")
+	h := r.NewHistogram("test_seconds", "A histogram.", []float64{0.1, 1})
+	v := r.NewCounterVec("test_by_code_total", "A vector.", "code")
+	r.Const("test_build_info", "Build info.", 1, map[string]string{"version": "v1.2.3", "go": "go1.24"})
+
+	c.Add(41)
+	c.Inc()
+	g.Set(7)
+	g.Dec()
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	v.With("200").Inc()
+	v.With("200").Inc()
+	v.With("404").Inc()
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP test_total A counter.",
+		"# TYPE test_total counter",
+		"test_total 42",
+		"test_gauge 6",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		"test_seconds_sum 5.55",
+		"test_seconds_count 3",
+		`test_by_code_total{code="200"} 2`,
+		`test_by_code_total{code="404"} 1`,
+		`test_build_info{go="go1.24",version="v1.2.3"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+
+	// Families must be sorted by name for a stable scrape.
+	if strings.Index(out, "test_build_info") > strings.Index(out, "test_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup_total", "X.")
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger, err := NewLogger(&buf, &LogOptions{Level: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hidden")
+	logger.Warn("shown")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filtering broken:\n%s", out)
+	}
+	if _, err := NewLogger(&buf, &LogOptions{Level: "loud"}); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	logger, err = NewLogger(&buf, &LogOptions{Level: "debug", JSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	logger.Debug("j", "k", 1)
+	if !strings.Contains(buf.String(), `"msg":"j"`) {
+		t.Fatalf("JSON handler not used:\n%s", buf.String())
+	}
+}
+
+func TestReadBuildInfo(t *testing.T) {
+	bi := ReadBuildInfo()
+	if bi.Module == "" || bi.Version == "" {
+		t.Fatalf("empty build info: %+v", bi)
+	}
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+// Ring is a bounded ring-buffer Recorder: the newest events win, the oldest
+// are overwritten, and memory is fixed at construction. Events are stored by
+// value in a preallocated slice, so Record never allocates. Ring is not
+// safe for concurrent use — one Ring belongs to one (single-threaded)
+// simulation run.
+type Ring struct {
+	buf []Event
+	// next is the overwrite cursor once the buffer is full (len == cap); it
+	// then always points at the oldest retained event.
+	next   int
+	seen   uint64
+	filter Filter
+}
+
+// DefaultRingCapacity bounds a trace when the caller does not choose: 64K
+// events is a few MB and comfortably covers the interesting window of an
+// incast at the scales the figures run.
+const DefaultRingCapacity = 1 << 16
+
+// NewRing creates a ring holding at most capacity events
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// SetFilter installs the keep-predicate applied to every Record call. Must be
+// called before recording starts.
+func (r *Ring) SetFilter(f Filter) {
+	f.compile()
+	r.filter = f
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(ev Event) {
+	if !r.filter.Match(&ev) {
+		return
+	}
+	r.seen++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Seen returns the total number of events that matched the filter, including
+// any that have since been overwritten.
+func (r *Ring) Seen() uint64 { return r.seen }
+
+// Overwritten returns how many matched events were lost to ring wrap.
+func (r *Ring) Overwritten() uint64 { return r.seen - uint64(len(r.buf)) }
+
+// Events returns the retained events in chronological order. The returned
+// slice is freshly allocated; the ring can keep recording afterwards.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf...)
+}

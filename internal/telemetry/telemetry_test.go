@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{At: units.Time(i), Kind: KindDrop})
+	}
+	if r.Len() != 3 || r.Seen() != 3 || r.Overwritten() != 0 {
+		t.Fatalf("len=%d seen=%d over=%d", r.Len(), r.Seen(), r.Overwritten())
+	}
+	got := r.Events()
+	for i, e := range got {
+		if e.At != units.Time(i) {
+			t.Fatalf("event %d at %v", i, e.At)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: units.Time(i), Kind: KindDrop})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d", r.Len())
+	}
+	if r.Overwritten() != 6 {
+		t.Fatalf("overwritten=%d", r.Overwritten())
+	}
+	got := r.Events()
+	want := []units.Time{6, 7, 8, 9}
+	for i, e := range got {
+		if e.At != want[i] {
+			t.Fatalf("event %d: at %v, want %v", i, e.At, want[i])
+		}
+	}
+}
+
+func TestRingFilter(t *testing.T) {
+	r := NewRing(16)
+	r.SetFilter(Filter{
+		Kinds: KindSetOf(KindDrop, KindPFCPause),
+		Nodes: []packet.NodeID{3},
+	})
+	r.Record(Event{Kind: KindDrop, Node: 3})      // kept
+	r.Record(Event{Kind: KindDrop, Node: 4})      // wrong node
+	r.Record(Event{Kind: KindFlowStart, Node: 3}) // wrong kind
+	r.Record(Event{Kind: KindPFCPause, Node: 3})  // kept
+	if r.Len() != 2 {
+		t.Fatalf("kept %d events, want 2", r.Len())
+	}
+}
+
+func TestFilterFlows(t *testing.T) {
+	var f Filter
+	f.Flows = []packet.FlowID{42}
+	f.compile()
+	if !f.Match(&Event{Kind: KindFlowStart, Flow: 42}) {
+		t.Error("flow 42 should match")
+	}
+	if f.Match(&Event{Kind: KindFlowStart, Flow: 43}) {
+		t.Error("flow 43 should not match")
+	}
+	// Events without a flow always pass the flow dimension.
+	if !f.Match(&Event{Kind: KindPFCPause}) {
+		t.Error("flowless event should match")
+	}
+}
+
+func TestKindTextRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if back != k {
+			t.Fatalf("%v round-tripped to %v", k, back)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{At: 10 * units.Microsecond, Kind: KindFlowStart, Node: 1, Port: -1, Queue: -1, Flow: 7, Value: 4096},
+		{At: 11 * units.Microsecond, Kind: KindPFCPause, Node: 2, Port: 3, Queue: -1},
+		{At: 12 * units.Microsecond, Kind: KindBFCResume, Node: 2, Port: 3, Queue: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	events := []Event{
+		{At: 1, Kind: KindDrop, Node: 5, Flow: 3, Value: 1500},
+		{At: 2, Kind: KindLinkDown, Node: 1, Value: 4},
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same events differ")
+	}
+}
+
+func TestChromeTraceBalancedAndParseable(t *testing.T) {
+	events := []Event{
+		{At: 1 * units.Microsecond, Kind: KindFlowStart, Node: 1, Flow: 7, Value: 100},
+		{At: 2 * units.Microsecond, Kind: KindPFCPause, Node: 2, Port: 1},
+		{At: 3 * units.Microsecond, Kind: KindBFCPause, Node: 2, Port: 0, Queue: 4},
+		{At: 4 * units.Microsecond, Kind: KindPFCResume, Node: 2, Port: 1},
+		{At: 5 * units.Microsecond, Kind: KindDrop, Node: 3, Port: 2, Flow: 7, Value: 1040},
+		// A resume with no matching pause (before the ring window) must be
+		// dropped, and the still-open BFC pause must be closed at trace end.
+		{At: 6 * units.Microsecond, Kind: KindPFCResume, Node: 9, Port: 9},
+		{At: 7 * units.Microsecond, Kind: KindFlowFinish, Node: 4, Flow: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, TraceConfig{RunName: "t"}, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int64   `json:"pid"`
+			TID  int64   `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Every B must have a matching E on the same (pid, tid).
+	type track struct {
+		pid, tid int64
+	}
+	open := map[track]int{}
+	for _, te := range doc.TraceEvents {
+		switch te.Ph {
+		case "B":
+			open[track{te.PID, te.TID}]++
+		case "E":
+			open[track{te.PID, te.TID}]--
+		}
+	}
+	for tr, n := range open {
+		if n != 0 {
+			t.Errorf("unbalanced B/E on pid=%d tid=%d: %+d", tr.pid, tr.tid, n)
+		}
+	}
+}
+
+func TestSeriesBounded(t *testing.T) {
+	s := NewSeries("x", 0, units.Microsecond, 8)
+	for i := 0; i < 1000; i++ {
+		s.Append(1.0)
+	}
+	if len(s.Samples) > 8 {
+		t.Fatalf("series grew to %d samples", len(s.Samples))
+	}
+	if s.Interval <= units.Microsecond {
+		t.Fatalf("interval %v did not stretch", s.Interval)
+	}
+	if math.Abs(s.Mean()-1.0) > 1e-9 {
+		t.Fatalf("decimation changed the mean: %v", s.Mean())
+	}
+	// Time coverage: the last stored sample may lag the newest tick by up to
+	// two stretched intervals (one full window plus a partial pending one).
+	last := s.At(len(s.Samples) - 1)
+	if last+2*s.Interval < 1000*units.Microsecond {
+		t.Fatalf("series covers only up to %v at interval %v", last, s.Interval)
+	}
+}
+
+func TestSeriesDeterministic(t *testing.T) {
+	build := func() *Series {
+		s := NewSeries("x", 0, units.Microsecond, 16)
+		for i := 0; i < 333; i++ {
+			s.Append(float64(i % 17))
+		}
+		return s
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Samples, b.Samples) || a.Interval != b.Interval {
+		t.Fatal("two identical sample streams produced different series")
+	}
+}
