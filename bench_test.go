@@ -12,10 +12,14 @@ package bfc_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"bfc/internal/experiments"
+	"bfc/internal/packet"
 	"bfc/internal/sim"
 	"bfc/internal/topology"
 	"bfc/internal/units"
@@ -313,6 +317,123 @@ func BenchmarkFatTreeScalePoint(b *testing.B) {
 		totalEvents += res.Events
 	}
 	b.ReportMetric(float64(totalEvents)/float64(b.N), "events/run")
+}
+
+// shardedBench holds the one-time setup for BenchmarkShardedThroughput1024:
+// the 1024-host fabric, its workload, and the serial (-shards 1) reference run
+// the speedup is measured against. Cached across the benchmark's invocations
+// so the expensive serial reference executes once per process.
+var shardedBench struct {
+	once         sync.Once
+	flows        []*packet.Flow
+	opts         sim.Options
+	serialNs     float64
+	serialDigest string
+	err          error
+}
+
+func shardedBenchSetup() {
+	topo := topology.NewFatTree(topology.FatTreeForHosts(1024, 100*units.Gbps, units.Microsecond))
+	tr, err := workload.Generate(workload.Config{
+		Hosts:    topo.Hosts(),
+		CDF:      workload.Google(),
+		Load:     0.5,
+		HostRate: topo.HostRate(topo.Hosts()[0]),
+		Duration: 20 * units.Microsecond,
+		Seed:     71,
+	})
+	if err != nil {
+		shardedBench.err = err
+		return
+	}
+	shardedBench.flows = tr.Flows
+	opts := sim.DefaultOptions(sim.SchemeBFC, topo)
+	opts.Duration = 20 * units.Microsecond
+	opts.Drain = 100 * units.Microsecond
+	opts.StreamingStats = true
+	shardedBench.opts = opts
+
+	serialOpts := opts
+	serialOpts.Shards = 1
+	start := time.Now()
+	res, err := sim.Run(serialOpts, cloneFlowList(tr.Flows))
+	if err != nil {
+		shardedBench.err = err
+		return
+	}
+	shardedBench.serialNs = float64(time.Since(start).Nanoseconds())
+	shardedBench.serialDigest, shardedBench.err = sim.ResultDigest(res)
+}
+
+// cloneFlowList deep-copies flows so repeated runs never share completion
+// state.
+func cloneFlowList(flows []*packet.Flow) []*packet.Flow {
+	out := make([]*packet.Flow, len(flows))
+	for i, f := range flows {
+		c := *f
+		out[i] = &c
+	}
+	return out
+}
+
+// BenchmarkShardedThroughput1024 is the tentpole gate for sharded execution:
+// one BFC run on a 1024-host (32-pod) fat-tree under the conservative-PDES
+// engine at -shards auto, timed against the serial engine on the same flows.
+// It enforces two claims at once — the sharded result digest is byte-identical
+// to the serial one, and the wall-clock speedup meets the tier for the
+// machine's core count (>=4x on 8+ cores, >=2x on 4+, >=1.5x on 2+; on a
+// single core only the coordination overhead is bounded). ns/op is the
+// sharded run's wall-clock, fed to the benchjson gate.
+func BenchmarkShardedThroughput1024(b *testing.B) {
+	shardedBench.once.Do(shardedBenchSetup)
+	if shardedBench.err != nil {
+		b.Fatal(shardedBench.err)
+	}
+	opts := shardedBench.opts
+	opts.Shards = -1 // auto: min(pods, GOMAXPROCS)
+	var lastDigest string
+	var totalEvents uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		flows := cloneFlowList(shardedBench.flows)
+		b.StartTimer()
+		res, err := sim.Run(opts, flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		lastDigest, err = sim.ResultDigest(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += res.Events
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if lastDigest != shardedBench.serialDigest {
+		b.Fatalf("sharded digest %s != serial digest %s (determinism broken)", lastDigest, shardedBench.serialDigest)
+	}
+	b.ReportMetric(float64(totalEvents)/float64(b.N), "events/run")
+
+	shardedNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	speedup := shardedBench.serialNs / shardedNs
+	b.ReportMetric(speedup, "speedup")
+	cores := runtime.GOMAXPROCS(0)
+	var min float64
+	switch {
+	case cores >= 8:
+		min = 4.0
+	case cores >= 4:
+		min = 2.0
+	case cores >= 2:
+		min = 1.5
+	default:
+		min = 0.5 // one core: sharding cannot win; bound the overhead instead
+	}
+	if speedup < min {
+		b.Errorf("sharded speedup %.2fx on %d cores, need >= %.1fx", speedup, cores, min)
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (events per

@@ -101,6 +101,11 @@ func DefaultOptions(scheme Scheme, topo *Topology) Options {
 // measurements.
 func Run(opts Options, flows []*Flow) (*Result, error) { return sim.Run(opts, flows) }
 
+// ResultDigest returns the SHA-256 hex digest of the marshalled Result
+// (telemetry series excluded), the canonical fingerprint for determinism
+// checks across shard counts and telemetry settings.
+func ResultDigest(res *Result) (string, error) { return sim.ResultDigest(res) }
+
 // IdealFCT returns the unloaded-network completion time used to normalize FCT
 // slowdowns.
 func IdealFCT(topo *Topology, mtu Bytes, f *Flow) Time { return sim.IdealFCT(topo, mtu, f) }
@@ -121,6 +126,12 @@ func NewSingleSwitch(numHosts int, rate Rate, delay Time) *Topology {
 	return topology.NewSingleSwitch(topology.SingleSwitchConfig{
 		NumHosts: numHosts, LinkRate: rate, LinkDelay: delay,
 	})
+}
+
+// NewFatTree builds the scale tier's standard three-tier fat-tree holding at
+// least the requested number of hosts (rounded up to whole pods).
+func NewFatTree(hosts int, rate Rate, delay Time) *Topology {
+	return topology.NewFatTree(topology.FatTreeForHosts(hosts, rate, delay))
 }
 
 // NewCrossDC builds two Clos data centers joined by a long gateway link.

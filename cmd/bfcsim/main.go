@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	var (
 		schemeName = flag.String("scheme", "bfc", "scheme: bfc, bfc-vfid, dcqcn, dcqcn+win, dcqcn+win+sfq, hpcc, ideal-fq")
-		topoName   = flag.String("topology", "t2", "topology: t1, t2, star:<hosts>")
+		topoName   = flag.String("topology", "t2", "topology: t1, t2, star:<hosts>, fattree:<hosts>")
 		wlName     = flag.String("workload", "google", "workload: google, fb_hadoop, websearch")
 		load       = flag.Float64("load", 0.6, "average background load (fraction of host capacity)")
 		incast     = flag.Bool("incast", false, "add 5% 100-to-1 incast traffic")
@@ -32,6 +32,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		queues     = flag.Int("queues", 32, "physical queues per egress port")
 		buffer     = flag.Int("buffer-mb", 12, "switch shared buffer (MB)")
+		shards     = flag.Int("shards", 0, "shards for the conservative-PDES engine (0/1 = serial, >=2 = explicit, -1 = auto: min(pods, GOMAXPROCS)); output is byte-identical across shard counts")
+		digest     = flag.Bool("digest", false, "print the SHA-256 result digest (telemetry excluded); identical digests across -shards values certify determinism")
 	)
 	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -75,6 +77,7 @@ func main() {
 	opts.NumQueues = *queues
 	opts.SwitchBuffer = bfc.Bytes(*buffer) * bfc.MB
 	opts.Seed = *seed
+	opts.Shards = *shards
 
 	start := time.Now()
 	res, err := bfc.Run(opts, trace.Flows)
@@ -89,6 +92,13 @@ func main() {
 		res.FlowsTotal, res.FlowsCompleted, res.Elapsed, elapsed.Round(time.Millisecond), res.Events)
 	fmt.Printf("utilization=%.2f drops=%d ecn-marks=%d pfc-pauses=%d bfc-frames=%d\n",
 		res.Utilization, res.Drops, res.ECNMarks, res.PFCPauses, res.BFCFrames)
+	if *digest {
+		d, err := bfc.ResultDigest(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("digest=%s\n", d)
+	}
 	fmt.Printf("buffer occupancy: p50=%v p99=%v max=%v\n",
 		units.Bytes(res.BufferOccupancy.Percentile(50)),
 		units.Bytes(res.BufferOccupancy.Percentile(99)),
@@ -138,6 +148,12 @@ func parseTopology(name string) (*bfc.Topology, error) {
 			return nil, fmt.Errorf("invalid star topology %q (want star:<hosts>)", name)
 		}
 		return bfc.NewSingleSwitch(hosts, 100*bfc.Gbps, bfc.Microsecond), nil
+	case strings.HasPrefix(strings.ToLower(name), "fattree:"):
+		var hosts int
+		if _, err := fmt.Sscanf(name[8:], "%d", &hosts); err != nil || hosts < 8 {
+			return nil, fmt.Errorf("invalid fat-tree topology %q (want fattree:<hosts>, hosts >= 8)", name)
+		}
+		return bfc.NewFatTree(hosts, 100*bfc.Gbps, bfc.Microsecond), nil
 	default:
 		return nil, fmt.Errorf("unknown topology %q", name)
 	}

@@ -53,6 +53,7 @@ func main() {
 		out      = flag.String("out", "", "results directory for per-job JSONL artifacts (empty = keep results in memory)")
 		resume   = flag.Bool("resume", false, "skip jobs whose artifact already exists under -out")
 		schemes  = flag.String("schemes", "all", `restrict the scheme axis of figures 5a/5b/5c (and 6, which reuses the 5a runs), 15, 16 and 17 ("BFC,DCQCN,..." or "all"); other figures have fixed scheme sets and ignore it`)
+		shards   = flag.Int("shards", 0, "shards per run for the conservative-PDES engine (0/1 = serial, >=2 = explicit, -1 = auto: min(pods, GOMAXPROCS)); output is byte-identical across shard counts")
 		list     = flag.Bool("list", false, "list the available figures/scenarios with descriptions and exit")
 		traceDir = flag.String("trace-dir", "", "directory for fig 17's per-scheme flight-recorder exports (<scheme>.trace.json Chrome/Perfetto trace + <scheme>.events.jsonl)")
 	)
@@ -67,6 +68,7 @@ func main() {
 	if *full {
 		scale = experiments.Full()
 	}
+	scale.Shards = *shards
 
 	// nil keeps each figure's default scheme set.
 	var schemeList []sim.Scheme

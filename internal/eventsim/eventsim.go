@@ -13,6 +13,27 @@
 // cancellation is lazy — a cancelled event is marked in its slot and skipped
 // when it reaches the top of the heap, with a periodic compaction pass
 // keeping the heap from filling up with dead entries.
+//
+// # Ordering and the sharded engine
+//
+// Each event carries, besides its firing time, the chain of instants at which
+// it and its causal ancestors were scheduled — chain[0] is the instant the
+// event itself was scheduled, chain[1] the instant its scheduling event was
+// scheduled, and so on ChainDepth generations back — plus the matching chain
+// of causal-origin tags (see Scheduler.curTag). Events are ordered by
+//
+//	(at, chain..., tags (deepest first), tag, seq)
+//
+// The chain and tag components exist for the sharded engine (internal/sim):
+// they are properties of the simulation's causal structure that every
+// partition of the fabric computes identically — unlike sequence numbers,
+// which depend on the global scheduling history a parallel run cannot
+// reproduce. Boundary deliveries injected at a barrier carry their key from
+// the sending shard and therefore interleave with the receiver's local events
+// exactly as a serial run of the same engine would have interleaved them; see
+// entryLess for why the comparison is shaped this way. Schedulers created for
+// runs that can never shard (scenarios, flight recording) keep the historical
+// (at, seq) tie order via UseLegacyOrder.
 package eventsim
 
 import (
@@ -20,6 +41,54 @@ import (
 
 	"bfc/internal/units"
 )
+
+// SetupTime is the scheduling-chain sentinel for the construction phase that
+// runs before the first event. It sorts before every real instant, so events
+// scheduled during setup order ahead of same-instant events scheduled by
+// other time-zero events — which is also their sequence order.
+const SetupTime = units.Time(-1)
+
+// ChainDepth is the number of ancestor scheduling instants each event carries
+// in its ordering key. Deeper chains disambiguate more same-instant event
+// pairs across shards; the depth only has to exceed the longest run of
+// generations over which two physically distinct causal histories stay in
+// perfect lockstep, which on Clos fabrics is bounded by the path-length
+// asymmetry a couple of hops introduce.
+const ChainDepth = 5
+
+// Key is an event's deterministic ordering key: its firing instant followed
+// by the instants at which the event, its parent (the event that scheduled
+// it), and earlier ancestors were scheduled — Chain[0] is the event's own
+// scheduling instant, Chain[i] the i-th ancestor's. Keys are comparable
+// across shards of a partitioned simulation, which makes them the currency of
+// the sharded engine: boundary deliveries, barrier thresholds, and merged
+// flow-completion records are all ordered by Key.
+type Key struct {
+	At    units.Time             // firing instant
+	Chain [ChainDepth]units.Time // scheduling instants, youngest first
+	Tags  [ChainDepth]uint64     // ancestor dispatch tags, youngest first
+	Tag   uint64                 // own causal-origin tag (see Scheduler tags)
+}
+
+// Less reports whether k orders strictly before o. The tag components follow
+// the pedigree recursion (see entryLess): ancestor tags deepest-first, then
+// the events' own tags.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	for i := 0; i < ChainDepth; i++ {
+		if k.Chain[i] != o.Chain[i] {
+			return k.Chain[i] < o.Chain[i]
+		}
+	}
+	for i := ChainDepth - 1; i >= 0; i-- {
+		if k.Tags[i] != o.Tags[i] {
+			return k.Tags[i] < o.Tags[i]
+		}
+	}
+	return k.Tag < o.Tag
+}
 
 // Event is a cancellation handle for a scheduled callback, returned by
 // Schedule. It is a small value (copy freely); the zero Event is invalid and
@@ -36,19 +105,63 @@ type Event struct {
 // and ScheduleCall avoids even that by carrying the callback argument in the
 // entry (boxing a pointer into an `any` does not allocate).
 type entry struct {
-	at   units.Time
-	seq  uint64
-	fn   func()
-	call func(any)
-	arg  any
-	slot int32
+	at    units.Time
+	chain [ChainDepth]units.Time
+	tags  [ChainDepth]uint64
+	tag   uint64
+	seq   uint64
+	fn    func()
+	call  func(any)
+	arg   any
+	slot  int32
+	// injected marks a boundary delivery drained in from another shard. Its
+	// seq reflects drain order, not serial scheduling order, so it is only
+	// meaningful against entries its tags cannot separate.
+	injected bool
 }
 
-// entryLess orders entries by (time, sequence). The sequence tie-break makes
-// same-time ordering deterministic and FIFO.
-func entryLess(a, b *entry) bool {
+// entryLess orders entries by (firing time, scheduling chain, ancestor tags
+// deepest-first, own tag, sequence) — or by the legacy (firing time, chain,
+// sequence) when the scheduler is in legacy order.
+//
+// The shape of the comparison follows the structure of serial dispatch order.
+// Two events firing at the same instant execute in seq order, and their seqs
+// were assigned in their parents' dispatch order; parents at the same instant
+// order by THEIR parents, and so on up the pedigree — a same-instant tie is
+// decided at the first divergence from the root side. The chain pins the
+// ancestors' dispatch instants; when those all tie, the ancestor tags are
+// compared from the oldest recorded generation down, mirroring the
+// root-side-first recursion; the events' own tags come last, covering root
+// causes themselves colliding (an incast burst's simultaneous flow arrivals,
+// whose serial order is their creation order — exactly the flow-ID tags they
+// were scheduled under).
+//
+// A sequence number can still decide a tie the tags cannot, which is exact
+// for local pairs (seqs are assigned in scheduling order) and deterministic —
+// drain order — for pairs involving an injected boundary delivery. Because
+// every scheduler of a partitioned run applies this same rule, shards
+// interleave remote and local events exactly as a serial run of the same
+// engine would; parity holds wherever a cross-shard pair does not tie on the
+// entire key, and such full ties are confined to events with equal tags,
+// which symmetric workloads do not produce across shards.
+func (s *Scheduler) entryLess(a, b *entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	for i := 0; i < ChainDepth; i++ {
+		if a.chain[i] != b.chain[i] {
+			return a.chain[i] < b.chain[i]
+		}
+	}
+	if !s.legacyOrder {
+		for i := ChainDepth - 1; i >= 0; i-- {
+			if a.tags[i] != b.tags[i] {
+				return a.tags[i] < b.tags[i]
+			}
+		}
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
 	}
 	return a.seq < b.seq
 }
@@ -79,17 +192,58 @@ type Scheduler struct {
 	stale   int // cancelled entries still occupying heap positions
 	stopped bool
 
+	// Scheduling chain of the event currently being dispatched (SetupTime
+	// sentinels outside dispatch). Children inherit (now, cur[0..ChainDepth-2])
+	// as their chain.
+	cur [ChainDepth]units.Time
+
+	// curTags holds the ancestor dispatch tags of the event currently being
+	// dispatched, parallel to cur. Children inherit
+	// (curTag, curTags[0..ChainDepth-2]) as their ancestor tags.
+	curTags [ChainDepth]uint64
+
+	// legacyOrder restores the pre-sharding (at, seq) tie order: the causal
+	// tags are ignored and every same-instant tie resolves by sequence number
+	// alone. Runs that are pinned to historical outputs and can never be
+	// sharded — scenario and flight-recorder runs — set it via UseLegacyOrder.
+	legacyOrder bool
+
+	// curTag is the causal-origin tag of the event currently being
+	// dispatched. Tags ride the causal chain: an event scheduled during a
+	// dispatch inherits the dispatching event's tag unless the caller
+	// overrides it (ScheduleTagged and friends). The simulation stamps root
+	// causes whose creation order is meaningful — flow arrivals carry their
+	// flow ID, which ascends in schedule order — so events whose entire
+	// scheduling chain ties (lockstep symmetric histories) still order the
+	// way their root causes were created, on any shard of a partitioned run.
+	curTag uint64
+
 	// Executed counts events that have fired (for diagnostics and tests).
 	Executed uint64
 }
 
 // New returns an empty scheduler with the clock at time zero.
 func New() *Scheduler {
-	return &Scheduler{}
+	s := &Scheduler{}
+	for i := range s.cur {
+		s.cur[i] = SetupTime
+	}
+	return s
 }
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() units.Time { return s.now }
+
+// UseLegacyOrder switches the scheduler to the pre-sharding (at, seq) tie
+// order. Must be called before any event is scheduled; it exists for runs
+// whose byte-exact output predates causal-tag ordering and that always
+// execute serially (scenario and flight-recorder runs).
+func (s *Scheduler) UseLegacyOrder() {
+	if s.seq != 0 {
+		panic("eventsim: UseLegacyOrder after scheduling")
+	}
+	s.legacyOrder = true
+}
 
 // Len returns the number of pending (non-cancelled) events in O(1).
 func (s *Scheduler) Len() int { return s.live }
@@ -101,6 +255,50 @@ func (s *Scheduler) Pending(e Event) bool {
 		s.slots[e.slot].gen == e.gen && s.slots[e.slot].state == slotPending
 }
 
+// CurrentKey returns the full ordering key of the event currently being
+// dispatched. Run-level observers (flow-completion recording) use it to tag
+// their samples with the partition-independent identity of the triggering
+// event, so a sharded run can merge per-shard streams into serial order.
+func (s *Scheduler) CurrentKey() Key {
+	return Key{At: s.now, Chain: s.cur, Tags: s.curTags, Tag: s.curTag}
+}
+
+// ChildKey returns the key an event scheduled right now for firing time at
+// would carry. The sharded engine stamps boundary deliveries with it on the
+// sending shard, so the receiving shard can inject them with the exact chain
+// a serial run would have recorded.
+func (s *Scheduler) ChildKey(at units.Time) Key {
+	return Key{At: at, Chain: s.childChain(), Tags: s.childTags(), Tag: s.curTag}
+}
+
+// childChain is the chain an event scheduled during the current dispatch
+// inherits: the current instant, then the dispatching event's own chain
+// shifted one generation back.
+func (s *Scheduler) childChain() [ChainDepth]units.Time {
+	var c [ChainDepth]units.Time
+	c[0] = s.now
+	copy(c[1:], s.cur[:ChainDepth-1])
+	return c
+}
+
+// childTags is the ancestor-tag chain an event scheduled during the current
+// dispatch inherits: the dispatching event's own tag, then its ancestor tags
+// shifted one generation back.
+func (s *Scheduler) childTags() [ChainDepth]uint64 {
+	var t [ChainDepth]uint64
+	t[0] = s.curTag
+	copy(t[1:], s.curTags[:ChainDepth-1])
+	return t
+}
+
+// setCur records the dispatching event's chain (called before each dispatch).
+func (s *Scheduler) setCur(e *entry) {
+	s.now = e.at
+	s.cur = e.chain
+	s.curTags = e.tags
+	s.curTag = e.tag
+}
+
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // (before Now) is a programming error and panics, because it would silently
 // reorder causality. Scheduling exactly at Now is allowed and runs after all
@@ -109,7 +307,7 @@ func (s *Scheduler) Schedule(at units.Time, fn func()) Event {
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(at, entry{fn: fn})
+	return s.push(at, entry{fn: fn, chain: s.childChain(), tags: s.childTags(), tag: s.curTag})
 }
 
 // push validates the firing time, allocates a slot, and inserts the entry
@@ -158,12 +356,48 @@ func (s *Scheduler) ScheduleCall(at units.Time, fn func(any), arg any) Event {
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(at, entry{call: fn, arg: arg})
+	return s.push(at, entry{call: fn, arg: arg, chain: s.childChain(), tags: s.childTags(), tag: s.curTag})
+}
+
+// ScheduleCallInjected registers fn(arg) under an explicit ordering key whose
+// scheduling chain may lie in the receiver's past. It exists for the sharded
+// engine's barrier drains: a boundary delivery was really scheduled on the
+// sending shard with key k, and injecting it with that key (rather than the
+// drain-time chain) places it in the receiver's heap exactly where the serial
+// engine would have ordered it. Only k.At must not precede the clock.
+func (s *Scheduler) ScheduleCallInjected(k Key, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("eventsim: nil event callback")
+	}
+	return s.push(k.At, entry{call: fn, arg: arg, chain: k.Chain, tags: k.Tags, tag: k.Tag, injected: true})
 }
 
 // ScheduleCallAfter registers fn(arg) to run d after the current time.
 func (s *Scheduler) ScheduleCallAfter(d units.Time, fn func(any), arg any) Event {
 	return s.ScheduleCall(s.now+d, fn, arg)
+}
+
+// ScheduleTagged registers fn to run at absolute time at under an explicit
+// causal-origin tag instead of the inherited one. The simulation uses it to
+// stamp root causes — most importantly flow arrivals, tagged with their flow
+// ID — so that every event descending from the root carries the tag through
+// the inheritance in Schedule/ScheduleCall.
+func (s *Scheduler) ScheduleTagged(at units.Time, tag uint64, fn func()) Event {
+	if fn == nil {
+		panic("eventsim: nil event callback")
+	}
+	return s.push(at, entry{fn: fn, chain: s.childChain(), tags: s.childTags(), tag: tag})
+}
+
+// ScheduleCallTagged is ScheduleCall with an explicit causal-origin tag. Link
+// delivery events use it to carry the transported packet's flow ID rather
+// than the tag of the event that happened to start the transmission (a busy
+// egress port serializes queued packets from whichever flow's event freed it).
+func (s *Scheduler) ScheduleCallTagged(at units.Time, tag uint64, fn func(any), arg any) Event {
+	if fn == nil {
+		panic("eventsim: nil event callback")
+	}
+	return s.push(at, entry{call: fn, arg: arg, chain: s.childChain(), tags: s.childTags(), tag: tag})
 }
 
 // Cancel removes a pending event. Cancelling the zero Event, an
@@ -197,11 +431,11 @@ func (s *Scheduler) RunUntil(until units.Time) uint64 {
 	s.stopped = false
 	executed := uint64(0)
 	for !s.stopped {
-		e, ok := s.popReady(until)
+		e, ok := s.popReady(until, false)
 		if !ok {
 			break
 		}
-		s.now = e.at
+		s.setCur(&e)
 		e.dispatch()
 		executed++
 		s.Executed++
@@ -212,25 +446,107 @@ func (s *Scheduler) RunUntil(until units.Time) uint64 {
 	return executed
 }
 
+// RunBefore executes events with firing time strictly less than until, then
+// advances the clock to until. It is the window primitive of the sharded
+// engine: a shard runs its window [prev, until) exclusively, leaving events
+// at exactly until for the next window so that boundary deliveries arriving
+// at the barrier instant can still be ordered by key against them.
+func (s *Scheduler) RunBefore(until units.Time) uint64 {
+	s.stopped = false
+	executed := uint64(0)
+	for !s.stopped {
+		e, ok := s.popReady(until, true)
+		if !ok {
+			break
+		}
+		s.setCur(&e)
+		e.dispatch()
+		executed++
+		s.Executed++
+	}
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+	return executed
+}
+
+// RunBeforeKey executes events whose ordering key is strictly below k, then
+// advances the clock to k.At. The sharded coordinator uses it at statistics
+// barriers: the serial engine's sampling tick at instant T carries the key
+// (T, T-period, T-2·period, ...), so the coordinator flushes exactly the
+// events a serial run would have executed before the tick, takes the sample,
+// and leaves the rest — including events firing at T but scheduled later in
+// the chain order — for the next window.
+func (s *Scheduler) RunBeforeKey(k Key) uint64 {
+	s.stopped = false
+	executed := uint64(0)
+	for !s.stopped {
+		// Discard lazily-cancelled entries at the top regardless of the
+		// threshold — they are dead either way and must not shadow the next
+		// live entry's key.
+		for len(s.heap) > 0 && s.slots[s.heap[0].slot].state == slotCancelled {
+			id := s.heap[0].slot
+			s.popTop()
+			s.stale--
+			s.freeSlot(id)
+		}
+		if len(s.heap) == 0 || !s.keyBefore(&s.heap[0], k) {
+			break
+		}
+		e := s.heap[0]
+		s.popTop()
+		s.freeSlot(e.slot)
+		s.live--
+		s.setCur(&e)
+		e.dispatch()
+		executed++
+		s.Executed++
+	}
+	if !s.stopped && s.now < k.At {
+		s.now = k.At
+	}
+	return executed
+}
+
+// keyBefore reports whether e's ordering key is strictly below k, mirroring
+// entryLess.
+func (s *Scheduler) keyBefore(e *entry, k Key) bool {
+	if e.at != k.At {
+		return e.at < k.At
+	}
+	for i := 0; i < ChainDepth; i++ {
+		if e.chain[i] != k.Chain[i] {
+			return e.chain[i] < k.Chain[i]
+		}
+	}
+	for i := ChainDepth - 1; i >= 0; i-- {
+		if e.tags[i] != k.Tags[i] {
+			return e.tags[i] < k.Tags[i]
+		}
+	}
+	return e.tag < k.Tag
+}
+
 // Step executes exactly one pending event (skipping cancelled entries) and
 // returns false if the queue is empty.
 func (s *Scheduler) Step() bool {
-	e, ok := s.popReady(maxTime)
+	e, ok := s.popReady(maxTime, false)
 	if !ok {
 		return false
 	}
-	s.now = e.at
+	s.setCur(&e)
 	e.dispatch()
 	s.Executed++
 	return true
 }
 
 // popReady removes and returns the earliest live entry with firing time <=
-// until, lazily discarding cancelled entries (and freeing their slots) on the
-// way. It reports false when the queue is empty or only holds later events.
-func (s *Scheduler) popReady(until units.Time) (entry, bool) {
+// until (or < until when strict), lazily discarding cancelled entries (and
+// freeing their slots) on the way. It reports false when the queue is empty
+// or only holds later events.
+func (s *Scheduler) popReady(until units.Time, strict bool) (entry, bool) {
 	for len(s.heap) > 0 {
-		if s.heap[0].at > until {
+		if s.heap[0].at > until || (strict && s.heap[0].at == until) {
 			break
 		}
 		e := s.heap[0]
@@ -277,7 +593,7 @@ func (s *Scheduler) siftUp(i int) {
 	e := s.heap[i]
 	for i > 0 {
 		p := (i - 1) / 4
-		if !entryLess(&e, &s.heap[p]) {
+		if !s.entryLess(&e, &s.heap[p]) {
 			break
 		}
 		s.heap[i] = s.heap[p]
@@ -298,11 +614,11 @@ func (s *Scheduler) siftDown(i int) {
 		best := c
 		end := min(c+4, n)
 		for j := c + 1; j < end; j++ {
-			if entryLess(&s.heap[j], &s.heap[best]) {
+			if s.entryLess(&s.heap[j], &s.heap[best]) {
 				best = j
 			}
 		}
-		if !entryLess(&s.heap[best], &e) {
+		if !s.entryLess(&s.heap[best], &e) {
 			break
 		}
 		s.heap[i] = s.heap[best]

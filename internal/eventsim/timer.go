@@ -47,9 +47,15 @@ func (t *Timer) Pending() bool { return t.ev != (Event{}) }
 // Ticker repeatedly invokes a callback at a fixed period until stopped. It is
 // used for periodic bloom-filter pause frames and statistics sampling. Like
 // Timer, it schedules one pre-allocated closure per tick.
+//
+// A ticker's tick at instant T carries the scheduling chain (T-period,
+// T-2·period, T-3·period): each tick is scheduled by its predecessor. The
+// sharded coordinator exploits this to reconstruct the serial sampling tick's
+// ordering key at its barriers without running a ticker of its own.
 type Ticker struct {
 	s      *Scheduler
 	period units.Time
+	tag    uint64
 	fn     func()
 	tick   func()
 	ev     Event
@@ -59,13 +65,24 @@ type Ticker struct {
 // NewTicker creates and starts a ticker with the given period. The first tick
 // fires one period from now.
 func NewTicker(s *Scheduler, period units.Time, fn func()) *Ticker {
+	return NewTickerTagged(s, period, 0, fn)
+}
+
+// NewTickerTagged is NewTicker with an explicit causal-origin tag carried by
+// every tick (and inherited by everything the callback schedules). Periodic
+// device work needs it under the sharded engine: every device ticking at the
+// same period produces ticks with identical arithmetic scheduling chains, so
+// same-instant emissions from different devices can only be ordered across
+// shards by their origin tag — which must therefore encode the device's serial
+// construction order (its node ID).
+func NewTickerTagged(s *Scheduler, period units.Time, tag uint64, fn func()) *Ticker {
 	if period <= 0 {
 		panic("eventsim: non-positive ticker period")
 	}
 	if fn == nil {
 		panic("eventsim: nil ticker callback")
 	}
-	t := &Ticker{s: s, period: period, fn: fn}
+	t := &Ticker{s: s, period: period, tag: tag, fn: fn}
 	t.tick = func() {
 		if t.stop {
 			return
@@ -80,7 +97,7 @@ func NewTicker(s *Scheduler, period units.Time, fn func()) *Ticker {
 }
 
 func (t *Ticker) schedule() {
-	t.ev = t.s.ScheduleAfter(t.period, t.tick)
+	t.ev = t.s.ScheduleTagged(t.s.Now()+t.period, t.tag, t.tick)
 }
 
 // Stop halts the ticker; no further ticks fire.

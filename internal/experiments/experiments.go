@@ -46,6 +46,10 @@ type Scale struct {
 	// SweepPoints trims parameter sweeps (fan-in, queue counts, ...) to at
 	// most this many points (0 = all).
 	SweepPoints int
+	// Shards selects the sharded engine for every run (see sim.Options.Shards:
+	// 0/1 serial, >=2 explicit, negative auto). Results are byte-identical
+	// across shard counts, so this only trades wall-clock for cores.
+	Shards int
 }
 
 // Reduced returns the default benchmark-friendly scale.
@@ -223,6 +227,7 @@ func seriesFromResult(label string, res *sim.Result) SlowdownSeries {
 func (s Scale) applyOptions(o *sim.Options) {
 	o.Duration = s.Duration
 	o.Drain = s.Drain
+	o.Shards = s.Shards
 }
 
 // runScheme is the shared helper: run one scheme over (a copy of) the flows.
@@ -230,6 +235,7 @@ func runScheme(scale Scale, scheme sim.Scheme, topo *topology.Topology, flows []
 	opts := sim.DefaultOptions(scheme, topo)
 	opts.Duration = scale.Duration
 	opts.Drain = scale.Drain
+	opts.Shards = scale.Shards
 	if mutate != nil {
 		mutate(&opts)
 	}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"bfc/internal/eventsim"
+	"bfc/internal/packet"
+)
+
+// BoundaryMsg is one delivery crossing a shard boundary: either a data packet
+// or a control frame, stamped with the full ordering key it would have
+// carried had it been scheduled locally. The link pointer carries the
+// receiver identity (peer device, ingress port) and the pre-allocated
+// delivery closures.
+type BoundaryMsg struct {
+	Key  eventsim.Key
+	Link *Link
+	Pkt  *packet.Packet
+	Ctrl ControlFrame
+}
+
+// DefaultBoundaryCap is the ring capacity of a boundary queue. Windows are a
+// few link delays long, so a few thousand in-flight deliveries per directed
+// boundary link pair is generous; overflow spills to a growable slice rather
+// than blocking, so capacity only tunes allocation behavior, never
+// correctness.
+const DefaultBoundaryCap = 1024
+
+// Boundary is a bounded single-producer single-consumer queue carrying
+// deliveries from a sending shard to a receiving shard. The producer is the
+// sending shard's goroutine during a window; the consumer is the coordinator
+// between windows. The barrier join that separates the two provides the
+// happens-before edge, so no atomics are needed.
+//
+// Push never blocks: when the ring is full, messages spill into a growable
+// slice. A conservative PDES barrier must drain every queue before any shard
+// resumes, so a blocking producer at the horizon would deadlock the whole
+// run — spilling trades a transient allocation for that guarantee.
+type Boundary struct {
+	ring  []BoundaryMsg
+	head  int
+	count int
+	spill []BoundaryMsg
+}
+
+// NewBoundary returns an empty queue with the given ring capacity
+// (DefaultBoundaryCap if cap <= 0).
+func NewBoundary(capacity int) *Boundary {
+	if capacity <= 0 {
+		capacity = DefaultBoundaryCap
+	}
+	return &Boundary{ring: make([]BoundaryMsg, capacity)}
+}
+
+// Push enqueues one boundary delivery. Never blocks; overflow spills.
+func (b *Boundary) Push(m BoundaryMsg) {
+	// Once a message has spilled, later ones spill too until the next drain,
+	// keeping ring+spill a single FIFO.
+	if len(b.spill) == 0 && b.count < len(b.ring) {
+		b.ring[(b.head+b.count)%len(b.ring)] = m
+		b.count++
+		return
+	}
+	b.spill = append(b.spill, m)
+}
+
+// Len returns the number of queued messages.
+func (b *Boundary) Len() int { return b.count + len(b.spill) }
+
+// Spilled returns the number of messages currently in the overflow slice
+// (diagnostics for capacity tuning).
+func (b *Boundary) Spilled() int { return len(b.spill) }
+
+// DrainInto schedules every queued delivery onto the receiving shard's
+// scheduler, in FIFO order, and empties the queue. Each message is injected
+// under its original ordering key, so the receiver's heap interleaves
+// boundary deliveries with local events exactly as the serial engine would.
+// Returns the number of messages drained.
+func (b *Boundary) DrainInto(sched *eventsim.Scheduler) int {
+	n := 0
+	for b.count > 0 {
+		m := &b.ring[b.head]
+		scheduleBoundary(sched, *m)
+		*m = BoundaryMsg{} // drop packet/frame refs
+		b.head = (b.head + 1) % len(b.ring)
+		b.count--
+		n++
+	}
+	for i := range b.spill {
+		scheduleBoundary(sched, b.spill[i])
+		b.spill[i] = BoundaryMsg{}
+	}
+	n += len(b.spill)
+	b.spill = b.spill[:0]
+	return n
+}
+
+func scheduleBoundary(sched *eventsim.Scheduler, m BoundaryMsg) {
+	if m.Pkt != nil {
+		sched.ScheduleCallInjected(m.Key, m.Link.deliver, m.Pkt)
+		return
+	}
+	sched.ScheduleCallInjected(m.Key, m.Link.deliverCtrl, m.Ctrl)
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"testing"
+
+	"bfc/internal/eventsim"
+	"bfc/internal/packet"
+	"bfc/internal/units"
+)
+
+func TestBoundaryFIFOThroughSpill(t *testing.T) {
+	// A ring of 4 forced past capacity must stay one FIFO across ring+spill.
+	b := NewBoundary(4)
+	const n = 11
+	for i := 0; i < n; i++ {
+		b.Push(BoundaryMsg{Key: eventsim.Key{At: units.Time(i)}})
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	if b.Spilled() != n-4 {
+		t.Fatalf("Spilled = %d, want %d", b.Spilled(), n-4)
+	}
+
+	// Re-push with packets so DrainInto schedules real deliveries; Seq records
+	// the push order.
+	s := eventsim.New()
+	dst := &fakeDevice{id: 1, sched: s}
+	l := NewLink(s, "x->y", 100*units.Gbps, units.Microsecond, dst, 0)
+	b = NewBoundary(4)
+	for i := 0; i < n; i++ {
+		b.Push(BoundaryMsg{
+			Key:  eventsim.Key{At: units.Time(100)},
+			Link: l,
+			Pkt:  &packet.Packet{Kind: packet.Data, Size: 1000, Seq: i},
+		})
+	}
+	if got := b.DrainInto(s); got != n {
+		t.Fatalf("DrainInto = %d, want %d", got, n)
+	}
+	if b.Len() != 0 || b.Spilled() != 0 {
+		t.Fatalf("queue not empty after drain: len=%d spilled=%d", b.Len(), b.Spilled())
+	}
+	s.Run()
+	var order []int
+	for _, p := range dst.packets {
+		order = append(order, p.Seq)
+	}
+	if len(order) != n {
+		t.Fatalf("delivered %d packets, want %d", len(order), n)
+	}
+	for i, seq := range order {
+		if seq != i {
+			t.Fatalf("delivery order %v: position %d got seq %d", order, i, seq)
+		}
+	}
+}
+
+func TestBoundaryPushNeverBlocks(t *testing.T) {
+	// Push must absorb arbitrarily more than the ring capacity without
+	// blocking or dropping: a conservative barrier drains every queue before
+	// any shard resumes, so a blocking producer at the horizon would deadlock
+	// the run. 100k pushes into a ring of 8 completes synchronously.
+	b := NewBoundary(8)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		b.Push(BoundaryMsg{Key: eventsim.Key{At: units.Time(i)}})
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	if b.Spilled() != n-8 {
+		t.Fatalf("Spilled = %d, want %d", b.Spilled(), n-8)
+	}
+}
+
+func TestBoundaryDrainCycleReusesRing(t *testing.T) {
+	// After a drain the ring is empty again; subsequent windows reuse it
+	// without touching the spill slice as long as they stay under capacity.
+	s := eventsim.New()
+	dst := &fakeDevice{id: 1, sched: s}
+	l := NewLink(s, "x->y", 100*units.Gbps, units.Microsecond, dst, 0)
+	b := NewBoundary(4)
+	total := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ { // under capacity: ring only
+			b.Push(BoundaryMsg{
+				Key:  eventsim.Key{At: units.Time(total)},
+				Link: l,
+				Pkt:  &packet.Packet{Kind: packet.Data, Size: 100, Seq: total},
+			})
+			total++
+		}
+		if b.Spilled() != 0 {
+			t.Fatalf("round %d: spilled %d under capacity", round, b.Spilled())
+		}
+		if got := b.DrainInto(s); got != 3 {
+			t.Fatalf("round %d: drained %d, want 3", round, got)
+		}
+	}
+	s.Run()
+	if len(dst.packets) != total {
+		t.Fatalf("delivered %d, want %d", len(dst.packets), total)
+	}
+	for i, p := range dst.packets {
+		if p.Seq != i {
+			t.Fatalf("delivery %d has seq %d", i, p.Seq)
+		}
+	}
+}
+
+func TestBoundaryControlFrames(t *testing.T) {
+	// Control frames ride the same queue and drain through deliverCtrl.
+	s := eventsim.New()
+	dst := &fakeDevice{id: 1, sched: s}
+	l := NewLink(s, "x->y", 100*units.Gbps, units.Microsecond, dst, 2)
+	b := NewBoundary(2)
+	b.Push(BoundaryMsg{Key: eventsim.Key{At: 10}, Link: l, Ctrl: PFCFrame{Pause: true}})
+	b.Push(BoundaryMsg{Key: eventsim.Key{At: 20}, Link: l, Ctrl: PFCFrame{Pause: false}})
+	b.DrainInto(s)
+	s.Run()
+	if len(dst.controls) != 2 {
+		t.Fatalf("delivered %d control frames, want 2", len(dst.controls))
+	}
+	if f := dst.controls[0].(PFCFrame); !f.Pause {
+		t.Fatal("first frame should be the pause")
+	}
+	if dst.ctrlPort[0] != 2 {
+		t.Fatalf("control delivered to port %d, want 2", dst.ctrlPort[0])
+	}
+}
+
+func TestLinkBoundaryRedirect(t *testing.T) {
+	// A link with a boundary set must queue instead of scheduling locally,
+	// stamping the delivery with the instant it would have arrived.
+	s := eventsim.New()
+	dst := &fakeDevice{id: 1, sched: s}
+	l := NewLink(s, "x->y", 100*units.Gbps, units.Microsecond, dst, 0)
+	b := NewBoundary(0) // default capacity
+	l.SetBoundary(b)
+	l.Transmit(&packet.Packet{Kind: packet.Data, Size: 1000}, nil)
+	l.SendControl(PFCFrame{Pause: true}, 64)
+	s.Run() // serialization-done event only; no local delivery
+	if len(dst.packets) != 0 || len(dst.controls) != 0 {
+		t.Fatal("boundary link delivered locally")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("boundary holds %d messages, want 2", b.Len())
+	}
+	// 80ns serialization + 1us propagation for the packet, 1us for the frame.
+	b.DrainInto(s)
+	s.Run()
+	if len(dst.packets) != 1 || len(dst.controls) != 1 {
+		t.Fatalf("drain delivered %d packets / %d frames", len(dst.packets), len(dst.controls))
+	}
+	if dst.times[0] != units.Microsecond {
+		t.Fatalf("control frame arrived at %v, want 1us", dst.times[0])
+	}
+	if dst.times[1] != 80*units.Nanosecond+units.Microsecond {
+		t.Fatalf("packet arrived at %v, want 1.08us", dst.times[1])
+	}
+}

@@ -62,6 +62,11 @@ type Link struct {
 	toPort int
 	name   string
 
+	// boundary, when non-nil, marks a cross-shard link: deliveries are pushed
+	// onto the queue instead of scheduled locally, and the coordinator drains
+	// them into the receiving shard's scheduler at the next barrier.
+	boundary *Boundary
+
 	busy bool
 	// down marks a failed link (scenario engine). The sending device is not
 	// signalled — as on a real cut cable it keeps serializing — but nothing
@@ -129,6 +134,14 @@ func NewLink(sched *eventsim.Scheduler, name string, rate units.Rate, delay unit
 	}
 	return l
 }
+
+// SetBoundary marks the link as crossing a shard boundary: every delivery is
+// pushed onto b instead of being scheduled on the sender's scheduler. Pass
+// nil to restore local delivery.
+func (l *Link) SetBoundary(b *Boundary) { l.boundary = b }
+
+// Boundary returns the cross-shard queue, nil for an intra-shard link.
+func (l *Link) BoundaryQueue() *Boundary { return l.boundary }
 
 // strand consumes a packet lost on the down link.
 func (l *Link) strand(p *packet.Packet) {
@@ -209,7 +222,22 @@ func (l *Link) Transmit(p *packet.Packet, onDone func()) {
 	// flight, so a single pendingDone field (consumed by serDone) suffices.
 	l.pendingDone = onDone
 	l.sched.ScheduleAfter(ser, l.serDone)
-	l.sched.ScheduleCallAfter(ser+l.delay, l.deliver, p)
+	at := l.sched.Now() + ser + l.delay
+	// The delivery carries the transported packet's flow ID as its causal
+	// tag, not the inherited one: a busy egress port serializes queued
+	// packets from whichever flow's event freed it, and same-key delivery
+	// ties must order by the flows' creation order.
+	var tag uint64
+	if p.Flow != nil {
+		tag = uint64(p.Flow.ID)
+	}
+	if l.boundary != nil {
+		k := l.sched.ChildKey(at)
+		k.Tag = tag
+		l.boundary.Push(BoundaryMsg{Key: k, Link: l, Pkt: p})
+		return
+	}
+	l.sched.ScheduleCallTagged(at, tag, l.deliver, p)
 }
 
 // SendControl delivers a control frame to the peer after the propagation
@@ -218,9 +246,14 @@ func (l *Link) Transmit(p *packet.Packet, onDone func()) {
 // in the statistics.
 func (l *Link) SendControl(frame ControlFrame, size units.Bytes) {
 	l.ctrlBytes += size
+	at := l.sched.Now() + l.delay
+	if l.boundary != nil {
+		l.boundary.Push(BoundaryMsg{Key: l.sched.ChildKey(at), Link: l, Ctrl: frame})
+		return
+	}
 	// frame is already an interface value, so the any conversion is free;
 	// the pre-allocated deliverCtrl keeps this path closure-free too.
-	l.sched.ScheduleCallAfter(l.delay, l.deliverCtrl, frame)
+	l.sched.ScheduleCall(at, l.deliverCtrl, frame)
 }
 
 // MarkPaused records the beginning or end of a PFC pause affecting this link

@@ -173,6 +173,22 @@ type Options struct {
 	// halves its resolution instead of growing.
 	SeriesMaxSamples int
 
+	// Shards selects the sharded (conservative parallel discrete-event)
+	// engine. 0 or 1 runs the classic single-threaded engine; n >= 2 runs n
+	// shards (clamped to the topology's pod count); a negative value picks
+	// min(pods, GOMAXPROCS) automatically. Sharded execution is byte-identical
+	// to serial execution for every scheme — the engine partitions the fabric
+	// into whole pods, spreads core switches round-robin, and synchronizes
+	// shards at conservative-lookahead barriers that reproduce the serial
+	// event order exactly. Runs with a Scenario or a Recorder fall back to the
+	// serial engine (both observe global event order mid-run).
+	Shards int
+	// ShardQueueCap bounds the ring capacity of each cross-shard boundary
+	// queue (netsim.DefaultBoundaryCap when zero). Overflow spills to a
+	// growable slice rather than blocking, so the cap tunes steady-state
+	// allocation, never correctness.
+	ShardQueueCap int
+
 	// StreamingStats selects constant-memory streaming statistics: the FCT
 	// collectors and the buffer/queue-occupancy distributions become
 	// fixed-capacity deterministic sketches (see stats.NewStreamingDistribution),

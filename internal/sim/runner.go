@@ -120,6 +120,9 @@ func Run(opts Options, flows []*packet.Flow) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if plan := shardPlanFor(&opts); plan != nil {
+		return runSharded(opts, plan, flows)
+	}
 	r := newRunner(opts)
 	return r.run(flows)
 }
@@ -134,6 +137,15 @@ type runner struct {
 	nics     map[packet.NodeID]*nic.NIC
 	devices  map[packet.NodeID]netsim.Device
 
+	// plan and shardID restrict the runner to one shard of a partitioned run
+	// (plan nil for the classic serial engine). A shard runner owns only the
+	// devices its shard is assigned, buffers flow completions in fctBuf
+	// instead of recording them (the coordinator merges the per-shard streams
+	// into serial order), and leaves sampling to the coordinator.
+	plan    *topology.ShardPlan
+	shardID int
+	fctBuf  []fctRec
+
 	// scen is the installed scenario's metrics (nil without a scenario).
 	scen *scenario.Metrics
 
@@ -143,6 +155,11 @@ type runner struct {
 	sampler *seriesSampler
 
 	result *Result
+}
+
+// owned reports whether this runner builds and runs the given node.
+func (r *runner) owned(id packet.NodeID) bool {
+	return r.plan == nil || r.plan.Assign[id] == r.shardID
 }
 
 func newRunner(opts Options) *runner {
@@ -160,9 +177,16 @@ func newRunner(opts Options) *runner {
 		res.BufferOccupancy = stats.NewStreamingDistribution(opts.StatsSketchSize)
 		res.OccupiedQueues = stats.NewStreamingDistribution(opts.StatsSketchSize)
 	}
+	sched := eventsim.New()
+	if opts.Scenario != nil || opts.Recorder != nil {
+		// Scenario and flight-recorder runs always execute serially and their
+		// fixed-seed outputs predate causal-tag ordering; keep them pinned to
+		// the legacy (at, seq) tie order.
+		sched.UseLegacyOrder()
+	}
 	return &runner{
 		opts:     opts,
-		sched:    eventsim.New(),
+		sched:    sched,
 		topo:     opts.Topo,
 		pool:     packet.NewPool(),
 		switches: map[packet.NodeID]*switchsim.Switch{},
@@ -240,7 +264,7 @@ func (r *runner) bfcConfig(hopRTT units.Time) *core.Config {
 func (r *runner) buildSwitches(hopRTT units.Time) {
 	opts := r.opts
 	for _, node := range r.topo.Nodes() {
-		if node.Kind != topology.Switch {
+		if node.Kind != topology.Switch || !r.owned(node.ID) {
 			continue
 		}
 		cfg := switchsim.Config{
@@ -285,7 +309,7 @@ func (r *runner) buildSwitches(hopRTT units.Time) {
 func (r *runner) buildNICs(hostRate units.Rate, baseRTT units.Time, windowCap units.Bytes) {
 	opts := r.opts
 	for _, node := range r.topo.Nodes() {
-		if node.Kind != topology.Host {
+		if node.Kind != topology.Host || !r.owned(node.ID) {
 			continue
 		}
 		cfg := nic.Config{
@@ -334,10 +358,21 @@ func (r *runner) buildNICs(hostRate units.Rate, baseRTT units.Time, windowCap un
 // wireLinks creates the unidirectional links for every topology port pair and
 // attaches them to the devices.
 func (r *runner) wireLinks() {
+	r.wireLinksWith(func(id packet.NodeID) netsim.Device { return r.devices[id] }, nil)
+}
+
+// wireLinksWith wires the outgoing links of every node this runner owns,
+// resolving receiving devices through peerDev (which, in a sharded run, spans
+// all shards) and marking links for which boundary returns a queue as
+// cross-shard.
+func (r *runner) wireLinksWith(peerDev func(packet.NodeID) netsim.Device, boundary func(from, to packet.NodeID) *netsim.Boundary) {
 	for _, node := range r.topo.Nodes() {
 		dev := r.devices[node.ID]
+		if dev == nil {
+			continue // another shard owns this node
+		}
 		for portIdx, port := range node.Ports {
-			peer := r.devices[port.Peer]
+			peer := peerDev(port.Peer)
 			name := fmt.Sprintf("%s:p%d->%s", node.Name, portIdx, r.topo.Node(port.Peer).Name)
 			link := netsim.NewLink(r.sched, name, port.Rate, port.Delay, peer, port.PeerPort)
 			link.OnStranded = r.onStranded
@@ -350,6 +385,11 @@ func (r *runner) wireLinks() {
 					r.rec.Record(telemetry.Event{At: r.sched.Now(), Kind: telemetry.KindStranded,
 						Node: nodeID, Port: int32(p), Queue: -1, Flow: pkt.Flow.ID, Value: int64(pkt.Size)})
 					r.onStranded(pkt)
+				}
+			}
+			if boundary != nil {
+				if b := boundary(node.ID, port.Peer); b != nil {
+					link.SetBoundary(b)
 				}
 			}
 			dev.AttachLink(portIdx, link)
@@ -473,8 +513,15 @@ func (r *runner) StartFlow(f *packet.Flow) {
 
 func (r *runner) scheduleFlows(flows []*packet.Flow) {
 	for _, f := range flows {
+		if !r.owned(f.Src) {
+			continue
+		}
 		f := f
-		r.sched.Schedule(f.StartTime, func() {
+		// Flow arrivals are causal roots: the tag seeds the flow's ID into
+		// every event descending from it, ordering same-key descendants of
+		// simultaneous arrivals (an incast burst) by flow creation order on
+		// every shard.
+		r.sched.ScheduleTagged(f.StartTime, uint64(f.ID), func() {
 			r.nics[f.Src].StartFlow(f)
 		})
 		if !f.IsIncast && !f.LongLived {
@@ -489,6 +536,14 @@ func (r *runner) onFlowComplete(f *packet.Flow) {
 	}
 	ideal := r.idealFCT(f)
 	fct := f.FCT()
+	if r.plan != nil {
+		// Shard runner: completions are recorded into the merged collectors by
+		// the coordinator, ordered by the triggering delivery event's key, so
+		// the merged record stream is byte-identical to the serial one.
+		r.fctBuf = append(r.fctBuf, fctRec{
+			key: r.sched.CurrentKey(), size: f.Size, fct: fct, ideal: ideal, incast: f.IsIncast})
+		return
+	}
 	if r.scen != nil {
 		r.scen.RecordCompletion(f.StartTime, f.Size, fct, ideal, f.IsIncast)
 	}
@@ -524,44 +579,64 @@ func minBytes(a, b units.Bytes) units.Bytes {
 	return b
 }
 
-func (r *runner) startSampling() {
-	// Sample switches in topology order, not map order: the sample sequence
-	// feeds Result distributions that the harness persists, and artifacts
-	// must be byte-identical across reruns and worker counts.
+// sampleSwitches returns the switches in topology order, not map order: the
+// sample sequence feeds Result distributions that the harness persists, and
+// artifacts must be byte-identical across reruns and worker counts.
+func (r *runner) sampleSwitches() []*switchsim.Switch {
 	var sws []*switchsim.Switch
 	for _, node := range r.topo.Nodes() {
 		if sw, ok := r.switches[node.ID]; ok {
 			sws = append(sws, sw)
 		}
 	}
+	return sws
+}
+
+// sampleTick takes one statistics sample over sws. It is the body of the
+// serial sampling ticker, and is called directly by the sharded coordinator
+// at its tick barriers (where the shards are parked at exactly the state the
+// serial tick would observe).
+func (r *runner) sampleTick(sws []*switchsim.Switch) {
+	for _, sw := range sws {
+		occ := sw.BufferOccupancy()
+		r.result.BufferOccupancy.Add(float64(occ))
+		if occ > r.result.MaxBufferOccupancy {
+			r.result.MaxBufferOccupancy = occ
+		}
+		r.result.OccupiedQueues.Add(float64(sw.OccupiedDataQueues()))
+		if q := sw.MaxPhysicalQueueBytes(); q > r.result.MaxPhysicalQueueBytes {
+			r.result.MaxPhysicalQueueBytes = q
+		}
+	}
+	if r.sampler != nil {
+		r.sampler.sample()
+	}
+}
+
+func (r *runner) startSampling() {
+	sws := r.sampleSwitches()
 	// The time-series sampler piggybacks on this one ticker rather than
 	// scheduling its own, so enabling it adds no simulator events and the
 	// run's event stream is unchanged.
 	if r.opts.SampleSeries {
 		r.sampler = r.newSeriesSampler()
 	}
+	// Each tick's ordering key is the arithmetic chain (T, T-Δ, T-2Δ, T-3Δ),
+	// which the sharded coordinator reconstructs at its barriers to flush
+	// exactly the events a serial run executes before the sample.
 	eventsim.NewTicker(r.sched, r.opts.BufferSampleInterval, func() {
-		for _, sw := range sws {
-			occ := sw.BufferOccupancy()
-			r.result.BufferOccupancy.Add(float64(occ))
-			if occ > r.result.MaxBufferOccupancy {
-				r.result.MaxBufferOccupancy = occ
-			}
-			r.result.OccupiedQueues.Add(float64(sw.OccupiedDataQueues()))
-			if q := sw.MaxPhysicalQueueBytes(); q > r.result.MaxPhysicalQueueBytes {
-				r.result.MaxPhysicalQueueBytes = q
-			}
-		}
-		if r.sampler != nil {
-			r.sampler.sample()
-		}
+		r.sampleTick(sws)
 	})
 }
 
 func (r *runner) collect(horizon units.Time, flows []*packet.Flow) {
 	res := r.result
 	res.Elapsed = horizon
-	res.Events = r.sched.Executed
+	if r.sched != nil {
+		// The sharded coordinator (which runs collect on a scheduler-less
+		// union view) sets Events itself: shard counts plus emulated ticks.
+		res.Events = r.sched.Executed
+	}
 
 	// Utilization over all hosts, and over receivers only.
 	var delivered units.Bytes

@@ -1,0 +1,219 @@
+package sim
+
+// Sharded-execution parity tests. The sharded engine's contract is not
+// "statistically equivalent" but byte-identical: for every scheme and every
+// shard count, the marshalled Result must match the single-threaded engine
+// exactly. The golden sweep pins that contract against the recorded digests
+// (which predate sharding and may not be regenerated); the fat-tree tests
+// exercise real multi-shard partitions, including shard counts above the pod
+// count and the auto (-1) setting.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"bfc/internal/packet"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+	"bfc/internal/workload"
+)
+
+// runWithShards runs one scheme on a fresh copy of the flows with the given
+// shard count and returns the marshalled Result.
+func runWithShards(t testing.TB, opts Options, flows []*packet.Flow, shards int) []byte {
+	t.Helper()
+	copies := make([]*packet.Flow, len(flows))
+	for i, f := range flows {
+		c := *f
+		copies[i] = &c
+	}
+	opts.Shards = shards
+	res, err := Run(opts, copies)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("shards=%d: marshal: %v", shards, err)
+	}
+	return blob
+}
+
+func goldenOpts(scheme Scheme, topo *topology.Topology) Options {
+	opts := DefaultOptions(scheme, topo)
+	opts.Duration = 150 * units.Microsecond
+	opts.Drain = 800 * units.Microsecond
+	opts.Seed = 7
+	return opts
+}
+
+// TestGoldenShardSweep runs the golden configuration at several shard counts
+// (including counts above the pod count, which clamp) and requires the exact
+// digests recorded in testdata/golden.json — the same file the serial golden
+// test pins. Any divergence between the engines shows up as a digest mismatch.
+func TestGoldenShardSweep(t *testing.T) {
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+
+	topo := smallClos()
+	flows := goldenFlows(t, topo)
+	schemes := []Scheme{
+		SchemeBFC, SchemeBFCStatic, SchemeDCQCN,
+		SchemeDCQCNWinSFQ, SchemeHPCC, SchemeIdealFQ,
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, sc := range schemes {
+			digest := goldenShardDigest(t, sc, topo, flows, shards)
+			if digest != want[sc.String()] {
+				t.Errorf("shards=%d %s: digest %s, golden %s — sharded output diverged",
+					shards, sc, digest, want[sc.String()])
+			}
+		}
+	}
+}
+
+func goldenShardDigest(t testing.TB, scheme Scheme, topo *topology.Topology, flows []*packet.Flow, shards int) string {
+	t.Helper()
+	blob := runWithShards(t, goldenOpts(scheme, topo), flows, shards)
+	return digestOf(blob)
+}
+
+func digestOf(blob []byte) string {
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// fatTreeFlows generates a deterministic workload over a multi-pod fat-tree.
+func fatTreeFlows(t testing.TB, topo *topology.Topology, duration units.Time) []*packet.Flow {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		Hosts:    topo.Hosts(),
+		CDF:      workload.Google(),
+		Load:     0.5,
+		HostRate: topo.HostRate(topo.Hosts()[0]),
+		Duration: duration,
+		Seed:     11,
+		Incast: workload.IncastConfig{
+			Enabled:       true,
+			FanIn:         6,
+			AggregateSize: 128 * units.KB,
+			LoadFraction:  0.05,
+		},
+	})
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	return tr.Flows
+}
+
+// TestShardedParityFatTree compares serial and sharded runs byte-for-byte on a
+// four-pod fat-tree, where shards 2..4 genuinely partition the fabric, shard
+// count 8 clamps to the pod count, and -1 resolves to min(pods, GOMAXPROCS).
+func TestShardedParityFatTree(t *testing.T) {
+	topo := topology.NewFatTree(topology.FatTreeForHosts(32, 100*units.Gbps, units.Microsecond))
+	if pods := topology.NumPods(topo); pods != 4 {
+		t.Fatalf("expected 4 pods, got %d", pods)
+	}
+	flows := fatTreeFlows(t, topo, 60*units.Microsecond)
+	for _, sc := range []Scheme{SchemeBFC, SchemeDCQCN, SchemeHPCC} {
+		opts := DefaultOptions(sc, topo)
+		opts.Duration = 60 * units.Microsecond
+		opts.Drain = 400 * units.Microsecond
+		opts.Seed = 11
+		serial := runWithShards(t, opts, flows, 0)
+		for _, shards := range []int{2, 3, 4, 8, -1} {
+			sharded := runWithShards(t, opts, flows, shards)
+			if !bytes.Equal(serial, sharded) {
+				t.Errorf("%s shards=%d: sharded result differs from serial (%d vs %d bytes)",
+					sc, shards, len(serial), len(sharded))
+			}
+		}
+	}
+}
+
+// TestShardedTelemetryParity requires the telemetry time series — sampled at
+// coordinator barriers in the sharded engine, by the ticker in the serial one
+// — to be byte-identical too.
+func TestShardedTelemetryParity(t *testing.T) {
+	topo := topology.NewFatTree(topology.FatTreeForHosts(32, 100*units.Gbps, units.Microsecond))
+	flows := fatTreeFlows(t, topo, 60*units.Microsecond)
+	opts := DefaultOptions(SchemeBFC, topo)
+	opts.Duration = 60 * units.Microsecond
+	opts.Drain = 400 * units.Microsecond
+	opts.Seed = 11
+	opts.SampleSeries = true
+
+	type run struct {
+		blob []byte
+		tele []byte
+	}
+	runOne := func(shards int) run {
+		copies := make([]*packet.Flow, len(flows))
+		for i, f := range flows {
+			c := *f
+			copies[i] = &c
+		}
+		o := opts
+		o.Shards = shards
+		res, err := Run(o, copies)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Telemetry == nil {
+			t.Fatalf("shards=%d: no telemetry bundle", shards)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tele, err := json.Marshal(res.Telemetry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run{blob: blob, tele: tele}
+	}
+
+	serial := runOne(0)
+	for _, shards := range []int{2, 4} {
+		sharded := runOne(shards)
+		if !bytes.Equal(serial.tele, sharded.tele) {
+			t.Errorf("shards=%d: telemetry series diverged from serial", shards)
+		}
+		if !bytes.Equal(serial.blob, sharded.blob) {
+			t.Errorf("shards=%d: full result diverged from serial", shards)
+		}
+	}
+}
+
+// TestShardedScenarioFallback pins the fallback: scenario runs need global
+// event order, so a sharded request silently uses the serial engine and must
+// reproduce the scenario goldens exactly.
+func TestShardedScenarioFallback(t *testing.T) {
+	spec := goldenScenarios()["link-flap"]
+	topo := smallClos()
+	flows := goldenFlows(t, topo)
+	opts := goldenOpts(SchemeBFC, topo)
+	opts.Scenario = spec
+	blob, err := os.ReadFile(goldenScenarioPath)
+	if err != nil {
+		t.Fatalf("missing scenario golden file: %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	got := digestOf(runWithShards(t, opts, flows, 4))
+	if got != want["link-flap/BFC"] {
+		t.Errorf("sharded scenario run: digest %s, golden %s", got, want["link-flap/BFC"])
+	}
+}

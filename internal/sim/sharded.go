@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"bfc/internal/eventsim"
+	"bfc/internal/netsim"
+	"bfc/internal/packet"
+	"bfc/internal/topology"
+	"bfc/internal/units"
+)
+
+// Sharded execution
+//
+// The sharded engine partitions one simulation into per-pod shards, each with
+// its own scheduler, packet pool, and devices, and advances them in lockstep
+// windows under conservative parallel discrete-event simulation:
+//
+//   - The shard planner (topology.PlanShards) assigns whole pods to shards
+//     and spreads core switches round-robin. The conservative lookahead W is
+//     the minimum propagation delay over cross-shard links: a delivery
+//     emitted during a window reaches another shard no earlier than one full
+//     W later, so windows of width <= W never miss a cross-shard event.
+//   - Cross-shard links push their deliveries onto bounded SPSC boundary
+//     queues (one per directed shard pair) instead of scheduling locally.
+//     At each barrier the coordinator drains every queue — in deterministic
+//     shard order — into the receiving shards' schedulers.
+//   - Every event carries its scheduling-chain ordering key (see
+//     eventsim.Key). Boundary deliveries are injected under the key they
+//     would have carried in a serial run, so each shard's heap interleaves
+//     remote and local events exactly as the serial engine would, and the
+//     whole run is byte-identical to the single-threaded engine.
+//   - Statistics barriers reproduce the serial sampling tick: at each tick
+//     instant T the coordinator flushes events ordered before the serial
+//     tick's key (T, T-Δ, T-2Δ, T-3Δ), then samples all switches in topology
+//     order — observing precisely the state the serial ticker would have.
+//   - Flow completions are buffered per shard with the key of the delivery
+//     event that completed them and merged into the shared collectors in key
+//     order, reproducing the serial record stream.
+//
+// Runs with a Scenario or a Recorder observe global event order mid-run and
+// fall back to the serial engine (see shardPlanFor).
+
+// fctRec buffers one flow completion on a shard until the coordinator merges
+// the per-shard streams in key order.
+type fctRec struct {
+	key    eventsim.Key
+	size   units.Bytes
+	fct    units.Time
+	ideal  units.Time
+	incast bool
+}
+
+// shardPlanFor resolves Options.Shards into a shard plan, or nil when the run
+// must use the serial engine: shards disabled, a single-pod (or single-shard)
+// topology, no positive lookahead, or a feature that requires global event
+// order (scenarios, flight recording).
+func shardPlanFor(opts *Options) *topology.ShardPlan {
+	want := opts.Shards
+	if want == 0 || want == 1 {
+		return nil
+	}
+	if opts.Scenario != nil || opts.Recorder != nil {
+		return nil
+	}
+	if want < 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	plan := topology.PlanShards(opts.Topo, want)
+	if plan.Shards < 2 || plan.Lookahead <= 0 {
+		return nil
+	}
+	plan.Validate(opts.Topo)
+	return plan
+}
+
+// tickKeyAt reconstructs the ordering key of the serial sampling tick at
+// instant t with period d: each tick is scheduled by its predecessor, so the
+// chain is arithmetic, with SetupTime sentinels where the chain reaches back
+// into the construction phase.
+func tickKeyAt(t, d units.Time) eventsim.Key {
+	k := eventsim.Key{At: t}
+	for i := range k.Chain {
+		v := t - units.Time(i+1)*d
+		if v < 0 {
+			v = eventsim.SetupTime
+		}
+		k.Chain[i] = v
+	}
+	return k
+}
+
+// runSharded executes the simulation partitioned across plan.Shards shards.
+func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*Result, error) {
+	S := plan.Shards
+
+	// Per-shard runners build only the devices their shard owns. Every shard
+	// derives device seeds from (Options.Seed, NodeID) and draws packets from
+	// its own pool, so construction is independent of the partition.
+	shards := make([]*runner, S)
+	for i := range shards {
+		r := newRunner(opts)
+		r.plan, r.shardID = plan, i
+		shards[i] = r
+	}
+	hopRTT := shards[0].hopRTT()
+	baseRTT := opts.Topo.MaxBaseRTT(opts.MTU + packet.DataHeaderSize)
+	hostRate := opts.Topo.HostRate(opts.Topo.Hosts()[0])
+	windowCap := opts.WindowCap
+	if windowCap == 0 {
+		windowCap = units.BDP(hostRate, baseRTT)
+	}
+	for _, r := range shards {
+		r.buildSwitches(hopRTT)
+		r.buildNICs(hostRate, baseRTT, windowCap)
+	}
+
+	// One boundary queue per directed shard pair. All cross-shard links of a
+	// pair share it, so the receiver sees the sender's emissions in the
+	// sender's scheduling order — the same relative order a serial run's
+	// sequence numbers would have imposed.
+	bounds := make([][]*netsim.Boundary, S)
+	for i := range bounds {
+		bounds[i] = make([]*netsim.Boundary, S)
+		for j := range bounds[i] {
+			if i != j {
+				bounds[i][j] = netsim.NewBoundary(opts.ShardQueueCap)
+			}
+		}
+	}
+	devAt := func(id packet.NodeID) netsim.Device {
+		return shards[plan.Assign[id]].devices[id]
+	}
+	for i, r := range shards {
+		from := i
+		r.wireLinksWith(devAt, func(_, to packet.NodeID) *netsim.Boundary {
+			return bounds[from][plan.Assign[to]] // nil diagonal for intra-shard links
+		})
+	}
+	for _, r := range shards {
+		r.scheduleFlows(flows)
+	}
+
+	// The union view holds every shard's devices behind one merged Result; it
+	// is what the coordinator samples at barriers and collects from at the
+	// end, reusing the serial paths unchanged.
+	merged := newRunner(opts)
+	merged.sched = nil
+	for _, r := range shards {
+		for id, sw := range r.switches {
+			merged.switches[id] = sw
+		}
+		for id, n := range r.nics {
+			merged.nics[id] = n
+		}
+		for id, d := range r.devices {
+			merged.devices[id] = d
+		}
+		merged.result.FlowsTotal += r.result.FlowsTotal
+	}
+	sws := merged.sampleSwitches()
+
+	// Tick emulation: ticks executed so far feed both Result.Events and the
+	// series sampler's events-per-tick counter, exactly as the serial ticker's
+	// own executed events would have.
+	var ticks uint64
+	executedEmu := func() uint64 {
+		var sum uint64
+		for _, r := range shards {
+			sum += r.sched.Executed
+		}
+		return sum + ticks
+	}
+	if opts.SampleSeries {
+		merged.sampler = merged.newSeriesSampler()
+		merged.sampler.executed = executedEmu
+	}
+
+	// Window loop. Barriers sit at every multiple of the lookahead W (drain
+	// points — consecutive barriers are never more than W apart, so every
+	// boundary delivery is drained before its arrival instant) and at every
+	// multiple of the sampling period Δ (tick points), up to the horizon.
+	W := plan.Lookahead
+	delta := opts.BufferSampleInterval
+	horizon := opts.Duration + opts.Drain
+
+	var wg sync.WaitGroup
+	runAll := func(f func(r *runner)) {
+		wg.Add(S)
+		for _, r := range shards {
+			r := r
+			go func() {
+				defer wg.Done()
+				f(r)
+			}()
+		}
+		wg.Wait()
+	}
+	drainAll := func() {
+		for to := 0; to < S; to++ {
+			for from := 0; from < S; from++ {
+				if from != to {
+					bounds[from][to].DrainInto(shards[to].sched)
+				}
+			}
+		}
+	}
+
+	nextSync, nextTick := W, delta
+	for {
+		b := nextSync
+		if nextTick < b {
+			b = nextTick
+		}
+		if horizon < b {
+			b = horizon
+		}
+		// Window: every shard runs strictly below the barrier, in parallel;
+		// deliveries crossing shards pile up in the boundary queues.
+		runAll(func(r *runner) { r.sched.RunBefore(b) })
+		// Barrier: the join above is the happens-before edge that lets the
+		// coordinator drain the queues without atomics.
+		drainAll()
+		if b == nextTick {
+			// Flush events the serial run executes before the tick at b —
+			// including boundary deliveries arriving exactly at b with
+			// chain-earlier keys — then observe switch state.
+			k := tickKeyAt(b, delta)
+			runAll(func(r *runner) { r.sched.RunBeforeKey(k) })
+			merged.sampleTick(sws)
+			ticks++
+			nextTick += delta
+		}
+		if b == nextSync {
+			nextSync += W
+		}
+		if b >= horizon {
+			break
+		}
+	}
+	// Events firing exactly at the horizon run inclusively, as in the serial
+	// engine; anything they emit arrives beyond the horizon on every shard.
+	runAll(func(r *runner) { r.sched.RunUntil(horizon) })
+
+	// Merge flow completions in key order. Each shard's buffer is already
+	// key-sorted (heaps pop in key order), and the stable sort keeps lower
+	// shard indexes first on exact ties — the same order the drains imposed.
+	var recs []fctRec
+	for _, r := range shards {
+		recs = append(recs, r.fctBuf...)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].key.Less(recs[j].key) })
+	for _, rec := range recs {
+		if rec.incast {
+			merged.result.FCTIncast.Record(rec.size, rec.fct, rec.ideal)
+			continue
+		}
+		merged.result.FlowsCompleted++
+		merged.result.FCT.Record(rec.size, rec.fct, rec.ideal)
+	}
+
+	merged.collect(horizon, flows)
+	merged.result.Events = executedEmu()
+	return merged.result, nil
+}

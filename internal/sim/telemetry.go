@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"sort"
 
-	"bfc/internal/eventsim"
 	"bfc/internal/netsim"
 	"bfc/internal/nic"
 	"bfc/internal/switchsim"
@@ -46,7 +45,10 @@ type linkClass struct {
 // are created, so the run's event stream (and its golden digest) is identical
 // with sampling on or off.
 type seriesSampler struct {
-	sched *eventsim.Scheduler
+	// executed reads the run's executed-event counter: the scheduler's
+	// counter in a serial run, the coordinator's shard-sum emulation in a
+	// sharded one.
+	executed func() uint64
 
 	// Sampling order is fixed at construction (topology order), so the series
 	// bundle is byte-stable across reruns and worker counts.
@@ -121,7 +123,9 @@ func (r *runner) newSeriesSampler() *seriesSampler {
 	}
 	s.prevBusy = make([]units.Time, len(s.classes))
 	s.prevPause = make([]units.Time, len(s.classes))
-	s.sched = r.sched
+	if sched := r.sched; sched != nil {
+		s.executed = func() uint64 { return sched.Executed }
+	}
 
 	s.out = &telemetry.RunSeries{Interval: interval}
 	s.out.Series = append(s.out.Series, s.goodput, s.active, s.events)
@@ -150,7 +154,7 @@ func (s *seriesSampler) sample() {
 
 	// Event-scheduler throughput (the eventsim contribution): executed events
 	// per sampling tick.
-	ev := s.sched.Executed
+	ev := s.executed()
 	s.events.Append(float64(ev - s.prevEvents))
 	s.prevEvents = ev
 

@@ -41,6 +41,11 @@ type egressPort struct {
 	txDataBytes units.Bytes
 }
 
+// tickTagBase namespaces the causal-origin tags of periodic switch work away
+// from flow IDs, so a tick descendant never numerically interleaves with a
+// data event's tag on the (vanishingly rare) full-chain tie between them.
+const tickTagBase = uint64(1) << 32
+
 // Switch is the simulated shared-buffer switch. It implements netsim.Device
 // and core.PortView.
 type Switch struct {
@@ -115,7 +120,12 @@ func New(cfg Config) *Switch {
 		for i := range s.upstream {
 			s.upstream[i] = core.NewUpstreamState(cfg.BFC.NumVFIDs)
 		}
-		s.ticker = eventsim.NewTicker(s.sched, cfg.BFC.Tau, s.bfcTick)
+		// All switches tick at the same τ, so every tick shares the same
+		// arithmetic scheduling chain; the node-ID tag (in its own namespace,
+		// clear of flow IDs) is what orders same-instant pause frames from
+		// different switches across shard boundaries — matching the serial
+		// engine, where tick order follows switch construction order.
+		s.ticker = eventsim.NewTickerTagged(s.sched, cfg.BFC.Tau, tickTagBase|uint64(cfg.Node.ID), s.bfcTick)
 	}
 	return s
 }
