@@ -11,8 +11,11 @@
 //	bfcctl fetch -table s000001            # render the FCT slowdown table
 //	bfcctl cancel s000001
 //	bfcctl store                           # completed artifacts on the server
+//	bfcctl fleet                           # fleet status (coordinator or worker)
 //
 // The server address comes from -addr or the BFCD_ADDR environment variable.
+// Transient failures (connection errors, 429/502/503) are retried with capped
+// exponential backoff; -retries bounds the attempts.
 package main
 
 import (
@@ -25,9 +28,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"bfc/internal/experiments"
+	"bfc/internal/fleet"
 	"bfc/internal/harness"
 	"bfc/internal/service"
 	"bfc/internal/telemetry"
@@ -36,6 +43,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", defaultAddr(), "bfcd base URL")
+	retries := flag.Int("retries", 3, "retries per request on transient failures (connection errors, 429/502/503)")
 	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
@@ -45,7 +53,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := &client{base: strings.TrimRight(*addr, "/"), retries: *retries}
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
@@ -65,6 +73,8 @@ func main() {
 		err = c.cancel(rest)
 	case "store":
 		err = c.store()
+	case "fleet":
+		err = c.fleet()
 	default:
 		log.Printf("bfcctl: unknown command %q", cmd)
 		usage()
@@ -95,16 +105,91 @@ commands:
                               (Chrome trace_event JSON; load in Perfetto)
   cancel <id>                 cancel a running suite
   store                       list the server's completed artifacts
+  fleet                       print the server's fleet status (coordinator or worker)
 `)
 }
 
-type client struct{ base string }
+// Retry pacing: capped exponential backoff with jitter derived
+// deterministically from the request ID, so a failing invocation's schedule
+// is reproducible from its logs while concurrent bfcctl processes (distinct
+// IDs) decorrelate.
+const (
+	retryBase = 200 * time.Millisecond
+	retryMax  = 3 * time.Second
+)
+
+type client struct {
+	base    string
+	retries int
+	seq     atomic.Uint64
+}
 
 func (c *client) url(path string) string { return c.base + path }
 
+// retryable reports whether a response status is worth retrying: gateway
+// hiccups and explicit server saturation. Everything else (including 4xx
+// spec errors) is final.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// retryDelay picks the pause before retry attempt (0-based): the server's
+// Retry-After wins when present (it knows when capacity frees), otherwise the
+// deterministic backoff schedule for this request's seed.
+func retryDelay(attempt int, seed uint64, resp *http.Response) time.Duration {
+	if resp != nil {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return fleet.Backoff(attempt, retryBase, retryMax, seed)
+}
+
+// do sends one request, retrying transient failures (transport errors,
+// retryable statuses) up to c.retries times. A non-retryable response is
+// returned as-is for the caller to interpret; exhausted retries surface the
+// last failure.
+func (c *client) do(method, path, contentType string, body []byte) (*http.Response, error) {
+	id := fmt.Sprintf("bfcctl/%d/%s %s", c.seq.Add(1), method, path)
+	seed := fleet.Seed(id)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.url(path), bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil && !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		var delay time.Duration
+		if err != nil {
+			lastErr = err
+			delay = retryDelay(attempt, seed, nil)
+		} else {
+			lastErr = apiError(resp)
+			delay = retryDelay(attempt, seed, resp)
+			resp.Body.Close()
+		}
+		if attempt >= c.retries {
+			return nil, lastErr
+		}
+		fmt.Fprintf(os.Stderr, "bfcctl: %v; retrying in %v (%d/%d)\n",
+			lastErr, delay.Round(time.Millisecond), attempt+1, c.retries)
+		time.Sleep(delay)
+	}
+}
+
 // getJSON decodes a 200 response into v.
 func (c *client) getJSON(path string, v any) error {
-	resp, err := http.Get(c.url(path))
+	resp, err := c.do(http.MethodGet, path, "", nil)
 	if err != nil {
 		return err
 	}
@@ -155,7 +240,7 @@ func (c *client) submit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(c.url("/api/v1/suites"), "application/json", bytes.NewReader(blob))
+	resp, err := c.do(http.MethodPost, "/api/v1/suites", "application/json", blob)
 	if err != nil {
 		return err
 	}
@@ -234,7 +319,7 @@ func (c *client) trace(args []string) error {
 	if *jsonl {
 		path += "?format=jsonl"
 	}
-	resp, err := http.Get(c.url(path))
+	resp, err := c.do(http.MethodGet, path, "", nil)
 	if err != nil {
 		return err
 	}
@@ -256,7 +341,7 @@ func (c *client) watch(args []string) error {
 // follow streams the suite's SSE events until the terminal event, then
 // prints the final status line.
 func (c *client) follow(id string) error {
-	resp, err := http.Get(c.url("/api/v1/suites/" + id + "/events"))
+	resp, err := c.do(http.MethodGet, "/api/v1/suites/"+id+"/events", "", nil)
 	if err != nil {
 		return err
 	}
@@ -304,7 +389,7 @@ func (c *client) fetch(args []string) error {
 		return fmt.Errorf("fetch needs a suite id")
 	}
 	id := fs.Arg(0)
-	resp, err := http.Get(c.url("/api/v1/suites/" + id + "/results"))
+	resp, err := c.do(http.MethodGet, "/api/v1/suites/"+id+"/results", "", nil)
 	if err != nil {
 		return err
 	}
@@ -336,11 +421,7 @@ func (c *client) cancel(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("cancel needs a suite id")
 	}
-	req, err := http.NewRequest(http.MethodDelete, c.url("/api/v1/suites/"+args[0]), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.do(http.MethodDelete, "/api/v1/suites/"+args[0], "", nil)
 	if err != nil {
 		return err
 	}
@@ -365,6 +446,41 @@ func (c *client) store() error {
 		fmt.Printf("%s  %-14s %s\n", e.Hash, e.Scheme, e.Name)
 	}
 	fmt.Fprintf(os.Stderr, "%d completed artifacts\n", len(entries))
+	return nil
+}
+
+// fleet prints the server's fleet status in a stable key=value form (the CI
+// fleet smoke greps it).
+func (c *client) fleet() error {
+	var st fleet.Status
+	if err := c.getJSON("/api/v1/fleet/status", &st); err != nil {
+		return err
+	}
+	switch st.Mode {
+	case "coordinator":
+		alive := 0
+		for _, w := range st.Workers {
+			if w.Alive {
+				alive++
+			}
+		}
+		fmt.Printf("fleet mode=coordinator workers=%d alive=%d scattered=%d retried=%d local=%d remote_jobs=%d deduped_jobs=%d\n",
+			len(st.Workers), alive, st.BatchesScattered, st.BatchesRetried,
+			st.BatchesLocal, st.JobsRemote, st.JobsDeduped)
+		for _, w := range st.Workers {
+			fmt.Printf("worker %s alive=%v last_seen_ms=%d batches=%d jobs=%d failures=%d\n",
+				w.URL, w.Alive, w.LastSeenMS, w.Batches, w.Jobs, w.Failures)
+		}
+	case "worker":
+		w := st.Worker
+		if w == nil {
+			w = &fleet.ExecutorStatus{}
+		}
+		fmt.Printf("fleet mode=worker batches=%d executed=%d cached=%d busy=%d\n",
+			w.Batches, w.JobsExecuted, w.JobsCached, w.Busy)
+	default:
+		return fmt.Errorf("server reports no fleet role (mode %q); is it running -mode standalone?", st.Mode)
+	}
 	return nil
 }
 

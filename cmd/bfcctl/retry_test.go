@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bfc/internal/fleet"
+)
+
+func TestRetryDelayScheduleIsDeterministicAndCapped(t *testing.T) {
+	seed := fleet.Seed("bfcctl/1/POST /api/v1/suites")
+	var first []time.Duration
+	for attempt := 0; attempt < 8; attempt++ {
+		first = append(first, retryDelay(attempt, seed, nil))
+	}
+	// Re-deriving the schedule for the same request ID reproduces it exactly.
+	for attempt, want := range first {
+		if got := retryDelay(attempt, seed, nil); got != want {
+			t.Fatalf("attempt %d: delay %v, want %v (schedule not deterministic)", attempt, got, want)
+		}
+	}
+	// Each delay sits inside the jitter window of its doubled nominal value,
+	// and the schedule saturates at retryMax.
+	for attempt, got := range first {
+		nominal := retryBase << attempt
+		if nominal > retryMax {
+			nominal = retryMax
+		}
+		if got < nominal/2 || got >= nominal {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, got, nominal/2, nominal)
+		}
+	}
+	if last := first[len(first)-1]; last >= retryMax {
+		t.Fatalf("saturated delay %v not capped below %v", last, retryMax)
+	}
+}
+
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	resp := &http.Response{Header: http.Header{"Retry-After": []string{"2"}}}
+	if got := retryDelay(0, 1, resp); got != 2*time.Second {
+		t.Fatalf("Retry-After delay = %v, want 2s", got)
+	}
+	// A garbage header falls back to the backoff schedule.
+	bad := &http.Response{Header: http.Header{"Retry-After": []string{"soon"}}}
+	if got := retryDelay(0, 1, bad); got >= retryBase || got < retryBase/2 {
+		t.Fatalf("fallback delay = %v outside [%v, %v)", got, retryBase/2, retryBase)
+	}
+}
+
+func TestDoRetriesTransientFailuresThenSucceeds(t *testing.T) {
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := &client{base: srv.URL, retries: 3}
+	resp, err := c.do(http.MethodGet, "/api/v1/stats", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || attempts != 3 {
+		t.Fatalf("status %d after %d attempts, want 200 after 3", resp.StatusCode, attempts)
+	}
+}
+
+func TestDoDoesNotRetryFinalStatuses(t *testing.T) {
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := &client{base: srv.URL, retries: 3}
+	resp, err := c.do(http.MethodGet, "/api/v1/figures", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// A 400 is a spec error, not a hiccup: exactly one attempt, response
+	// handed back for the caller to interpret.
+	if resp.StatusCode != http.StatusBadRequest || attempts != 1 {
+		t.Fatalf("status %d after %d attempts, want 400 after 1", resp.StatusCode, attempts)
+	}
+}
+
+func TestDoSurfacesConnectionRefusedAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.NewServeMux())
+	url := srv.URL
+	srv.Close() // nobody listens here any more
+
+	c := &client{base: url, retries: 1}
+	if _, err := c.do(http.MethodGet, "/api/v1/stats", "", nil); err == nil {
+		t.Fatal("request against a closed server succeeded")
+	}
+}

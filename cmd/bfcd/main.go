@@ -10,10 +10,26 @@
 // from cache, and artifacts bfcd computes can later be consumed by
 // cmd/experiments -resume.
 //
+// Fleet mode distributes suites across daemons (see README.md "Fleet"):
+//
+//	bfcd -mode worker -addr 127.0.0.1:8381 -store worker1/ \
+//	     -register http://127.0.0.1:8377
+//	bfcd -mode coordinator -addr 127.0.0.1:8377 -store coord/ \
+//	     -fleet-workers http://127.0.0.1:8381,http://127.0.0.1:8382
+//
+// A coordinator compiles each submitted suite, satisfies jobs already present
+// anywhere in the fleet (the union of worker stores plus its own cache) with
+// zero execution, scatters the rest to workers in bounded batches, and merges
+// the records into a result stream byte-identical to a single-node run.
+// Workers execute batches against their own stores and announce themselves to
+// the coordinator; either side surviving the other's restart is normal
+// operation.
+//
 // Observability: GET /metrics exposes Prometheus text-format counters for the
-// suite/job/cache/HTTP planes, GET /api/v1/version reports build information,
-// and -pprof mounts net/http/pprof under /debug/pprof/. Requests are logged
-// through the shared -log-level / -log-json slog flags.
+// suite/job/cache/HTTP planes (plus bfcd_fleet_* in fleet modes), GET
+// /api/v1/version reports build information, and -pprof mounts net/http/pprof
+// under /debug/pprof/. Requests are logged through the shared -log-level /
+// -log-json slog flags.
 //
 // Use cmd/bfcctl (or curl) against the API; see README.md "Service".
 package main
@@ -27,9 +43,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"bfc/internal/fleet"
 	"bfc/internal/harness"
 	"bfc/internal/service"
 	"bfc/internal/telemetry"
@@ -46,6 +65,16 @@ func main() {
 		streaming = flag.Int("streaming-hosts", 0, "force streaming stats on fabrics with at least this many hosts (0 = default threshold, negative = never)")
 		traceRing = flag.Int("trace-ring", 0, "flight-recorder ring capacity per traced job (0 = default)")
 		withPprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		mode       = flag.String("mode", "standalone", "daemon role: standalone, coordinator or worker")
+		fleetPeers = flag.String("fleet-workers", "", "coordinator: comma-separated worker base URLs")
+		register   = flag.String("register", "", "worker: coordinator base URL to announce to")
+		selfURL    = flag.String("self", "", "worker: advertised base URL (default http://<addr>)")
+		batchJobs  = flag.Int("fleet-batch", 4, "coordinator: jobs per scattered batch")
+		inflight   = flag.Int("fleet-inflight", 2, "coordinator: concurrent batches per worker")
+		batchTO    = flag.Duration("fleet-timeout", 2*time.Minute, "coordinator: per-batch RPC timeout")
+		heartbeat  = flag.Duration("fleet-heartbeat", 5*time.Second, "fleet: heartbeat / announce interval")
+		attempts   = flag.Int("fleet-attempts", 3, "coordinator: remote attempts per batch before local fallback")
 	)
 	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -56,7 +85,11 @@ func main() {
 		logger.Error("opening store", "err", err)
 		os.Exit(1)
 	}
-	svc, err := service.New(service.Config{
+
+	// One registry for the whole daemon, so the service and fleet metric
+	// families land in the same /metrics exposition.
+	registry := telemetry.NewRegistry()
+	svcCfg := service.Config{
 		Store:           store,
 		Workers:         *workers,
 		MaxActiveSuites: *maxSuites,
@@ -64,14 +97,73 @@ func main() {
 		MaxSuiteHistory: *history,
 		StreamingHosts:  *streaming,
 		TraceRingSize:   *traceRing,
+		Registry:        registry,
 		Logger:          logger,
-	})
+	}
+
+	var (
+		coord  *fleet.Coordinator
+		exec   *fleet.Executor
+		extras []func(*http.ServeMux)
+	)
+	switch *mode {
+	case "standalone":
+	case "coordinator":
+		var peers []string
+		for _, u := range strings.Split(*fleetPeers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peers = append(peers, u)
+			}
+		}
+		coord, err = fleet.NewCoordinator(fleet.Config{
+			Store:             store,
+			Workers:           peers,
+			BatchJobs:         *batchJobs,
+			InflightPerWorker: *inflight,
+			BatchTimeout:      *batchTO,
+			HeartbeatInterval: *heartbeat,
+			MaxAttempts:       *attempts,
+			StreamingHosts:    *streaming,
+			Registry:          registry,
+			Logger:            logger,
+		})
+		if err != nil {
+			logger.Error("starting coordinator", "err", err)
+			os.Exit(1)
+		}
+		// Assigned only when non-nil: a typed-nil Dispatcher would make the
+		// service believe it has a fleet.
+		svcCfg.Fleet = coord
+		extras = append(extras, coord.Routes())
+	case "worker":
+		parallel := *workers
+		if parallel <= 0 {
+			parallel = runtime.NumCPU()
+		}
+		exec, err = fleet.NewExecutor(fleet.ExecutorConfig{
+			Store:          store,
+			Parallel:       parallel,
+			StreamingHosts: *streaming,
+			Registry:       registry,
+			Logger:         logger,
+		})
+		if err != nil {
+			logger.Error("starting worker", "err", err)
+			os.Exit(1)
+		}
+		extras = append(extras, exec.Routes())
+	default:
+		logger.Error("unknown -mode", "mode", *mode)
+		os.Exit(1)
+	}
+
+	svc, err := service.New(svcCfg)
 	if err != nil {
 		logger.Error("starting service", "err", err)
 		os.Exit(1)
 	}
 
-	handler := service.NewHandler(svc)
+	handler := service.NewHandler(svc, extras...)
 	if *withPprof {
 		// The profiling mux wraps the API so pprof traffic skips the request
 		// metrics (scrapes of /debug/pprof/profile run for seconds and would
@@ -92,6 +184,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if exec != nil && *register != "" {
+		self := *selfURL
+		if self == "" {
+			self = "http://" + *addr
+		}
+		go exec.Announce(ctx, *register, self, *heartbeat)
+	}
+
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -103,7 +203,7 @@ func main() {
 	go func() { errCh <- server.ListenAndServe() }()
 	info := telemetry.ReadBuildInfo()
 	logger.Info("bfcd serving",
-		"addr", *addr, "store", store.Dir(), "pprof", *withPprof,
+		"addr", *addr, "mode", *mode, "store", store.Dir(), "pprof", *withPprof,
 		"version", info.Version, "go", info.GoVersion)
 
 	select {
@@ -118,5 +218,10 @@ func main() {
 	if err := server.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown", "err", err)
 	}
+	// Drain order: stop accepting HTTP, cancel running suites (which aborts
+	// in-flight fleet dispatches), then stop heartbeats.
 	svc.Close()
+	if coord != nil {
+		coord.Close()
+	}
 }

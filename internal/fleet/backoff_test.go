@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffScheduleDoublesWithinJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	max := 2 * time.Second
+	seed := Seed("suite-digest/b001")
+	for attempt := 0; attempt < 12; attempt++ {
+		nominal := base << attempt
+		if nominal > max || nominal <= 0 { // shift past the cap (or overflow)
+			nominal = max
+		}
+		got := Backoff(attempt, base, max, seed)
+		lo, hi := nominal/2, nominal
+		if got < lo || got >= hi {
+			t.Fatalf("attempt %d: backoff %v outside jitter window [%v, %v)", attempt, got, lo, hi)
+		}
+	}
+}
+
+func TestBackoffIsDeterministicPerSeed(t *testing.T) {
+	base, max := 50*time.Millisecond, time.Second
+	for attempt := 0; attempt < 8; attempt++ {
+		a := Backoff(attempt, base, max, Seed("req-7"))
+		b := Backoff(attempt, base, max, Seed("req-7"))
+		if a != b {
+			t.Fatalf("attempt %d: same seed gave %v then %v", attempt, a, b)
+		}
+	}
+	// Different seeds must decorrelate: at least one attempt of the first few
+	// must differ, or retrying peers re-converge into a thundering herd.
+	differs := false
+	for attempt := 0; attempt < 8; attempt++ {
+		if Backoff(attempt, base, max, Seed("req-7")) != Backoff(attempt, base, max, Seed("req-8")) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+func TestBackoffDefaultsAndCap(t *testing.T) {
+	// Zero base falls back to a sane default instead of a zero-length sleep.
+	if got := Backoff(0, 0, 0, 1); got < 50*time.Millisecond || got >= 100*time.Millisecond {
+		t.Fatalf("zero-config backoff %v outside default window", got)
+	}
+	// A huge attempt count saturates at max, never overflows.
+	max := 3 * time.Second
+	if got := Backoff(1000, time.Millisecond, max, 42); got < max/2 || got >= max {
+		t.Fatalf("saturated backoff %v outside [%v, %v)", got, max/2, max)
+	}
+}
+
+func TestSeedIsStable(t *testing.T) {
+	if Seed("batch-1") != Seed("batch-1") {
+		t.Fatal("Seed is not deterministic")
+	}
+	if Seed("batch-1") == Seed("batch-2") {
+		t.Fatal("distinct IDs share a seed")
+	}
+}

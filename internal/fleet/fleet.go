@@ -1,0 +1,67 @@
+// Package fleet is the distributed execution tier: it teaches the bfcd
+// daemon to run as a coordinator that scatters simulation work across many
+// worker daemons and merges their results back into one deterministic suite
+// stream, in the scatter/merge shape of goProbe's global-query plane.
+//
+// The unit of work crossing the wire is deliberately NOT a job closure —
+// harness.Job carries topology/workload builders that cannot leave the
+// process. Instead the coordinator ships the suite's wire-form spec
+// (service.SuiteSpec) plus the content hashes of the jobs a worker should
+// run; the worker recompiles the spec through the same experiments registry,
+// applies the coordinator's streaming-statistics policy, and matches the
+// requested hashes against its own compilation. Both sides derive per-job
+// seeds from job names, so a record computed on any worker is byte-identical
+// to one computed locally or on any other worker — which is what makes the
+// content hash a fleet-wide dedup key: before scattering, the coordinator
+// asks every live worker which hashes it already has (the union of worker
+// store manifests plus the coordinator's own cache forms the fleet-wide
+// manifest) and satisfies those jobs with zero execution anywhere.
+//
+// Robustness is part of the subsystem, not a bolt-on: workers register
+// statically (-workers) or dynamically (POST /api/v1/fleet/register, kept
+// fresh by Announce), the coordinator heartbeats them and stops scattering to
+// dead ones, every batch RPC has a timeout and retries with capped
+// exponential backoff (jitter derived deterministically from the batch ID),
+// batches lost to a dying worker are re-scattered to the survivors, and a
+// batch that exhausts its remote attempts falls back to local execution so a
+// fleet whose every worker died degrades to a slow single node instead of a
+// stuck suite. Everything is observable: bfcd_fleet_* Prometheus families
+// and per-batch structured logs recording every scatter, retry, re-scatter
+// and fallback.
+package fleet
+
+import (
+	"fmt"
+
+	"bfc/internal/harness"
+)
+
+// Wire paths of the fleet API, mounted under the service handler's mux.
+const (
+	pathStatus   = "/api/v1/fleet/status"
+	pathRegister = "/api/v1/fleet/register"
+	pathManifest = "/api/v1/fleet/manifest"
+	pathHave     = "/api/v1/fleet/have"
+	pathExecute  = "/api/v1/fleet/execute"
+	pathRecord   = "/api/v1/fleet/record/"
+)
+
+// maxFleetBodyBytes bounds every fleet request body: a suite spec is at most
+// service.MaxSuiteSpecBytes and a batch of hashes is kilobytes, so anything
+// beyond a few MB is a mistake or an attack.
+const maxFleetBodyBytes = 4 << 20
+
+// maxHaveHashes bounds one membership query; the coordinator chunks larger
+// suites itself.
+const maxHaveHashes = 1 << 16
+
+// executeJob runs one harness job, converting builder panics into errors so
+// a malformed sweep point cannot take down a worker or coordinator.
+func executeJob(j *harness.Job) (rec *harness.Record, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("fleet: job %q panicked: %v", j.Name, p)
+		}
+	}()
+	return j.Execute()
+}

@@ -1,0 +1,420 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bfc/internal/experiments"
+	"bfc/internal/harness"
+	"bfc/internal/service"
+	"bfc/internal/sim"
+)
+
+// tinySpec is the standard test submission: a two-scheme Fig 5a panel at
+// tiny scale — real simulations, but seconds not minutes.
+func tinySpec() *service.SuiteSpec {
+	return &service.SuiteSpec{Figure: "fig05a", Scale: "tiny", Schemes: []string{"BFC", "DCQCN"}}
+}
+
+// directRun executes the tinySpec grid straight through the harness — the
+// byte-parity reference every fleet path must reproduce.
+func directRun(t *testing.T) []*harness.Record {
+	t.Helper()
+	scale, _ := experiments.ScaleByName("tiny")
+	jobs := experiments.Fig05Jobs(scale, experiments.Fig05aGoogleIncast,
+		[]sim.Scheme{sim.SchemeBFC, sim.SchemeDCQCN})
+	recs, err := (&harness.Runner{Parallel: 1}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// newWorker spins up a worker-mode daemon: an Executor serving the fleet API
+// over a real HTTP listener.
+func newWorker(t *testing.T) (*Executor, *harness.Store, *httptest.Server) {
+	t.Helper()
+	store, err := harness.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewExecutor(ExecutorConfig{Store: store, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	exec.Routes()(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return exec, store, srv
+}
+
+// newFleetService builds a coordinator-mode service: a service.Service whose
+// uncached jobs are dispatched through a Coordinator.
+func newFleetService(t *testing.T, workers []string, mutate func(*Config)) (*service.Service, *Coordinator) {
+	t.Helper()
+	store, err := harness.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := Config{
+		Store:       store,
+		Workers:     workers,
+		BatchJobs:   1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	coord, err := NewCoordinator(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	svc, err := service.New(service.Config{Store: store, Workers: 2, Fleet: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, coord
+}
+
+// waitState polls until the suite leaves StateRunning.
+func waitState(t *testing.T, svc *service.Service, id string) service.SuiteStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		status, err := svc.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status.State != service.StateRunning {
+			return status
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("suite %s did not finish in time", id)
+	return service.SuiteStatus{}
+}
+
+func TestFleetScatterMatchesDirectRun(t *testing.T) {
+	_, storeA, srvA := newWorker(t)
+	_, storeB, srvB := newWorker(t)
+	svc, coord := newFleetService(t, []string{srvA.URL, srvB.URL}, nil)
+
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, svc, status.ID)
+	if done.State != service.StateDone || done.Executed != 2 || done.Cached != 0 {
+		t.Fatalf("fleet run ended %+v", done)
+	}
+	recs, err := svc.Results(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tentpole acceptance criterion: the merged suite stream must be
+	// byte-identical to a serial single-node run of the same grid.
+	if got, want := marshal(t, recs), marshal(t, directRun(t)); got != want {
+		t.Fatal("fleet-merged records differ from a direct serial harness run")
+	}
+	// With one-job batches and two workers, both must have executed.
+	if got := coord.metrics.jobsRemote.Value(); got != 2 {
+		t.Fatalf("jobs_remote = %d, want 2", got)
+	}
+	if !storeA.Has(recs[0].Hash) && !storeB.Has(recs[0].Hash) {
+		t.Fatal("no worker store holds the first record")
+	}
+
+	// Resubmission: every record is now in the coordinator's own cache, so
+	// the suite completes synchronously with zero fleet traffic.
+	execBefore := svc.Stats().JobsExecuted
+	second, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != service.StateDone || second.Cached != 2 || second.Executed != 0 {
+		t.Fatalf("resubmission was not fully cached: %+v", second)
+	}
+	if got := svc.Stats().JobsExecuted; got != execBefore {
+		t.Fatalf("resubmission executed %d simulations", got-execBefore)
+	}
+}
+
+func TestFleetDedupSkipsExecutionEverywhere(t *testing.T) {
+	// Pre-seed one worker's store with the whole grid, as if another
+	// coordinator had computed it there.
+	_, store, srv := newWorker(t)
+	cs, err := tinySpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	service.ApplyStreamingPolicy(cs.Jobs, 0)
+	for i := range cs.Jobs {
+		rec, err := cs.Jobs[i].Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	svc, coord := newFleetService(t, []string{srv.URL}, nil)
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, svc, status.ID)
+	// Every job was satisfied from the fleet-wide manifest: zero executions
+	// on the coordinator AND zero on the worker.
+	if done.State != service.StateDone || done.Cached != 2 || done.Executed != 0 {
+		t.Fatalf("dedup run ended %+v", done)
+	}
+	if got := svc.Stats().JobsExecuted; got != 0 {
+		t.Fatalf("fleet-deduped suite executed %d jobs", got)
+	}
+	if got := coord.metrics.jobsDeduped.Value(); got != 2 {
+		t.Fatalf("jobs_deduped = %d, want 2", got)
+	}
+	recs, err := svc.Results(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshal(t, recs), marshal(t, directRun(t)); got != want {
+		t.Fatal("deduped records differ from a direct serial harness run")
+	}
+}
+
+func TestFleetSurvivesDeadWorker(t *testing.T) {
+	// One real worker plus one that is already gone (its listener closed):
+	// batches scattered to the corpse fail, get retried with backoff, and
+	// re-scatter to the survivor. The suite must still finish with records
+	// byte-identical to a serial run.
+	_, _, srvGood := newWorker(t)
+	dead := httptest.NewServer(http.NewServeMux())
+	deadURL := dead.URL
+	dead.Close()
+
+	svc, coord := newFleetService(t, []string{srvGood.URL, deadURL}, func(cfg *Config) {
+		cfg.MaxAttempts = 4
+		cfg.InflightPerWorker = 1
+	})
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, svc, status.ID)
+	if done.State != service.StateDone || done.Done != 2 {
+		t.Fatalf("suite with dead worker ended %+v", done)
+	}
+	recs, err := svc.Results(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshal(t, recs), marshal(t, directRun(t)); got != want {
+		t.Fatal("records after worker death differ from a direct serial harness run")
+	}
+	if coord.metrics.retried.Value() == 0 && coord.metrics.scattered.Value() <= 2 {
+		t.Log("note: scheduler never hit the dead worker (legal but unusual with 2 workers)")
+	}
+}
+
+func TestFleetFallsBackToLocalWithoutWorkers(t *testing.T) {
+	svc, coord := newFleetService(t, nil, nil)
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, svc, status.ID)
+	if done.State != service.StateDone || done.Executed != 2 {
+		t.Fatalf("workerless fleet run ended %+v", done)
+	}
+	if got := coord.metrics.local.Value(); got != 2 {
+		t.Fatalf("batches_local = %d, want 2 (one-job batches)", got)
+	}
+	recs, err := svc.Results(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshal(t, recs), marshal(t, directRun(t)); got != want {
+		t.Fatal("local-fallback records differ from a direct serial harness run")
+	}
+}
+
+func TestExecutorRejectsVersionDrift(t *testing.T) {
+	exec, _, srv := newWorker(t)
+	req := &ExecuteRequest{
+		Batch: "t/b000", Suite: *tinySpec(),
+		Hashes: []string{"00000000deadbeef"}, // no compilation produces this
+	}
+	if _, err := exec.Execute(context.Background(), req); !errors.Is(err, ErrDrift) {
+		t.Fatalf("direct execute: err = %v, want ErrDrift", err)
+	}
+	// Over the wire the 409 must map back to ErrDrift, so the coordinator
+	// stops scattering to the drifted worker instead of retrying forever.
+	client := NewClient(srv.URL, 10*time.Second)
+	if _, err := client.Execute(context.Background(), req); !errors.Is(err, ErrDrift) {
+		t.Fatalf("wire execute: err = %v, want ErrDrift", err)
+	}
+}
+
+func TestExecutorHaveAndRecordEndpoints(t *testing.T) {
+	_, store, srv := newWorker(t)
+	cs, err := tinySpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	service.ApplyStreamingPolicy(cs.Jobs, 0)
+	rec, err := cs.Jobs[0].Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	client := NewClient(srv.URL, 10*time.Second)
+	have, err := client.Have(context.Background(), []string{rec.Hash, "ffffffffffffffff"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(have) != 1 || have[0] != rec.Hash {
+		t.Fatalf("have = %v, want [%s]", have, rec.Hash)
+	}
+	got, err := client.Record(context.Background(), rec.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, got) != marshal(t, rec) {
+		t.Fatal("fetched record differs from the stored one")
+	}
+	if _, err := client.Record(context.Background(), "ffffffffffffffff"); err == nil {
+		t.Fatal("fetching a missing record succeeded")
+	}
+}
+
+func TestCoordinatorFleetManifestUnions(t *testing.T) {
+	_, wstore, srv := newWorker(t)
+	cs, err := tinySpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	service.ApplyStreamingPolicy(cs.Jobs, 0)
+	recs := make([]*harness.Record, len(cs.Jobs))
+	for i := range cs.Jobs {
+		if recs[i], err = cs.Jobs[i].Execute(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cstore, err := harness.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the grid: job 0 lives only on the coordinator, job 1 only on the
+	// worker; the fleet-wide manifest must present both.
+	if err := cstore.Put(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := wstore.Put(recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(Config{Store: cstore, Workers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+
+	entries := coord.FleetManifest(context.Background())
+	if len(entries) != 2 {
+		t.Fatalf("fleet manifest has %d entries, want 2: %+v", len(entries), entries)
+	}
+	want := map[string]bool{recs[0].Hash: true, recs[1].Hash: true}
+	for _, e := range entries {
+		if !want[e.Hash] {
+			t.Fatalf("unexpected manifest entry %+v", e)
+		}
+	}
+}
+
+func TestRegisterEndpointAddsWorker(t *testing.T) {
+	cstore, err := harness.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(Config{Store: cstore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	mux := http.NewServeMux()
+	coord.Routes()(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	client := NewClient(srv.URL, 10*time.Second)
+	if err := client.Register(context.Background(), "http://127.0.0.1:19999"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Ping(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode != "coordinator" || len(st.Workers) != 1 || st.Workers[0].URL != "http://127.0.0.1:19999" {
+		t.Fatalf("status after register: %+v", st)
+	}
+	// Garbage URLs are rejected, not silently pooled.
+	if err := client.Register(context.Background(), "not a url"); err == nil {
+		t.Fatal("registering a garbage URL succeeded")
+	}
+}
+
+// Two suites dispatched concurrently contend for one worker's single
+// in-flight slot. The slot is a coordinator-level resource, so the suite
+// that parks waiting for capacity is woken by a *different* dispatch's
+// result landing — regression test for the missed-wakeup deadlock where a
+// parked dispatch with nothing of its own in flight waited forever.
+func TestConcurrentDispatchesShareWorkerCapacity(t *testing.T) {
+	_, _, srv := newWorker(t)
+	svc, _ := newFleetService(t, []string{srv.URL}, func(c *Config) {
+		c.InflightPerWorker = 1
+	})
+
+	a, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Submit(&service.SuiteSpec{
+		Figure: "fig05a", Scale: "tiny", Schemes: []string{"HPCC", "Ideal-FQ"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{a.ID, b.ID} {
+		status := waitState(t, svc, id)
+		if status.State != service.StateDone {
+			t.Fatalf("suite %s: state %s (%s), want done", id, status.State, status.Error)
+		}
+		if status.Executed != 2 {
+			t.Fatalf("suite %s: executed %d jobs, want 2", id, status.Executed)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import "bfc/internal/telemetry"
+
+// coordMetrics is the coordinator's bfcd_fleet_* instrument set. Registered
+// on the registry shared with the service plane, so one /metrics scrape
+// covers both.
+type coordMetrics struct {
+	workers        *telemetry.Gauge
+	workersAlive   *telemetry.Gauge
+	scattered      *telemetry.Counter
+	retried        *telemetry.Counter
+	rescattered    *telemetry.Counter
+	local          *telemetry.Counter
+	jobsRemote     *telemetry.Counter
+	jobsDeduped    *telemetry.Counter
+	heartbeatFails *telemetry.Counter
+	batchSeconds   *telemetry.Histogram
+}
+
+func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &coordMetrics{
+		workers:        reg.NewGauge("bfcd_fleet_workers", "Workers registered with the coordinator."),
+		workersAlive:   reg.NewGauge("bfcd_fleet_workers_alive", "Registered workers currently passing heartbeats."),
+		scattered:      reg.NewCounter("bfcd_fleet_batches_scattered_total", "Batch RPCs sent to workers."),
+		retried:        reg.NewCounter("bfcd_fleet_batches_retried_total", "Batch RPCs retried after a transient failure or timeout."),
+		rescattered:    reg.NewCounter("bfcd_fleet_batches_rescattered_total", "Batches re-scattered to a different worker after their worker died."),
+		local:          reg.NewCounter("bfcd_fleet_batches_local_total", "Batches executed on the coordinator after remote attempts were exhausted or no worker was alive."),
+		jobsRemote:     reg.NewCounter("bfcd_fleet_jobs_remote_total", "Jobs completed by remote workers."),
+		jobsDeduped:    reg.NewCounter("bfcd_fleet_jobs_deduped_total", "Jobs satisfied from another store via the fleet-wide manifest (zero execution)."),
+		heartbeatFails: reg.NewCounter("bfcd_fleet_heartbeat_failures_total", "Failed worker heartbeat probes."),
+		batchSeconds:   reg.NewHistogram("bfcd_fleet_batch_seconds", "Remote batch round-trip latency in seconds.", nil),
+	}
+}
+
+// workerMetrics is a worker-mode daemon's bfcd_fleet_worker_* instrument set.
+type workerMetrics struct {
+	batches      *telemetry.Counter
+	jobsExecuted *telemetry.Counter
+	jobsCached   *telemetry.Counter
+	busy         *telemetry.Gauge
+}
+
+func newWorkerMetrics(reg *telemetry.Registry) *workerMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &workerMetrics{
+		batches:      reg.NewCounter("bfcd_fleet_worker_batches_total", "Batches executed for a coordinator."),
+		jobsExecuted: reg.NewCounter("bfcd_fleet_worker_jobs_executed_total", "Jobs this worker simulated for the fleet."),
+		jobsCached:   reg.NewCounter("bfcd_fleet_worker_jobs_cached_total", "Fleet jobs this worker satisfied from its own store."),
+		busy:         reg.NewGauge("bfcd_fleet_worker_busy", "Fleet jobs currently executing on this worker."),
+	}
+}

@@ -37,6 +37,33 @@ func (e ManifestEntry) Spec() JobSpec {
 
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, manifestName) }
 
+// MergeManifests unions manifest entry lists into one view of completed work:
+// entries are deduplicated by hash (the first list containing a hash wins, so
+// callers put the most authoritative store first) and returned sorted by job
+// name, matching List's ordering. The fleet tier uses it to present the union
+// of the coordinator's store and every worker's store as a single fleet-wide
+// manifest.
+func MergeManifests(lists ...[]ManifestEntry) []ManifestEntry {
+	seen := map[string]bool{}
+	var out []ManifestEntry
+	for _, list := range lists {
+		for _, e := range list {
+			if e.Hash == "" || seen[e.Hash] {
+				continue
+			}
+			seen[e.Hash] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
 // appendManifest appends one entry line to the manifest. Appends are
 // serialized by the store mutex; the record's artifact is already renamed
 // into place, so a crash between the rename and this append merely leaves an

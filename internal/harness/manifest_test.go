@@ -160,6 +160,121 @@ func TestStoreListDropsEntriesForMissingArtifacts(t *testing.T) {
 	}
 }
 
+func TestMergeManifestsUnionsAndDedupes(t *testing.T) {
+	a := []ManifestEntry{
+		{Hash: "aaaaaaaaaaaaaaaa", Name: "j/c", Scheme: "BFC"},
+		{Hash: "bbbbbbbbbbbbbbbb", Name: "j/a", Scheme: "BFC", Meta: map[string]string{"src": "a"}},
+	}
+	b := []ManifestEntry{
+		{Hash: "bbbbbbbbbbbbbbbb", Name: "j/a", Scheme: "BFC", Meta: map[string]string{"src": "b"}},
+		{Hash: "cccccccccccccccc", Name: "j/b", Scheme: "DCQCN"},
+		{Hash: "", Name: "j/broken"},
+	}
+	merged := MergeManifests(a, b)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d entries, want 3: %+v", len(merged), merged)
+	}
+	wantNames := []string{"j/a", "j/b", "j/c"}
+	for i, e := range merged {
+		if e.Name != wantNames[i] {
+			t.Fatalf("entry %d is %q, want %q", i, e.Name, wantNames[i])
+		}
+	}
+	// Overlapping hashes: the first list wins.
+	if merged[0].Meta["src"] != "a" {
+		t.Fatalf("overlap resolved to %+v, want the first list's entry", merged[0])
+	}
+	if got := MergeManifests(nil, nil); len(got) != 0 {
+		t.Fatalf("merging empty manifests yields %+v", got)
+	}
+}
+
+// TestMergeManifestsFleetView exercises the fleet-wide manifest union end to
+// end: two stores (a coordinator's and a worker's) with overlapping work,
+// crash damage on both sides — a truncated manifest line here, a manifest
+// entry whose artifact vanished there — must merge into exactly the set of
+// decodable artifacts, each listed once.
+func TestMergeManifestsFleetView(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	storeA, err := NewStore(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeB, err := NewStore(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := fakeRecord("j/shared", nil)
+	onlyA := fakeRecord("j/only-a", nil)
+	onlyB := fakeRecord("j/only-b", nil)
+	goneB := fakeRecord("j/gone-b", nil)
+	for _, rec := range []*Record{shared, onlyA} {
+		if err := storeA.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rec := range []*Record{shared, onlyB, goneB} {
+		if err := storeB.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash damage on side A: the manifest ends in a truncated append.
+	mpathA := filepath.Join(dirA, manifestName)
+	blob, err := os.ReadFile(mpathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpathA, append(blob, `{"hash":"feed`...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash damage on side B: a truncated trailing line plus an artifact that
+	// disappeared out from under its manifest entry.
+	mpathB := filepath.Join(dirB, manifestName)
+	blob, err = os.ReadFile(mpathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpathB, append(blob, `{"name":"j/trunc`...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dirB, goneB.Hash+".jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeManifests(mustList(t, storeA), mustList(t, storeB))
+	wantNames := []string{"j/only-a", "j/only-b", "j/shared"}
+	if len(merged) != len(wantNames) {
+		t.Fatalf("fleet view has %d entries, want %d: %+v", len(merged), len(wantNames), merged)
+	}
+	for i, e := range merged {
+		if e.Name != wantNames[i] {
+			t.Fatalf("entry %d is %q, want %q", i, e.Name, wantNames[i])
+		}
+	}
+}
+
+func TestStoreHas(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := fakeRecord("j/present", nil)
+	if store.Has(rec.Hash) {
+		t.Fatal("Has reported an artifact before Put")
+	}
+	if err := store.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if !store.Has(rec.Hash) {
+		t.Fatal("Has missed a stored artifact")
+	}
+	// Hostile hashes must not turn into path probes.
+	for _, h := range []string{"", "../../etc/passwd", "zzzz", strings.Repeat("a", 64)} {
+		if store.Has(h) {
+			t.Fatalf("Has accepted malformed hash %q", h)
+		}
+	}
+}
+
 func TestStoreLoadIgnoresManifestAndCombined(t *testing.T) {
 	store, err := NewStore(t.TempDir())
 	if err != nil {

@@ -1,0 +1,59 @@
+package harness
+
+import "testing"
+
+// TestJobSpecHashGolden pins the JobSpec content-hash wire format. These
+// hashes key artifact files, the store manifest, the service result cache and
+// — since the fleet tier — cross-machine dedup: a coordinator asks workers
+// "which of these hashes do you have" and trusts the answer without comparing
+// record contents. If the hash algorithm drifts (field order, separators,
+// truncation length, meta sorting), every store silently becomes a miss and
+// mixed-version fleets re-execute or, worse, mis-attribute work. Any change
+// here is a breaking wire-format change: it must be deliberate, and it
+// invalidates every existing store directory.
+func TestJobSpecHashGolden(t *testing.T) {
+	golden := []struct {
+		spec JobSpec
+		want string
+	}{
+		// The plain service/batch shapes.
+		{JobSpec{Name: "reduced/fig05a/scheme=BFC", Scheme: "BFC"}, "5b5f40e3d4ee454d"},
+		// The scheme participates in the hash.
+		{JobSpec{Name: "reduced/fig05a/scheme=BFC", Scheme: "DCQCN"}, "7951c5364299bd28"},
+		// Meta participates: the streaming-policy marker yields a new artifact.
+		{JobSpec{Name: "reduced/fig05a/scheme=BFC", Scheme: "BFC",
+			Meta: map[string]string{"stats": "streaming"}}, "e391686f482a3e9b"},
+		// Multi-key meta hashes in sorted key order, not insertion order.
+		{JobSpec{Name: "full/fig08/fanin=64", Scheme: "DCQCN+Win",
+			Meta: map[string]string{"fanin": "64", "fig": "fig08"}}, "00cb22c89b7369ab"},
+		{JobSpec{Name: "j/meta-order", Scheme: "BFC",
+			Meta: map[string]string{"a": "1", "b": "2", "c": "3"}}, "4998d86cefc029cc"},
+		// Degenerate and non-ASCII inputs are stable too.
+		{JobSpec{Name: "", Scheme: ""}, "96a296d224f285c6"},
+		{JobSpec{Name: "tiny/scenario/flap/scheme=HPCC", Scheme: "HPCC",
+			Meta: map[string]string{"scenario_digest": "0123456789abcdef", "scale": "tiny"}}, "4376f7745e985cee"},
+		{JobSpec{Name: "j/unicode/π=3.14159", Scheme: "BFC",
+			Meta: map[string]string{"note": "ünïcode-μs"}}, "114871f1d16309f4"},
+		// Empty and nil meta hash identically.
+		{JobSpec{Name: "j/empty-meta", Scheme: "BFC", Meta: map[string]string{}}, "e5c16bb15257dc18"},
+		{JobSpec{Name: "j/empty-meta", Scheme: "BFC"}, "e5c16bb15257dc18"},
+	}
+	for _, g := range golden {
+		if got := g.spec.Hash(); got != g.want {
+			t.Errorf("JobSpec hash drifted for %+v: got %s, recorded %s\n"+
+				"This breaks fleet-wide dedup and invalidates every existing store;\n"+
+				"if the change is deliberate, re-record the golden hashes.", g.spec, got, g.want)
+		}
+	}
+	// Structural invariants independent of the recorded corpus.
+	if h := (JobSpec{Name: "x", Scheme: "y"}).Hash(); len(h) != 16 {
+		t.Fatalf("hash length %d, want 16 hex characters", len(h))
+	}
+	// The meta key/value separators must keep ("ab"→"c") distinct from
+	// ("a"→"bc"): a flattened encoding would let different specs collide.
+	a := JobSpec{Name: "n", Scheme: "s", Meta: map[string]string{"ab": "c"}}
+	b := JobSpec{Name: "n", Scheme: "s", Meta: map[string]string{"a": "bc"}}
+	if a.Hash() == b.Hash() {
+		t.Fatal("meta separator ambiguity: distinct specs share a hash")
+	}
+}

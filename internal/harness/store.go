@@ -70,6 +70,18 @@ func (s *Store) Put(rec *Record) error {
 	return s.appendManifest(rec)
 }
 
+// Has reports whether an artifact exists for the job hash without decoding
+// it — the membership probe behind fleet manifest exchange, where a worker
+// answers "which of these hashes do you already have" for thousands of hashes
+// per query.
+func (s *Store) Has(hash string) bool {
+	if !artifactPattern.MatchString(hash + ".jsonl") {
+		return false
+	}
+	info, err := os.Stat(s.path(hash))
+	return err == nil && info.Mode().IsRegular()
+}
+
 // Get loads the record for a job hash; ok is false when no artifact exists.
 func (s *Store) Get(hash string) (rec *Record, ok bool, err error) {
 	b, err := os.ReadFile(s.path(hash))

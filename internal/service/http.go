@@ -36,8 +36,17 @@ import (
 //
 // Every request is counted in the bfcd_http_* metrics and, when the service
 // has a logger, logged with a per-request ID.
-func NewHandler(svc *Service) http.Handler {
+//
+// extras, when given, register additional routes on the same mux before it is
+// instrumented — the fleet tier mounts its /api/v1/fleet/* endpoints this way
+// so they share request metrics and logging with the core API.
+func NewHandler(svc *Service, extras ...func(*http.ServeMux)) http.Handler {
 	mux := http.NewServeMux()
+	for _, extra := range extras {
+		if extra != nil {
+			extra(mux)
+		}
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -79,6 +88,10 @@ func NewHandler(svc *Service) http.Handler {
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrBusy):
+			// Saturation is transient by construction (suites drain), so tell
+			// well-behaved clients when to come back instead of leaving them
+			// to guess; bfcctl's retry loop honors this.
+			w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 			httpError(w, http.StatusTooManyRequests, err)
 			return
 		case errors.Is(err, ErrClosed):

@@ -259,3 +259,42 @@ func waitHTTPDone(t *testing.T, ts *httptest.Server, id string) {
 	}
 	t.Fatalf("suite %s did not finish", id)
 }
+
+func TestBusyReturns429WithRetryAfter(t *testing.T) {
+	svc := newTestService(t, t.TempDir(), func(c *Config) {
+		c.Workers = 1
+		c.MaxActiveSuites = 1
+	})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+
+	// Occupy the only suite slot with a suite that blocks until released.
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	first, err := svc.SubmitCompiled(blockingSuite(1, started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Saturated: the submit must come back 429 with a machine-readable
+	// Retry-After, so clients (bfcctl's retry loop) know when to return.
+	_, resp := postSuite(t, ts, `{"figure":"fig05a","scale":"tiny","schemes":["BFC"]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %s, want 429", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != fmt.Sprint(RetryAfterSeconds) {
+		t.Fatalf("Retry-After = %q, want %q", got, fmt.Sprint(RetryAfterSeconds))
+	}
+
+	// Drain and retry: the same submission is accepted once capacity frees.
+	close(release)
+	if done := waitState(t, svc, first.ID); done.State != StateDone {
+		t.Fatalf("blocking suite ended %s: %s", done.State, done.Error)
+	}
+	status, resp := postSuite(t, ts, `{"figure":"fig05a","scale":"tiny","schemes":["BFC"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain submit: %s, want 202", resp.Status)
+	}
+	waitHTTPDone(t, ts, status.ID)
+}

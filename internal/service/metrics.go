@@ -26,8 +26,13 @@ type serviceMetrics struct {
 	httpLatency     *telemetry.Histogram
 }
 
-func newServiceMetrics() *serviceMetrics {
-	reg := telemetry.NewRegistry()
+// newServiceMetrics registers the service families, on the given registry
+// when non-nil (so co-resident planes like the fleet tier share one /metrics
+// exposition) or on a fresh private one.
+func newServiceMetrics(reg *telemetry.Registry) *serviceMetrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	m := &serviceMetrics{
 		reg:             reg,
 		suitesSubmitted: reg.NewCounter("bfcd_suites_submitted_total", "Suites accepted since start."),

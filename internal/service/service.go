@@ -17,10 +17,12 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"bfc/internal/harness"
@@ -61,7 +63,40 @@ type Config struct {
 	// Logger, when non-nil, receives structured request/lifecycle logs from
 	// the service and its HTTP handler.
 	Logger *slog.Logger
+	// Registry, when non-nil, receives the service's metric families. Sharing
+	// one registry lets other planes of the same process (the fleet tier)
+	// expose their families through the same /metrics endpoint. nil means a
+	// private registry.
+	Registry *telemetry.Registry
+	// Fleet, when non-nil, dispatches the uncached jobs of shippable suites
+	// (see CompiledSuite.Shippable) to a worker fleet instead of the local
+	// pool; internal/fleet's Coordinator is the implementation. Non-shippable
+	// and trace-enabled suites still run on the local pool.
+	Fleet Dispatcher
 }
+
+// Dispatcher executes a suite's uncached jobs somewhere other than the local
+// worker pool — internal/fleet's Coordinator scatters them across registered
+// workers and re-scatters on worker loss.
+type Dispatcher interface {
+	// Dispatch runs the pending jobs (indexes into cs.Jobs), calling sink
+	// exactly once per index that completed, in any order but never
+	// concurrently. It returns nil once every pending job was delivered, or
+	// the first fatal error; cancelling ctx aborts outstanding work (the
+	// error is then ignored by the service, which has already finished the
+	// suite).
+	Dispatch(ctx context.Context, cs *CompiledSuite, pending []int, sink Sink) error
+}
+
+// Sink receives one completed record from a Dispatcher. origin describes
+// where the record came from: "fleet:<worker>" for a fleet-manifest dedup hit
+// (no execution anywhere), "worker:<worker>" for a remote execution, or
+// "local" for the coordinator's own fallback execution.
+type Sink func(idx int, rec *harness.Record, origin string)
+
+// FleetCached reports whether a Sink origin string marks a record satisfied
+// from another store without execution.
+func FleetCached(origin string) bool { return strings.HasPrefix(origin, "fleet:") }
 
 // SuiteState is a suite's lifecycle state.
 type SuiteState string
@@ -78,8 +113,14 @@ const (
 	StateCancelled SuiteState = "cancelled"
 )
 
-// ErrBusy is returned when MaxActiveSuites suites are already running.
+// ErrBusy is returned when MaxActiveSuites suites are already running. The
+// HTTP layer maps it to 429 with a Retry-After of RetryAfterSeconds.
 var ErrBusy = fmt.Errorf("service: too many active suites, retry later")
+
+// RetryAfterSeconds is the Retry-After hint sent with 429 responses when the
+// concurrent-suite limit is hit. Suites run for seconds to minutes, so a
+// short fixed hint is honest: capacity frees in bursts, not on a schedule.
+const RetryAfterSeconds = 2
 
 // ErrClosed is returned for submissions after Close began.
 var ErrClosed = fmt.Errorf("service: shutting down")
@@ -139,6 +180,11 @@ type suite struct {
 	// is fully built before any job is queued and never written afterwards,
 	// so workers and trace fetches read it without locking.
 	traces map[int]*telemetry.Ring
+
+	// fleetCancel, for suites running on the fleet dispatcher, aborts the
+	// dispatch when the suite reaches a terminal state (cancel, failure,
+	// shutdown). Set before the dispatch goroutine starts, never reassigned.
+	fleetCancel context.CancelFunc
 }
 
 // Event is one progress notification on a suite's subscription stream.
@@ -188,8 +234,10 @@ type Stats struct {
 	QueuedJobs   int `json:"queued_jobs"`
 	// Workers is the pool size.
 	Workers int `json:"workers"`
-	// JobsExecuted counts simulations actually run since start — the number
-	// the cache-hit acceptance test pins at zero for a resubmission.
+	// JobsExecuted counts simulations actually run since start, on the local
+	// pool or (for a fleet coordinator) on remote workers — the number the
+	// cache-hit acceptance test pins at zero for a resubmission. Fleet-manifest
+	// dedup hits do not count: nothing executed anywhere.
 	JobsExecuted uint64 `json:"jobs_executed"`
 	// Cache summarizes the result cache.
 	Cache CacheStats `json:"cache"`
@@ -219,7 +267,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:     cfg,
 		cache:   newRecordCache(cfg.Store, cfg.CacheEntries),
 		suites:  map[string]*suite{},
-		metrics: newServiceMetrics(),
+		metrics: newServiceMetrics(cfg.Registry),
 	}
 	s.metrics.workers.Set(int64(cfg.Workers))
 	s.cond = sync.NewCond(&s.mu)
@@ -354,16 +402,85 @@ func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
 		s.order = append(s.order, st.id)
 		s.active++
 		s.metrics.activeSuites.Inc()
-		for _, i := range pending {
-			s.queue = append(s.queue, work{st: st, idx: i})
+		// Trace-enabled suites stay local: a remote worker's flight-recorder
+		// ring cannot be attached to this process's trace endpoint.
+		if s.cfg.Fleet != nil && cs.Shippable() && !cs.Trace {
+			ctx, cancel := context.WithCancel(context.Background())
+			st.fleetCancel = cancel
+			s.wg.Add(1)
+			go s.runFleetSuite(ctx, st, cs, pending)
+		} else {
+			for _, i := range pending {
+				s.queue = append(s.queue, work{st: st, idx: i})
+			}
+			s.metrics.queuedJobs.Set(int64(len(s.queue)))
+			s.cond.Broadcast()
 		}
-		s.metrics.queuedJobs.Set(int64(len(s.queue)))
-		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	s.log("suite submitted", "suite", st.id, "figure", st.figure, "scale", st.scale,
-		"jobs", len(st.jobs), "cached", st.cached, "traced", st.traces != nil)
+		"jobs", len(st.jobs), "cached", st.cached, "traced", st.traces != nil,
+		"fleet", st.fleetCancel != nil)
 	return s.statusOf(st), nil
+}
+
+// runFleetSuite hands a suite's uncached jobs to the fleet dispatcher and
+// folds every delivered record into the suite exactly like the local worker
+// path does. It runs in its own goroutine (one per fleet suite); the sink is
+// invoked serially by the dispatcher, so no extra ordering is needed.
+func (s *Service) runFleetSuite(ctx context.Context, st *suite, cs *CompiledSuite, pending []int) {
+	defer s.wg.Done()
+	err := s.cfg.Fleet.Dispatch(ctx, cs, pending, func(idx int, rec *harness.Record, origin string) {
+		s.completeFleetJob(st, idx, rec, origin)
+	})
+	if err != nil && ctx.Err() == nil {
+		s.finishSuite(st, StateFailed, err.Error())
+	}
+}
+
+// completeFleetJob is the fleet counterpart of runJob's completion tail: the
+// record is persisted and cached unconditionally (work computed anywhere in
+// the fleet must never be lost, even for a suite that ended meanwhile), then
+// folded into the suite if it is still running.
+func (s *Service) completeFleetJob(st *suite, idx int, rec *harness.Record, origin string) {
+	if err := s.cfg.Store.Put(rec); err != nil {
+		s.finishSuite(st, StateFailed, err.Error())
+		return
+	}
+	s.cache.Add(rec.Hash, rec)
+	deduped := FleetCached(origin)
+	if deduped {
+		s.metrics.jobsCached.Inc()
+	} else {
+		s.mu.Lock()
+		s.jobsRun++
+		s.mu.Unlock()
+		s.metrics.jobsExecuted.Inc()
+	}
+
+	st.mu.Lock()
+	if st.state != StateRunning {
+		st.mu.Unlock()
+		return
+	}
+	st.records[idx] = rec
+	st.done++
+	if deduped {
+		st.cached++
+	} else {
+		st.executed++
+	}
+	finished := st.done == len(st.jobs)
+	ev := Event{
+		Type: "job", Suite: st.id, Job: st.jobs[idx].Name, Cached: deduped,
+		Done: st.done, Total: len(st.jobs),
+	}
+	st.notifyLocked(ev)
+	st.mu.Unlock()
+	s.log("fleet job complete", "suite", st.id, "job", st.jobs[idx].Name, "origin", origin)
+	if finished {
+		s.finishSuite(st, StateDone, "")
+	}
 }
 
 // log emits a structured log line when a logger is configured.
@@ -601,6 +718,11 @@ func (s *Service) finishSuite(st *suite, state SuiteState, reason string) bool {
 	if state != StateDone {
 		st.err = reason
 	}
+	if st.fleetCancel != nil {
+		// Abort the fleet dispatch: outstanding batches are dropped, workers
+		// finish their in-flight executions into their own stores.
+		st.fleetCancel()
+	}
 	ev := Event{
 		Type: "end", Suite: st.id, Done: st.done, Total: len(st.jobs),
 		State: state, Error: st.err,
@@ -668,13 +790,23 @@ func executeJob(j *harness.Job) (rec *harness.Record, err error) {
 	return j.Execute()
 }
 
-// applyMemoryPolicy probes each job's topology size and forces
-// constant-memory streaming statistics on large fabrics (the served-run
-// memory bound). The override is recorded in job Meta — it changes the run's
-// statistics encoding, so the content hash must reflect it; small-fabric jobs
-// are untouched and keep aliasing batch artifacts byte-for-byte.
+// applyMemoryPolicy applies the service's streaming-statistics policy; see
+// ApplyStreamingPolicy.
 func (s *Service) applyMemoryPolicy(jobs []harness.Job) {
-	threshold := s.cfg.StreamingHosts
+	ApplyStreamingPolicy(jobs, s.cfg.StreamingHosts)
+}
+
+// ApplyStreamingPolicy probes each job's topology size and forces
+// constant-memory streaming statistics on fabrics of at least threshold hosts
+// (the served-run memory bound; 0 means sim.DefaultStreamingHostThreshold,
+// negative disables the policy). The override is recorded in job Meta — it
+// changes the run's statistics encoding, so the content hash must reflect it;
+// small-fabric jobs are untouched and keep aliasing batch artifacts
+// byte-for-byte. It is exported because fleet workers must re-apply the
+// coordinator's threshold when recompiling a shipped suite: policy drift
+// between coordinator and worker would silently change job hashes and break
+// fleet-wide dedup.
+func ApplyStreamingPolicy(jobs []harness.Job, threshold int) {
 	if threshold < 0 {
 		return
 	}

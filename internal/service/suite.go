@@ -126,6 +126,14 @@ type CompiledSuite struct {
 	Trace bool
 }
 
+// Shippable reports whether a remote worker can recompile this suite from
+// its wire-form spec alone. Suites built directly from Go (SubmitCompiled
+// with hand-assembled jobs) carry closures that cannot cross a process
+// boundary, so the fleet tier runs them on the local pool instead.
+func (cs *CompiledSuite) Shippable() bool {
+	return cs.Spec.Figure != "" || len(cs.Spec.Scenario) > 0
+}
+
 // Compile resolves the wire form against the figure registry and scales,
 // producing the job grid. Compilation builds no topologies and runs no
 // simulations; it is cheap enough to do on every submission.
