@@ -88,8 +88,9 @@ func main() {
 
 	fmt.Printf("scheme=%v topology=%s workload=%s load=%.0f%% incast=%v\n",
 		scheme, *topoName, cdf.Name, *load*100, *incast)
-	fmt.Printf("flows: %d offered, %d completed; simulated %v in %v (%d events)\n",
-		res.FlowsTotal, res.FlowsCompleted, res.Elapsed, elapsed.Round(time.Millisecond), res.Events)
+	fmt.Printf("flows: %d offered, %d completed; simulated %v in %v (%d events, %s)\n",
+		res.FlowsTotal, res.FlowsCompleted, res.Elapsed, elapsed.Round(time.Millisecond), res.Events,
+		res.Sharding.Describe())
 	fmt.Printf("utilization=%.2f drops=%d ecn-marks=%d pfc-pauses=%d bfc-frames=%d\n",
 		res.Utilization, res.Drops, res.ECNMarks, res.PFCPauses, res.BFCFrames)
 	if *digest {
@@ -97,7 +98,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("digest=%s\n", d)
+		// The execution mode rides with the digest so a sharded request that
+		// fell back to serial is visible next to the bytes it certifies.
+		fmt.Printf("digest=%s execution=%s\n", d, res.Sharding.Describe())
 	}
 	fmt.Printf("buffer occupancy: p50=%v p99=%v max=%v\n",
 		units.Bytes(res.BufferOccupancy.Percentile(50)),

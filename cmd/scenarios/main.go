@@ -3,12 +3,15 @@
 // more schemes and prints per-phase FCT tables, injection metrics, and a
 // SHA-256 digest of each full result.
 //
-// The digest is the determinism contract made visible: the same spec, seed
-// and -parallel-independent job sharding must print identical digests on
-// every run (the CI scenario-smoke job diffs two invocations with different
-// -parallel values). The digest excludes attached telemetry, so -trace-dir
-// runs print the same digests as untraced ones (the CI telemetry-smoke job
-// diffs exactly that).
+// The digest is the determinism contract made visible: the same spec and
+// seed must print identical digests on every run, every -parallel value
+// (worker-pool sharding across jobs), and every -shards value (the
+// conservative-PDES engine within one run — scenario events apply at
+// coordinator barriers, so fault storms parallelize too). The CI
+// scenario-smoke job diffs two invocations with different -parallel values
+// and the shard-smoke job diffs -shards 1/2/4. The digest excludes attached
+// telemetry, so -trace-dir runs print the same digests as untraced ones (the
+// CI telemetry-smoke job diffs exactly that).
 //
 // Examples:
 //
@@ -16,6 +19,7 @@
 //	scenarios -spec examples/scenarios/incast-storm.json -schemes BFC,DCQCN -digest
 //	scenarios -spec my.json -tor 4 -spine 4 -hosts 16 -duration 1ms -load 0.7
 //	scenarios -spec examples/scenarios/linkflap.json -trace-dir traces/
+//	scenarios -spec examples/scenarios/linkflap.json -tor 8 -digest -shards 4
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 		cdfName  = flag.String("cdf", "google", "background flow-size distribution (google, fb_hadoop, websearch)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size")
+		shards   = flag.Int("shards", 0, "shards per run for the conservative-PDES engine (0/1 = serial, >=2 = explicit, -1 = auto); scenario results are byte-identical across shard counts")
 		digest   = flag.Bool("digest", false, "print only scheme digests (for determinism checks)")
 		traceDir = flag.String("trace-dir", "", "write per-scheme flight-recorder traces (<scheme>.trace.json + <scheme>.events.jsonl) to this directory")
 	)
@@ -118,6 +123,7 @@ func main() {
 				o.Duration = dur
 				o.Drain = drainT
 				o.Scenario = spec
+				o.Shards = *shards
 			}},
 		},
 		Axes: []harness.Axis{harness.SchemeAxis(schemeList)},
@@ -157,7 +163,11 @@ func main() {
 	for _, rec := range recs {
 		sum := resultDigest(rec)
 		if *digest {
+			// Digest lines carry only digest + scheme so they diff cleanly
+			// across -shards values; the execution mode (sharded, serial, or
+			// a forced-serial fallback) goes to stderr instead of silence.
 			fmt.Printf("%s %s\n", sum, rec.Scheme)
+			fmt.Fprintf(os.Stderr, "# %s execution=%s\n", rec.Scheme, rec.Result.Sharding.Describe())
 			continue
 		}
 		printResult(rec, sum)
@@ -230,5 +240,5 @@ func printResult(rec *harness.Record, sum string) {
 	fmt.Printf("  events=%d reroutes=%d injected=%d stranded=%d (%d bytes) noroute=%d drops=%d completed=%d/%d\n",
 		m.EventsApplied, m.Reroutes, m.InjectedFlows, m.StrandedPackets,
 		m.StrandedBytes, m.NoRouteDrops, res.Drops, res.FlowsCompleted, res.FlowsTotal)
-	fmt.Printf("  digest=%s\n\n", sum)
+	fmt.Printf("  digest=%s execution=%s\n\n", sum, res.Sharding.Describe())
 }

@@ -215,7 +215,7 @@ func (e *Engine) assignQueue(es *egressState, f *packet.Flow, egress int) int {
 	e.stats.Assignments++
 	if !e.cfg.DynamicAssignment {
 		// Straw proposal (BFC-VFID): static hash, collisions and all.
-		q := packet.HashQueue(f.Tuple(), e.cfg.QueuesPerPort)
+		q := f.QueueOf(e.cfg.QueuesPerPort)
 		if es.flowsPerQueue[q] > 0 {
 			e.stats.CollidedAssignments++
 		}

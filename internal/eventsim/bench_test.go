@@ -71,6 +71,74 @@ func BenchmarkScheduleCancel(b *testing.B) {
 	}
 }
 
+// keySink defeats dead-code elimination of materialized keys in
+// BenchmarkSchedulerKeyOverhead.
+var keySink Key
+
+// BenchmarkSchedulerKeyOverhead isolates the determinism machinery's cost at
+// its three tiers, each measuring one schedule-from-dispatch plus fire so the
+// causal chain actually builds:
+//
+//   - compact: the default path after the index-heap split — a child shares
+//     its dispatch's interned pedigree record (slot + child index) and no
+//     wire Key is ever built. The pre-split layout carried the expanded key
+//     in every heap entry, so the compact-vs-eager-key gap is the per-event
+//     tax that layout paid unconditionally.
+//   - eager-key: compact plus a full wire-Key materialization (CurrentKey)
+//     per dispatch — what run-level observers like the flight recorder and
+//     FCT merge pay per recorded event.
+//   - injected: the boundary replay path — ChildKey builds the wire key on
+//     the sending side and ScheduleCallInjected re-interns it on the
+//     receiving side, the per-delivery cost of a cross-shard hop.
+//
+// All three must stay allocation-free in steady state: pedigree and slot
+// records recycle through free-lists.
+func BenchmarkSchedulerKeyOverhead(b *testing.B) {
+	b.Run("compact", func(b *testing.B) {
+		s := New()
+		n := 0
+		var spawn func()
+		spawn = func() {
+			if n++; n < b.N {
+				s.Schedule(s.Now()+1, spawn)
+			}
+		}
+		s.Schedule(0, spawn)
+		b.ReportAllocs()
+		b.ResetTimer()
+		s.Run()
+	})
+	b.Run("eager-key", func(b *testing.B) {
+		s := New()
+		n := 0
+		var spawn func()
+		spawn = func() {
+			keySink = s.CurrentKey()
+			if n++; n < b.N {
+				s.Schedule(s.Now()+1, spawn)
+			}
+		}
+		s.Schedule(0, spawn)
+		b.ReportAllocs()
+		b.ResetTimer()
+		s.Run()
+	})
+	b.Run("injected", func(b *testing.B) {
+		s := New()
+		n := 0
+		var spawn func(any)
+		spawn = func(any) {
+			if n++; n < b.N {
+				s.ScheduleCallInjected(s.ChildKey(s.Now()+1), spawn, nil)
+			}
+		}
+		s.ScheduleCall(0, spawn, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		s.Run()
+	})
+}
+
 // BenchmarkTimerReset measures the retransmission-timer pattern: a Timer
 // re-armed for every packet, firing rarely.
 func BenchmarkTimerReset(b *testing.B) {

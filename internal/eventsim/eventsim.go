@@ -1,39 +1,61 @@
 // Package eventsim implements the discrete-event engine that drives every
 // simulation in this repository.
 //
-// The engine is a single-threaded run loop over a specialized 4-ary min-heap
-// of (time, sequence, callback) entries stored in a value slice. Determinism
-// is a design requirement — two events scheduled for the same picosecond
-// always fire in the order they were scheduled, so a simulation with a fixed
-// seed produces identical results on every run and platform.
+// The engine is a single-threaded run loop over a specialized 4-ary min-heap.
+// Determinism is a design requirement — two events scheduled for the same
+// picosecond always fire in the same order on every run and platform, so a
+// simulation with a fixed seed produces identical results everywhere,
+// including across the serial and sharded engines.
 //
-// The hot path is allocation-free in steady state: heap entries are values
-// (no per-event boxing through interfaces), cancellation handles are small
-// (slot, generation) values backed by a slot table with a free-list, and
+// The hot path is allocation-free in steady state: heap records are small
+// values (no per-event boxing through interfaces), cancellation handles are
+// (slot, generation) values backed by a slot arena with a free-list, and
 // cancellation is lazy — a cancelled event is marked in its slot and skipped
 // when it reaches the top of the heap, with a periodic compaction pass
 // keeping the heap from filling up with dead entries.
 //
+// # Heap layout
+//
+// The heap is an index heap: it sifts 32-byte records of (firing time, first
+// chain instant, sequence, slot), while the cold freight — the rest of the
+// pedigree, the callback, and its argument — lives behind the slot arena and
+// never moves. Sifts therefore stop memmoving wide entries, and most
+// same-instant ties break on the in-record chain prefix; only events tying on
+// (at, chain[0]) dereference the cold records (see entryLess).
+//
+// The pedigree itself is lazy: every event scheduled by one dispatch shares
+// the same ancestor arrays, so they are interned once per dispatch in a
+// refcounted pedigree arena and each event's slot stores only (pedigree id,
+// own child index, own tag). Scheduling copies no arrays, sibling events
+// compare by child index without touching the arrays at all, and the full
+// wire Key is materialized only on demand — at a boundary push (ChildKey) or
+// when an observer records the current dispatch (CurrentKey).
+//
 // # Ordering and the sharded engine
 //
-// Each event carries, besides its firing time, the chain of instants at which
-// it and its causal ancestors were scheduled — chain[0] is the instant the
-// event itself was scheduled, chain[1] the instant its scheduling event was
-// scheduled, and so on ChainDepth generations back — plus the matching chain
-// of causal-origin tags (see Scheduler.curTag). Events are ordered by
+// Each event carries a compact pedigree, the invariants of which are:
 //
-//	(at, chain..., tags (deepest first), tag, seq)
+//   - chain[i] is the instant the event's i-th ancestor was scheduled
+//     (chain[0] the event's own scheduling instant), SetupTime beyond the
+//     recorded history;
+//   - tags[i] is the causal-origin tag the i-th ancestor was dispatched
+//     under (see Scheduler.curTag);
+//   - kids[i] is the i-th ancestor's within-dispatch child index, and kid the
+//     event's own: its scheduling position inside its parent's dispatch.
+//     Events scheduled during setup (before the first dispatch) all carry
+//     kid 0.
 //
-// The chain and tag components exist for the sharded engine (internal/sim):
-// they are properties of the simulation's causal structure that every
-// partition of the fabric computes identically — unlike sequence numbers,
-// which depend on the global scheduling history a parallel run cannot
-// reproduce. Boundary deliveries injected at a barrier carry their key from
-// the sending shard and therefore interleave with the receiver's local events
-// exactly as a serial run of the same engine would have interleaved them; see
-// entryLess for why the comparison is shaped this way. Schedulers created for
-// runs that can never shard (scenarios, flight recording) keep the historical
-// (at, seq) tie order via UseLegacyOrder.
+// Events are ordered by
+//
+//	(at, chain..., tags (deepest first), kids (deepest first), kid, tag, seq)
+//
+// Every component except seq is a property of the simulation's causal
+// structure that every partition of the fabric computes identically — unlike
+// sequence numbers, which depend on the global scheduling history a parallel
+// run cannot reproduce. Boundary deliveries injected at a barrier carry their
+// key from the sending shard and therefore interleave with the receiver's
+// local events exactly as a serial run of the same engine would have
+// interleaved them; see entryLess for why the comparison is shaped this way.
 package eventsim
 
 import (
@@ -63,16 +85,22 @@ const ChainDepth = 5
 // across shards of a partitioned simulation, which makes them the currency of
 // the sharded engine: boundary deliveries, barrier thresholds, and merged
 // flow-completion records are all ordered by Key.
+//
+// Key is the eager wire form of the engine's lazy in-heap pedigree; it is
+// materialized at partition boundaries and never used on the local hot path.
 type Key struct {
 	At    units.Time             // firing instant
 	Chain [ChainDepth]units.Time // scheduling instants, youngest first
 	Tags  [ChainDepth]uint64     // ancestor dispatch tags, youngest first
+	Kids  [ChainDepth]uint32     // ancestor within-dispatch child indexes
+	Kid   uint32                 // own within-dispatch child index
 	Tag   uint64                 // own causal-origin tag (see Scheduler tags)
 }
 
-// Less reports whether k orders strictly before o. The tag components follow
-// the pedigree recursion (see entryLess): ancestor tags deepest-first, then
-// the events' own tags.
+// Less reports whether k orders strictly before o. The components follow the
+// pedigree recursion (see entryLess): ancestor tags deepest-first, then
+// ancestor child indexes deepest-first, then the events' own child indexes
+// and tags.
 func (k Key) Less(o Key) bool {
 	if k.At != o.At {
 		return k.At < o.At
@@ -87,6 +115,14 @@ func (k Key) Less(o Key) bool {
 			return k.Tags[i] < o.Tags[i]
 		}
 	}
+	for i := ChainDepth - 1; i >= 0; i-- {
+		if k.Kids[i] != o.Kids[i] {
+			return k.Kids[i] < o.Kids[i]
+		}
+	}
+	if k.Kid != o.Kid {
+		return k.Kid < o.Kid
+	}
 	return k.Tag < o.Tag
 }
 
@@ -100,68 +136,94 @@ type Event struct {
 	gen  uint32
 }
 
-// entry is one scheduled callback inside the heap. Entries are stored by
-// value; the only per-event heap allocation left is the caller's closure —
-// and ScheduleCall avoids even that by carrying the callback argument in the
-// entry (boxing a pointer into an `any` does not allocate).
+// entry is one heap index record: the hot prefix of the event's ordering key
+// plus the slot holding its cold freight. Entries are 32 bytes, so sifts move
+// cache-line-sized values and leave the wide pedigree in place.
 type entry struct {
-	at    units.Time
-	chain [ChainDepth]units.Time
-	tags  [ChainDepth]uint64
-	tag   uint64
-	seq   uint64
-	fn    func()
-	call  func(any)
-	arg   any
-	slot  int32
-	// injected marks a boundary delivery drained in from another shard. Its
-	// seq reflects drain order, not serial scheduling order, so it is only
-	// meaningful against entries its tags cannot separate.
-	injected bool
+	at     units.Time // firing instant
+	chain0 units.Time // own scheduling instant (key prefix cached hot)
+	seq    uint64     // scheduling sequence, the final local tiebreaker
+	slot   int32      // arena slot with the cold record
 }
 
-// entryLess orders entries by (firing time, scheduling chain, ancestor tags
-// deepest-first, own tag, sequence) — or by the legacy (firing time, chain,
-// sequence) when the scheduler is in legacy order.
+// ped is one interned pedigree: the ancestor arrays shared by every event a
+// single dispatch schedules (they all inherit the same shifted chain, tags,
+// and kids — only their own child index and tag differ). Records are
+// refcounted by the slots pointing at them plus the scheduler's caches and
+// recycled through a free-list.
+type ped struct {
+	chain [ChainDepth]units.Time
+	tags  [ChainDepth]uint64
+	kids  [ChainDepth]uint32
+	refs  int32
+}
+
+// noPed marks "no pedigree record": the implicit setup pedigree (chain all
+// SetupTime, tags and kids all zero) when used as a parent, and an empty
+// cache when used as curPed.
+const noPed = int32(-1)
+
+// entryLess orders index records by (firing time, scheduling chain, ancestor
+// tags deepest-first, ancestor kids deepest-first, own kid, own tag,
+// sequence). The hot prefix (at, chain[0]) decides almost every comparison
+// in-record; full prefix ties fall through to the slots, and only distinct
+// pedigrees touch the interned arrays — siblings of one dispatch share a
+// pedigree record and compare directly by child index.
 //
 // The shape of the comparison follows the structure of serial dispatch order.
-// Two events firing at the same instant execute in seq order, and their seqs
-// were assigned in their parents' dispatch order; parents at the same instant
-// order by THEIR parents, and so on up the pedigree — a same-instant tie is
-// decided at the first divergence from the root side. The chain pins the
-// ancestors' dispatch instants; when those all tie, the ancestor tags are
-// compared from the oldest recorded generation down, mirroring the
-// root-side-first recursion; the events' own tags come last, covering root
-// causes themselves colliding (an incast burst's simultaneous flow arrivals,
-// whose serial order is their creation order — exactly the flow-ID tags they
-// were scheduled under).
+// Two events firing at the same instant execute in the order their parents
+// dispatched them; parents at the same instant order by THEIR parents, and so
+// on up the pedigree — a same-instant tie is decided at the first divergence
+// from the root side. The chain pins the ancestors' dispatch instants; when
+// those all tie, the ancestor tags are compared from the oldest recorded
+// generation down, mirroring the root-side-first recursion, then the ancestor
+// child indexes the same way — two lineages that merge at a common ancestor
+// dispatch are separated by their positions inside that dispatch, which is
+// exactly the order the serial engine scheduled them in. The events' own kid
+// and tag come last, covering siblings of one dispatch and root causes
+// themselves colliding (an incast burst's simultaneous flow arrivals, whose
+// serial order is their creation order — the flow-ID tags they were scheduled
+// under).
 //
-// A sequence number can still decide a tie the tags cannot, which is exact
-// for local pairs (seqs are assigned in scheduling order) and deterministic —
-// drain order — for pairs involving an injected boundary delivery. Because
-// every scheduler of a partitioned run applies this same rule, shards
-// interleave remote and local events exactly as a serial run of the same
-// engine would; parity holds wherever a cross-shard pair does not tie on the
-// entire key, and such full ties are confined to events with equal tags,
-// which symmetric workloads do not produce across shards.
+// A sequence number can still decide a tie the pedigree cannot, which is
+// exact for local pairs (seqs are assigned in scheduling order) and
+// deterministic — drain order — for pairs involving an injected boundary
+// delivery. Because every scheduler of a partitioned run applies this same
+// rule, shards interleave remote and local events exactly as a serial run of
+// the same engine would; parity holds wherever a cross-shard pair does not
+// tie on the entire key, and such full ties are confined to events with equal
+// tags, which symmetric workloads do not produce across shards.
 func (s *Scheduler) entryLess(a, b *entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	for i := 0; i < ChainDepth; i++ {
-		if a.chain[i] != b.chain[i] {
-			return a.chain[i] < b.chain[i]
-		}
+	if a.chain0 != b.chain0 {
+		return a.chain0 < b.chain0
 	}
-	if !s.legacyOrder {
-		for i := ChainDepth - 1; i >= 0; i-- {
-			if a.tags[i] != b.tags[i] {
-				return a.tags[i] < b.tags[i]
+	ca, cb := &s.slots[a.slot], &s.slots[b.slot]
+	if ca.ped != cb.ped {
+		pa, pb := &s.peds[ca.ped], &s.peds[cb.ped]
+		for i := 1; i < ChainDepth; i++ {
+			if pa.chain[i] != pb.chain[i] {
+				return pa.chain[i] < pb.chain[i]
 			}
 		}
-		if a.tag != b.tag {
-			return a.tag < b.tag
+		for i := ChainDepth - 1; i >= 0; i-- {
+			if pa.tags[i] != pb.tags[i] {
+				return pa.tags[i] < pb.tags[i]
+			}
 		}
+		for i := ChainDepth - 1; i >= 0; i-- {
+			if pa.kids[i] != pb.kids[i] {
+				return pa.kids[i] < pb.kids[i]
+			}
+		}
+	}
+	if ca.kid != cb.kid {
+		return ca.kid < cb.kid
+	}
+	if ca.tag != cb.tag {
+		return ca.tag < cb.tag
 	}
 	return a.seq < b.seq
 }
@@ -175,9 +237,43 @@ const (
 	slotCancelled
 )
 
+// slot is one arena record: cancellation state plus the event's cold freight
+// — its interned pedigree reference, its own child index and tag, the
+// callback, and its argument. Slot records are addressed by index and never
+// move, so heap sifts never touch them.
 type slot struct {
 	gen   uint32
 	state uint8
+	kid   uint32
+	ped   int32
+	tag   uint64
+	fn    func()
+	call  func(any)
+	arg   any
+}
+
+// firing is the dispatch copy of an event popped from the heap, holding the
+// slot's pedigree reference (ownership of one refcount transfers to the
+// firing and then to the scheduler's parentPed). The copy is taken before the
+// slot is freed, because the callback may itself schedule new events and
+// reuse the slot.
+type firing struct {
+	at   units.Time
+	ped  int32
+	kid  uint32
+	tag  uint64
+	fn   func()
+	call func(any)
+	arg  any
+}
+
+// dispatch invokes the firing's callback in whichever form it was scheduled.
+func (f *firing) dispatch() {
+	if f.call != nil {
+		f.call(f.arg)
+	} else {
+		f.fn()
+	}
 }
 
 // Scheduler is a discrete-event scheduler. The zero value is not usable; use
@@ -188,25 +284,32 @@ type Scheduler struct {
 	heap    []entry
 	slots   []slot
 	free    []int32
+	peds    []ped
+	pedFree []int32
 	live    int // pending, non-cancelled events
 	stale   int // cancelled entries still occupying heap positions
 	stopped bool
 
-	// Scheduling chain of the event currently being dispatched (SetupTime
-	// sentinels outside dispatch). Children inherit (now, cur[0..ChainDepth-2])
-	// as their chain.
-	cur [ChainDepth]units.Time
+	// parentPed is the interned pedigree of the event currently being
+	// dispatched — the ancestor arrays its children inherit after one
+	// generation shift — or noPed during setup, which stands for the sentinel
+	// pedigree (chain all SetupTime, tags and kids zero). curPed caches the
+	// children's shifted pedigree, built lazily by the first child scheduled
+	// and invalidated whenever the dispatch or the clock changes.
+	parentPed int32
+	curPed    int32
 
-	// curTags holds the ancestor dispatch tags of the event currently being
-	// dispatched, parallel to cur. Children inherit
-	// (curTag, curTags[0..ChainDepth-2]) as their ancestor tags.
-	curTags [ChainDepth]uint64
-
-	// legacyOrder restores the pre-sharding (at, seq) tie order: the causal
-	// tags are ignored and every same-instant tie resolves by sequence number
-	// alone. Runs that are pinned to historical outputs and can never be
-	// sharded — scenario and flight-recorder runs — set it via UseLegacyOrder.
-	legacyOrder bool
+	// curKid is the dispatching event's own child index within its parent's
+	// dispatch; childN counts the children the current dispatch has scheduled
+	// so far (including boundary sends that consume a key via ChildKey), so
+	// each child's kid is its scheduling position inside the dispatch — the
+	// partition-independent equivalent of the serial engine's relative
+	// sequence numbers. Events scheduled during setup (before the first
+	// dispatch) all carry kid 0: per-shard setup schedules only owned nodes,
+	// so a setup counter would depend on the partition.
+	curKid      uint32
+	childN      uint32
+	dispatching bool
 
 	// curTag is the causal-origin tag of the event currently being
 	// dispatched. Tags ride the causal chain: an event scheduled during a
@@ -224,26 +327,11 @@ type Scheduler struct {
 
 // New returns an empty scheduler with the clock at time zero.
 func New() *Scheduler {
-	s := &Scheduler{}
-	for i := range s.cur {
-		s.cur[i] = SetupTime
-	}
-	return s
+	return &Scheduler{parentPed: noPed, curPed: noPed}
 }
 
 // Now returns the current simulation time.
 func (s *Scheduler) Now() units.Time { return s.now }
-
-// UseLegacyOrder switches the scheduler to the pre-sharding (at, seq) tie
-// order. Must be called before any event is scheduled; it exists for runs
-// whose byte-exact output predates causal-tag ordering and that always
-// execute serially (scenario and flight-recorder runs).
-func (s *Scheduler) UseLegacyOrder() {
-	if s.seq != 0 {
-		panic("eventsim: UseLegacyOrder after scheduling")
-	}
-	s.legacyOrder = true
-}
 
 // Len returns the number of pending (non-cancelled) events in O(1).
 func (s *Scheduler) Len() int { return s.live }
@@ -256,47 +344,121 @@ func (s *Scheduler) Pending(e Event) bool {
 }
 
 // CurrentKey returns the full ordering key of the event currently being
-// dispatched. Run-level observers (flow-completion recording) use it to tag
-// their samples with the partition-independent identity of the triggering
-// event, so a sharded run can merge per-shard streams into serial order.
+// dispatched, materialized from its interned pedigree. Run-level observers
+// (flow-completion recording) use it to tag their samples with the
+// partition-independent identity of the triggering event, so a sharded run
+// can merge per-shard streams into serial order.
 func (s *Scheduler) CurrentKey() Key {
-	return Key{At: s.now, Chain: s.cur, Tags: s.curTags, Tag: s.curTag}
+	k := Key{At: s.now, Kid: s.curKid, Tag: s.curTag}
+	if s.parentPed != noPed {
+		p := &s.peds[s.parentPed]
+		k.Chain, k.Tags, k.Kids = p.chain, p.tags, p.kids
+	} else {
+		for i := range k.Chain {
+			k.Chain[i] = SetupTime
+		}
+	}
+	return k
 }
 
 // ChildKey returns the key an event scheduled right now for firing time at
-// would carry. The sharded engine stamps boundary deliveries with it on the
-// sending shard, so the receiving shard can inject them with the exact chain
-// a serial run would have recorded.
+// would carry, consuming the current dispatch's next child index exactly as a
+// local Schedule call would. The sharded engine stamps boundary deliveries
+// with it on the sending shard: the send replaces the local Schedule the
+// serial engine would have performed, so it must advance the child counter
+// identically for the shard's later children to keep their serial indexes.
 func (s *Scheduler) ChildKey(at units.Time) Key {
-	return Key{At: at, Chain: s.childChain(), Tags: s.childTags(), Tag: s.curTag}
+	p := &s.peds[s.ensureCurPed()]
+	return Key{At: at, Chain: p.chain, Tags: p.tags, Kids: p.kids, Kid: s.nextKid(), Tag: s.curTag}
 }
 
-// childChain is the chain an event scheduled during the current dispatch
-// inherits: the current instant, then the dispatching event's own chain
-// shifted one generation back.
-func (s *Scheduler) childChain() [ChainDepth]units.Time {
-	var c [ChainDepth]units.Time
-	c[0] = s.now
-	copy(c[1:], s.cur[:ChainDepth-1])
-	return c
+// ensureCurPed returns the interned pedigree the current dispatch's children
+// share, building it on the first child: the current instant and the
+// dispatching event's own tag and kid, then its ancestor arrays shifted one
+// generation back.
+func (s *Scheduler) ensureCurPed() int32 {
+	if s.curPed != noPed {
+		return s.curPed
+	}
+	id := s.allocPed()
+	p := &s.peds[id]
+	p.chain[0] = s.now
+	p.tags[0] = s.curTag
+	p.kids[0] = s.curKid
+	if s.parentPed != noPed {
+		pp := &s.peds[s.parentPed]
+		copy(p.chain[1:], pp.chain[:ChainDepth-1])
+		copy(p.tags[1:], pp.tags[:ChainDepth-1])
+		copy(p.kids[1:], pp.kids[:ChainDepth-1])
+	} else {
+		for i := 1; i < ChainDepth; i++ {
+			p.chain[i] = SetupTime
+			p.tags[i] = 0
+			p.kids[i] = 0
+		}
+	}
+	p.refs = 1 // the cache's own reference, dropped on invalidation
+	s.curPed = id
+	return id
 }
 
-// childTags is the ancestor-tag chain an event scheduled during the current
-// dispatch inherits: the dispatching event's own tag, then its ancestor tags
-// shifted one generation back.
-func (s *Scheduler) childTags() [ChainDepth]uint64 {
-	var t [ChainDepth]uint64
-	t[0] = s.curTag
-	copy(t[1:], s.curTags[:ChainDepth-1])
-	return t
+// allocPed takes a pedigree record from the free-list or grows the arena.
+func (s *Scheduler) allocPed() int32 {
+	if n := len(s.pedFree); n > 0 {
+		id := s.pedFree[n-1]
+		s.pedFree = s.pedFree[:n-1]
+		return id
+	}
+	s.peds = append(s.peds, ped{})
+	return int32(len(s.peds) - 1)
 }
 
-// setCur records the dispatching event's chain (called before each dispatch).
-func (s *Scheduler) setCur(e *entry) {
-	s.now = e.at
-	s.cur = e.chain
-	s.curTags = e.tags
-	s.curTag = e.tag
+// releasePed drops one reference to a pedigree record, recycling it when the
+// last reference goes away. noPed is a no-op.
+func (s *Scheduler) releasePed(id int32) {
+	if id == noPed {
+		return
+	}
+	p := &s.peds[id]
+	p.refs--
+	if p.refs == 0 {
+		s.pedFree = append(s.pedFree, id)
+	}
+}
+
+// dropCurPed invalidates the cached children's pedigree. Called when the
+// dispatch changes and when the clock advances outside a dispatch (the cached
+// chain[0] would go stale).
+func (s *Scheduler) dropCurPed() {
+	if s.curPed != noPed {
+		s.releasePed(s.curPed)
+		s.curPed = noPed
+	}
+}
+
+// nextKid returns (and consumes) the current dispatch's next child index.
+// Outside dispatch — during setup — every event carries kid 0 (see curKid).
+func (s *Scheduler) nextKid() uint32 {
+	if !s.dispatching {
+		return 0
+	}
+	k := s.childN
+	s.childN++
+	return k
+}
+
+// setCur installs the dispatching event's pedigree (called before each
+// dispatch) and resets the child counter. The firing's pedigree reference is
+// transferred to parentPed; the previous parent's is dropped.
+func (s *Scheduler) setCur(f *firing) {
+	s.now = f.at
+	s.releasePed(s.parentPed)
+	s.parentPed = f.ped
+	s.curKid = f.kid
+	s.curTag = f.tag
+	s.dropCurPed()
+	s.childN = 0
+	s.dispatching = true
 }
 
 // Schedule registers fn to run at absolute time at. Scheduling in the past
@@ -307,25 +469,39 @@ func (s *Scheduler) Schedule(at units.Time, fn func()) Event {
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(at, entry{fn: fn, chain: s.childChain(), tags: s.childTags(), tag: s.curTag})
+	return s.push(at, s.curTag, fn, nil, nil)
 }
 
-// push validates the firing time, allocates a slot, and inserts the entry
-// (callback fields already set by the caller) into the heap.
-func (s *Scheduler) push(at units.Time, e entry) Event {
+// push validates the firing time, allocates a slot referencing the current
+// dispatch's interned pedigree, and inserts the hot index record into the
+// heap. No pedigree arrays are copied: children of one dispatch share one
+// record and differ only in their child index and tag.
+func (s *Scheduler) push(at units.Time, tag uint64, fn func(), call func(any), arg any) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, s.now))
 	}
+	pid := s.ensureCurPed()
+	s.peds[pid].refs++
 	id := s.allocSlot()
-	e.at, e.seq, e.slot = at, s.seq, id
-	s.heap = append(s.heap, e)
+	c := &s.slots[id]
+	c.ped = pid
+	c.kid = s.nextKid()
+	c.tag = tag
+	c.fn, c.call, c.arg = fn, call, arg
+	return s.insert(at, id, s.now)
+}
+
+// insert appends the hot index record for slot id and restores the heap
+// property.
+func (s *Scheduler) insert(at units.Time, id int32, chain0 units.Time) Event {
+	s.heap = append(s.heap, entry{at: at, chain0: chain0, seq: s.seq, slot: id})
 	s.seq++
 	s.siftUp(len(s.heap) - 1)
 	s.live++
 	return Event{slot: id, gen: s.slots[id].gen}
 }
 
-// allocSlot takes a slot from the free-list (or grows the table) and marks
+// allocSlot takes a slot from the free-list (or grows the arena) and marks
 // it pending under a fresh generation.
 func (s *Scheduler) allocSlot() int32 {
 	var id int32
@@ -356,7 +532,7 @@ func (s *Scheduler) ScheduleCall(at units.Time, fn func(any), arg any) Event {
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(at, entry{call: fn, arg: arg, chain: s.childChain(), tags: s.childTags(), tag: s.curTag})
+	return s.push(at, s.curTag, nil, fn, arg)
 }
 
 // ScheduleCallInjected registers fn(arg) under an explicit ordering key whose
@@ -364,12 +540,28 @@ func (s *Scheduler) ScheduleCall(at units.Time, fn func(any), arg any) Event {
 // engine's barrier drains: a boundary delivery was really scheduled on the
 // sending shard with key k, and injecting it with that key (rather than the
 // drain-time chain) places it in the receiver's heap exactly where the serial
-// engine would have ordered it. Only k.At must not precede the clock.
+// engine would have ordered it. Only k.At must not precede the clock. The
+// wire key is re-interned as a single-use pedigree record.
 func (s *Scheduler) ScheduleCallInjected(k Key, fn func(any), arg any) Event {
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(k.At, entry{call: fn, arg: arg, chain: k.Chain, tags: k.Tags, tag: k.Tag, injected: true})
+	if k.At < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", k.At, s.now))
+	}
+	pid := s.allocPed()
+	p := &s.peds[pid]
+	p.chain = k.Chain
+	p.tags = k.Tags
+	p.kids = k.Kids
+	p.refs = 1
+	id := s.allocSlot()
+	c := &s.slots[id]
+	c.ped = pid
+	c.kid = k.Kid
+	c.tag = k.Tag
+	c.fn, c.call, c.arg = nil, fn, arg
+	return s.insert(k.At, id, k.Chain[0])
 }
 
 // ScheduleCallAfter registers fn(arg) to run d after the current time.
@@ -386,7 +578,7 @@ func (s *Scheduler) ScheduleTagged(at units.Time, tag uint64, fn func()) Event {
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(at, entry{fn: fn, chain: s.childChain(), tags: s.childTags(), tag: tag})
+	return s.push(at, tag, fn, nil, nil)
 }
 
 // ScheduleCallTagged is ScheduleCall with an explicit causal-origin tag. Link
@@ -397,7 +589,7 @@ func (s *Scheduler) ScheduleCallTagged(at units.Time, tag uint64, fn func(any), 
 	if fn == nil {
 		panic("eventsim: nil event callback")
 	}
-	return s.push(at, entry{call: fn, arg: arg, chain: s.childChain(), tags: s.childTags(), tag: tag})
+	return s.push(at, tag, nil, fn, arg)
 }
 
 // Cancel removes a pending event. Cancelling the zero Event, an
@@ -431,17 +623,18 @@ func (s *Scheduler) RunUntil(until units.Time) uint64 {
 	s.stopped = false
 	executed := uint64(0)
 	for !s.stopped {
-		e, ok := s.popReady(until, false)
+		f, ok := s.popReady(until, false)
 		if !ok {
 			break
 		}
-		s.setCur(&e)
-		e.dispatch()
+		s.setCur(&f)
+		f.dispatch()
 		executed++
 		s.Executed++
 	}
 	if !s.stopped && s.now < until && until != maxTime {
 		s.now = until
+		s.dropCurPed()
 	}
 	return executed
 }
@@ -455,17 +648,18 @@ func (s *Scheduler) RunBefore(until units.Time) uint64 {
 	s.stopped = false
 	executed := uint64(0)
 	for !s.stopped {
-		e, ok := s.popReady(until, true)
+		f, ok := s.popReady(until, true)
 		if !ok {
 			break
 		}
-		s.setCur(&e)
-		e.dispatch()
+		s.setCur(&f)
+		f.dispatch()
 		executed++
 		s.Executed++
 	}
 	if !s.stopped && s.now < until {
 		s.now = until
+		s.dropCurPed()
 	}
 	return executed
 }
@@ -493,17 +687,18 @@ func (s *Scheduler) RunBeforeKey(k Key) uint64 {
 		if len(s.heap) == 0 || !s.keyBefore(&s.heap[0], k) {
 			break
 		}
-		e := s.heap[0]
+		id, at := s.heap[0].slot, s.heap[0].at
 		s.popTop()
-		s.freeSlot(e.slot)
+		f := s.takeFiring(id, at)
 		s.live--
-		s.setCur(&e)
-		e.dispatch()
+		s.setCur(&f)
+		f.dispatch()
 		executed++
 		s.Executed++
 	}
 	if !s.stopped && s.now < k.At {
 		s.now = k.At
+		s.dropCurPed()
 	}
 	return executed
 }
@@ -514,70 +709,93 @@ func (s *Scheduler) keyBefore(e *entry, k Key) bool {
 	if e.at != k.At {
 		return e.at < k.At
 	}
-	for i := 0; i < ChainDepth; i++ {
-		if e.chain[i] != k.Chain[i] {
-			return e.chain[i] < k.Chain[i]
+	if e.chain0 != k.Chain[0] {
+		return e.chain0 < k.Chain[0]
+	}
+	c := &s.slots[e.slot]
+	p := &s.peds[c.ped]
+	for i := 1; i < ChainDepth; i++ {
+		if p.chain[i] != k.Chain[i] {
+			return p.chain[i] < k.Chain[i]
 		}
 	}
 	for i := ChainDepth - 1; i >= 0; i-- {
-		if e.tags[i] != k.Tags[i] {
-			return e.tags[i] < k.Tags[i]
+		if p.tags[i] != k.Tags[i] {
+			return p.tags[i] < k.Tags[i]
 		}
 	}
-	return e.tag < k.Tag
+	for i := ChainDepth - 1; i >= 0; i-- {
+		if p.kids[i] != k.Kids[i] {
+			return p.kids[i] < k.Kids[i]
+		}
+	}
+	if c.kid != k.Kid {
+		return c.kid < k.Kid
+	}
+	return c.tag < k.Tag
 }
 
 // Step executes exactly one pending event (skipping cancelled entries) and
 // returns false if the queue is empty.
 func (s *Scheduler) Step() bool {
-	e, ok := s.popReady(maxTime, false)
+	f, ok := s.popReady(maxTime, false)
 	if !ok {
 		return false
 	}
-	s.setCur(&e)
-	e.dispatch()
+	s.setCur(&f)
+	f.dispatch()
 	s.Executed++
 	return true
 }
 
-// popReady removes and returns the earliest live entry with firing time <=
-// until (or < until when strict), lazily discarding cancelled entries (and
-// freeing their slots) on the way. It reports false when the queue is empty
-// or only holds later events.
-func (s *Scheduler) popReady(until units.Time, strict bool) (entry, bool) {
+// popReady removes the earliest live event with firing time <= until (or <
+// until when strict), lazily discarding cancelled entries (and freeing their
+// slots) on the way, and returns its dispatch copy. It reports false when the
+// queue is empty or only holds later events.
+func (s *Scheduler) popReady(until units.Time, strict bool) (firing, bool) {
 	for len(s.heap) > 0 {
-		if s.heap[0].at > until || (strict && s.heap[0].at == until) {
+		at := s.heap[0].at
+		if at > until || (strict && at == until) {
 			break
 		}
-		e := s.heap[0]
+		id := s.heap[0].slot
 		s.popTop()
-		if s.slots[e.slot].state == slotCancelled {
+		if s.slots[id].state == slotCancelled {
 			s.stale--
-			s.freeSlot(e.slot)
+			s.freeSlot(id)
 			continue
 		}
-		s.freeSlot(e.slot)
+		f := s.takeFiring(id, at)
 		s.live--
-		return e, true
+		return f, true
 	}
-	return entry{}, false
+	return firing{}, false
 }
 
-// dispatch invokes the entry's callback in whichever form it was scheduled.
-func (e *entry) dispatch() {
-	if e.call != nil {
-		e.call(e.arg)
-	} else {
-		e.fn()
-	}
+// takeFiring copies slot id's cold record into a dispatch copy and frees the
+// slot, transferring the slot's pedigree reference to the firing. The copy
+// must happen before the free: the dispatched callback may schedule new
+// events, and allocSlot may hand the same slot right back.
+func (s *Scheduler) takeFiring(id int32, at units.Time) firing {
+	c := &s.slots[id]
+	f := firing{at: at, ped: c.ped, kid: c.kid, tag: c.tag, fn: c.fn, call: c.call, arg: c.arg}
+	c.ped = noPed
+	s.freeSlot(id)
+	return f
 }
 
 const maxTime = units.Time(1<<63 - 1)
 
-// freeSlot returns a slot to the free-list. The generation is bumped on the
-// next allocation, so handles pointing at the retired occupancy go stale.
+// freeSlot returns a slot to the free-list, dropping its pedigree reference
+// and its callback references so the arena does not pin fired closures or
+// arguments for the garbage collector. The generation is bumped on the next
+// allocation, so handles pointing at the retired occupancy go stale.
 func (s *Scheduler) freeSlot(id int32) {
-	s.slots[id].state = slotFree
+	c := &s.slots[id]
+	s.releasePed(c.ped)
+	c.ped = noPed
+	c.state = slotFree
+	c.fn, c.call, c.arg = nil, nil, nil
 	s.free = append(s.free, id)
 }
 
@@ -627,19 +845,46 @@ func (s *Scheduler) siftDown(i int) {
 	s.heap[i] = e
 }
 
-// popTop removes the minimum entry. The vacated tail element is zeroed so the
-// engine does not pin fired callbacks for the garbage collector.
+// popTop removes the minimum entry with the bottom-up strategy: walk the
+// hole from the root to a leaf along minimal children, drop the tail element
+// into the hole, and bubble it up. The tail element is near-maximal for a
+// pop-heavy workload, so the classic top-down sift would descend every level
+// anyway while paying an extra comparison per level against it; bottom-up
+// pays only the child-minimum comparisons on the way down and the bubble-up
+// almost always stops immediately.
 func (s *Scheduler) popTop() {
 	n := len(s.heap) - 1
 	if n == 0 {
-		s.heap[0] = entry{}
 		s.heap = s.heap[:0]
 		return
 	}
-	s.heap[0] = s.heap[n]
-	s.heap[n] = entry{}
+	e := s.heap[n]
 	s.heap = s.heap[:n]
-	s.siftDown(0)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := min(c+4, n)
+		for j := c + 1; j < end; j++ {
+			if s.entryLess(&s.heap[j], &s.heap[best]) {
+				best = j
+			}
+		}
+		s.heap[i] = s.heap[best]
+		i = best
+	}
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.entryLess(&e, &s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		i = p
+	}
+	s.heap[i] = e
 }
 
 // compact rebuilds the heap without the lazily-cancelled entries, freeing
@@ -655,9 +900,6 @@ func (s *Scheduler) compact() {
 			continue
 		}
 		keep = append(keep, e)
-	}
-	for i := len(keep); i < len(s.heap); i++ {
-		s.heap[i] = entry{}
 	}
 	s.heap = keep
 	s.stale = 0

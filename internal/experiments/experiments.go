@@ -989,14 +989,20 @@ type Fig16Row struct {
 
 // Fig16HostCounts returns the default host-count sweep for the scale:
 // 1x/2x/4x/8x the scale's two-tier host count (trimmed by SweepPoints),
-// rounded up to whole fat-tree pods — Full() yields the paper-boundary 128 up
-// through 1024.
+// rounded up to whole fat-tree pods. Untrimmed scales (Full) extend the
+// sweep with 16x and 32x — the deep end of the scale tier, which for the
+// paper-boundary base of 128 reaches the 2048- and 4096-host fat-trees that
+// only the sharded engine and streaming statistics make tractable.
 func Fig16HostCounts(scale Scale) []int {
 	base := scale.NumToR * scale.HostsPerToR
 	if base < 8 {
 		base = 8
 	}
-	counts := scale.sweep([]int{base, base * 2, base * 4, base * 8})
+	points := []int{base, base * 2, base * 4, base * 8}
+	if scale.SweepPoints <= 0 {
+		points = append(points, base*16, base*32)
+	}
+	counts := scale.sweep(points)
 	var out []int
 	seen := map[int]bool{}
 	for _, n := range counts {

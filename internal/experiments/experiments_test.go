@@ -258,7 +258,7 @@ func TestFig15Deterministic(t *testing.T) {
 
 func TestFig16HostCounts(t *testing.T) {
 	counts := Fig16HostCounts(Full())
-	want := []int{128, 256, 512, 1024}
+	want := []int{128, 256, 512, 1024, 2048, 4096}
 	if len(counts) != len(want) {
 		t.Fatalf("full-scale host counts = %v, want %v", counts, want)
 	}

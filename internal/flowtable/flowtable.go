@@ -104,6 +104,12 @@ type Table struct {
 
 	active int
 	stats  Stats
+
+	// free recycles removed entries. Flow activations are the dominant
+	// allocation in steady state (one entry per active flow per switch), and
+	// the engine drops every pointer to an entry before calling Remove, so
+	// reuse is invisible to callers.
+	free []*Entry
 }
 
 // New creates a table with the given VFID space, bucket size and overflow
@@ -186,7 +192,15 @@ func (t *Table) Insert(v packet.VFID, ingress, egress int) (*Entry, InsertResult
 	if t.Lookup(v, ingress, egress) != nil {
 		panic(fmt.Sprintf("flowtable: duplicate insert for VFID %d in=%d out=%d", v, ingress, egress))
 	}
-	e := &Entry{VFID: v, Ingress: ingress, Egress: egress, Queue: -1}
+	var e *Entry
+	if n := len(t.free); n > 0 {
+		e = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+		*e = Entry{VFID: v, Ingress: ingress, Egress: egress, Queue: -1}
+	} else {
+		e = &Entry{VFID: v, Ingress: ingress, Egress: egress, Queue: -1}
+	}
 	if len(t.buckets[v]) < t.bucketSize {
 		t.buckets[v] = append(t.buckets[v], e)
 		t.noteInsert()
@@ -200,6 +214,7 @@ func (t *Table) Insert(v packet.VFID, ingress, egress int) (*Entry, InsertResult
 		return e, InsertedOverflowCache
 	}
 	t.stats.CacheFull++
+	t.free = append(t.free, e)
 	return nil, InsertFailed
 }
 
@@ -225,14 +240,17 @@ func (t *Table) Remove(e *Entry) {
 		}
 		delete(t.overflow, k)
 		t.active--
+		t.free = append(t.free, e)
 		return
 	}
 	b := t.buckets[e.VFID]
 	for i, cur := range b {
 		if cur == e {
 			b[i] = b[len(b)-1]
+			b[len(b)-1] = nil
 			t.buckets[e.VFID] = b[:len(b)-1]
 			t.active--
+			t.free = append(t.free, e)
 			return
 		}
 	}

@@ -100,9 +100,11 @@ func TestBFCBloomFilterPausesOnlyMatchingFlow(t *testing.T) {
 	const vfidSpace = 4096
 	tn := newTestNIC(t, func(c *nic.Config) { c.VFIDSpace = vfidSpace })
 	paused := tn.flowFromHost(1, 3000)
-	// Find a second flow whose VFID does not alias the paused one.
+	// Find a second flow whose VFID does not alias the paused one. The probe
+	// hashes tuples directly: VFIDOf caches its hash on first use, so a
+	// flow's tuple must be final before the flow enters the simulation.
 	other := tn.flowFromHost(2, 2000)
-	for port := uint16(1); other.VFIDOf(vfidSpace) == paused.VFIDOf(vfidSpace); port++ {
+	for port := uint16(1); packet.HashVFID(other.Tuple(), vfidSpace) == packet.HashVFID(paused.Tuple(), vfidSpace); port++ {
 		other.SrcPort = port
 	}
 

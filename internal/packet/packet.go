@@ -6,6 +6,7 @@ package packet
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bfc/internal/units"
 )
@@ -67,7 +68,8 @@ const (
 )
 
 // Flow is one message transfer between two hosts. It is created by the
-// workload generator and owned by the sending NIC.
+// workload generator and owned by the sending NIC. The 5-tuple must be final
+// before the flow enters the simulation: VFIDOf and QueueOf cache its hashes.
 type Flow struct {
 	ID      FlowID
 	Src     NodeID
@@ -90,6 +92,15 @@ type Flow struct {
 	// FinishTime is set by the simulation when the receiver gets the last
 	// byte. Zero means not finished.
 	FinishTime units.Time
+
+	// hashVFID and hashQueue cache the raw 64-bit tuple hashes behind
+	// HashVFID and HashQueue — pure functions of the immutable 5-tuple,
+	// recomputed per packet per hop without the cache. Zero means "not yet
+	// computed". They are accessed with atomics because packets referencing
+	// the flow cross shard goroutines in a partitioned run; every writer
+	// stores the same value, so racing fills are harmless.
+	hashVFID  uint64
+	hashQueue uint64
 }
 
 // NumPackets returns the number of MTU-sized packets the flow needs given the
@@ -235,5 +246,30 @@ func fnv1a(vals ...uint64) uint64 {
 	return h
 }
 
-// VFIDOf is a convenience wrapper combining Tuple and HashVFID.
-func (f *Flow) VFIDOf(space int) VFID { return HashVFID(f.Tuple(), space) }
+// VFIDOf is HashVFID over the flow's tuple with the raw hash cached on the
+// flow, so per-packet hashing at every hop reduces to a load and a modulo.
+func (f *Flow) VFIDOf(space int) VFID {
+	if space <= 0 {
+		panic("packet: VFID space must be positive")
+	}
+	h := atomic.LoadUint64(&f.hashVFID)
+	if h == 0 {
+		h = fnv1a(uint64(uint32(f.Src)), uint64(uint32(f.Dst)), uint64(f.SrcPort), uint64(f.DstPort))
+		atomic.StoreUint64(&f.hashVFID, h)
+	}
+	return VFID(h % uint64(space))
+}
+
+// QueueOf is HashQueue over the flow's tuple with the raw hash cached on the
+// flow, mirroring VFIDOf.
+func (f *Flow) QueueOf(n int) int {
+	if n <= 0 {
+		panic("packet: queue count must be positive")
+	}
+	h := atomic.LoadUint64(&f.hashQueue)
+	if h == 0 {
+		h = fnv1a(uint64(uint32(f.Dst)), uint64(f.DstPort), uint64(uint32(f.Src)), uint64(f.SrcPort)^0x9e37)
+		atomic.StoreUint64(&f.hashQueue, h)
+	}
+	return int(h % uint64(n))
+}

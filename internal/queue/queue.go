@@ -11,6 +11,8 @@
 package queue
 
 import (
+	"math/bits"
+
 	"bfc/internal/packet"
 	"bfc/internal/units"
 )
@@ -25,6 +27,13 @@ type FIFO struct {
 	head    int
 	bytes   units.Bytes
 	paused  bool
+
+	// drr and idx wire the queue into its scheduler's serviceability bitmap
+	// (set by NewDRR, nil for standalone queues): the queue reports its
+	// non-empty/unpaused transitions so the scheduler answers HasWork and
+	// ActiveQueues from the bitmap instead of scanning every queue.
+	drr *DRR
+	idx int
 
 	// MaxBytes is the high-water mark of queued bytes (diagnostics).
 	MaxBytes units.Bytes
@@ -43,6 +52,9 @@ func (q *FIFO) Push(p *packet.Packet) {
 	if q.bytes > q.MaxBytes {
 		q.MaxBytes = q.bytes
 	}
+	if q.drr != nil && !q.paused && q.Len() == 1 {
+		q.drr.setReady(q.idx)
+	}
 }
 
 // Pop removes and returns the packet at the head, or nil if empty.
@@ -59,6 +71,9 @@ func (q *FIFO) Pop() *packet.Packet {
 	if q.head > 64 && q.head*2 >= len(q.packets) {
 		q.packets = append(q.packets[:0], q.packets[q.head:]...)
 		q.head = 0
+	}
+	if q.drr != nil && q.head == len(q.packets) {
+		q.drr.clearReady(q.idx)
 	}
 	return p
 }
@@ -84,7 +99,16 @@ func (q *FIFO) Empty() bool { return q.Len() == 0 }
 func (q *FIFO) Paused() bool { return q.paused }
 
 // SetPaused sets the pause flag. A paused queue is skipped by the scheduler.
-func (q *FIFO) SetPaused(p bool) { q.paused = p }
+func (q *FIFO) SetPaused(p bool) {
+	q.paused = p
+	if q.drr != nil && !q.Empty() {
+		if p {
+			q.drr.clearReady(q.idx)
+		} else {
+			q.drr.setReady(q.idx)
+		}
+	}
+}
 
 // ForEach visits queued packets from head to tail.
 func (q *FIFO) ForEach(fn func(*packet.Packet)) {
@@ -103,10 +127,18 @@ type DRR struct {
 	quantum  units.Bytes
 	next     int  // round-robin position
 	credited bool // whether the current visit to queues[next] already received its quantum
+
+	// ready is the serviceability bitmap: bit i is set exactly when
+	// queues[i] is non-empty and not paused. The queues maintain it on their
+	// state transitions (see FIFO.drr), so HasWork and ActiveQueues — called
+	// on every dequeue and every BFC pause-threshold computation — read a
+	// couple of words instead of dereferencing every queue.
+	ready []uint64
 }
 
 // NewDRR creates a scheduler over the given queues. The quantum should be at
-// least the MTU so every visit can send at least one packet.
+// least the MTU so every visit can send at least one packet. Each queue may
+// belong to at most one scheduler.
 func NewDRR(queues []*FIFO, quantum units.Bytes) *DRR {
 	if quantum <= 0 {
 		panic("queue: DRR quantum must be positive")
@@ -114,26 +146,39 @@ func NewDRR(queues []*FIFO, quantum units.Bytes) *DRR {
 	if len(queues) == 0 {
 		panic("queue: DRR needs at least one queue")
 	}
-	return &DRR{
+	d := &DRR{
 		queues:   queues,
 		deficits: make([]units.Bytes, len(queues)),
 		quantum:  quantum,
+		ready:    make([]uint64, (len(queues)+63)/64),
 	}
+	for i, q := range queues {
+		if q.drr != nil {
+			panic("queue: FIFO already scheduled by another DRR")
+		}
+		q.drr, q.idx = d, i
+		if !q.Empty() && !q.Paused() {
+			d.setReady(i)
+		}
+	}
+	return d
 }
 
 // Queues returns the scheduled queues (in index order).
 func (d *DRR) Queues() []*FIFO { return d.queues }
 
+func (d *DRR) setReady(i int)   { d.ready[i>>6] |= 1 << (uint(i) & 63) }
+func (d *DRR) clearReady(i int) { d.ready[i>>6] &^= 1 << (uint(i) & 63) }
+
 // Serviceable reports whether queue i can currently be served.
 func (d *DRR) serviceable(i int) bool {
-	q := d.queues[i]
-	return !q.Empty() && !q.Paused()
+	return d.ready[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // HasWork reports whether any queue can be served right now.
 func (d *DRR) HasWork() bool {
-	for i := range d.queues {
-		if d.serviceable(i) {
+	for _, w := range d.ready {
+		if w != 0 {
 			return true
 		}
 	}
@@ -144,10 +189,8 @@ func (d *DRR) HasWork() bool {
 // paused. BFC uses this as Nactive in its pause-threshold computation.
 func (d *DRR) ActiveQueues() int {
 	n := 0
-	for i := range d.queues {
-		if d.serviceable(i) {
-			n++
-		}
+	for _, w := range d.ready {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -207,6 +250,9 @@ func (d *DRR) Dequeue() (*packet.Packet, int) {
 // advance moves the round-robin pointer to the next queue and forgets the
 // per-visit credit marker.
 func (d *DRR) advance() {
-	d.next = (d.next + 1) % len(d.queues)
+	d.next++
+	if d.next == len(d.queues) {
+		d.next = 0
+	}
 	d.credited = false
 }

@@ -77,24 +77,54 @@ type Injector struct {
 // pre-generates every injected flow, so nothing after Install consumes
 // randomness outside the event engine's deterministic order.
 func Install(sched *eventsim.Scheduler, net Network, spec *Spec, p Params) (*Metrics, error) {
-	if err := spec.Validate(); err != nil {
+	pl, err := Plan(spec, p)
+	if err != nil {
 		return nil, err
-	}
-	if len(p.Hosts) < 2 {
-		return nil, fmt.Errorf("scenario: need at least 2 hosts")
 	}
 	in := &Injector{
 		sched:   sched,
 		net:     net,
 		topo:    p.Topo,
-		metrics: newMetrics(spec, p.Horizon, p.StatsSketchSize),
+		metrics: pl.metrics,
 		rec:     p.Recorder,
 	}
 	in.startFlow = func(x any) {
 		in.metrics.InjectedFlows++
 		in.net.StartFlow(x.(*packet.Flow))
 	}
+	for _, ce := range pl.events {
+		in.schedule(ce)
+	}
+	return in.metrics, nil
+}
 
+// Planned is a compiled scenario that has not been scheduled on any engine.
+// The sharded coordinator uses the split form: every shard schedules the
+// injected flows whose sources it owns (ScheduleFlows), while the coordinator
+// applies the events themselves at lookahead barriers (Apply) — with all
+// shards parked, so the shared topology's route recomputation is race-free
+// and observed atomically, exactly as a serial run observes it mid-dispatch.
+type Planned struct {
+	topo    *topology.Topology
+	metrics *Metrics
+	events  []*compiledEvent
+}
+
+// Plan validates and compiles spec against p: link endpoint names are
+// resolved and every injected flow is pre-generated, so nothing afterwards
+// consumes randomness. The result can be scheduled serially (Install does
+// this internally) or split across shards.
+func Plan(spec *Spec, p Params) (*Planned, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Hosts) < 2 {
+		return nil, fmt.Errorf("scenario: need at least 2 hosts")
+	}
+	pl := &Planned{
+		topo:    p.Topo,
+		metrics: newMetrics(spec, p.Horizon, p.StatsSketchSize),
+	}
 	nextID := p.FirstFlowID
 	var port uint16 = 50000
 	for i := range spec.Events {
@@ -103,9 +133,94 @@ func Install(sched *eventsim.Scheduler, net Network, spec *Spec, p Params) (*Met
 			return nil, err
 		}
 		ce.idx = i
-		in.schedule(ce)
+		pl.events = append(pl.events, ce)
 	}
-	return in.metrics, nil
+	return pl, nil
+}
+
+// Metrics returns the metrics the planned scenario's events update. The
+// caller owns the merge of per-shard counters (InjectedFlows, stranding) into
+// it on partitioned runs.
+func (pl *Planned) Metrics() *Metrics { return pl.metrics }
+
+// EventTimes returns the distinct fire instants of the compiled events, in
+// ascending order, truncated to the horizon (inclusive — the serial engine
+// fires events at exactly the horizon). The sharded coordinator adds them to
+// its barrier set.
+func (pl *Planned) EventTimes(horizon units.Time) []units.Time {
+	var times []units.Time
+	for _, ce := range pl.events {
+		if ce.ev.At > horizon {
+			break // events are time-ordered
+		}
+		if n := len(times); n == 0 || times[n-1] != ce.ev.At {
+			times = append(times, ce.ev.At)
+		}
+	}
+	return times
+}
+
+// ScheduleFlows schedules every pre-generated injected flow whose source
+// owned() claims, under exactly the ordering key a serial install would have
+// produced (same instant, same flow-ID tag, setup-phase pedigree), invoking
+// start as each fires. The caller counts injections itself — per-shard
+// counters merged by the coordinator replace the serial engine's single
+// InjectedFlows increment.
+func (pl *Planned) ScheduleFlows(sched *eventsim.Scheduler, owned func(packet.NodeID) bool, start func(*packet.Flow)) {
+	call := func(x any) { start(x.(*packet.Flow)) }
+	for _, ce := range pl.events {
+		for _, f := range ce.flow {
+			if !owned(f.Src) {
+				continue
+			}
+			sched.ScheduleCallTagged(f.StartTime, uint64(f.ID), call, f)
+		}
+	}
+}
+
+// Apply fires every compiled event scheduled at instant t, in spec order,
+// reproducing the serial injector's closures: the applied-event counter and
+// the KindScenario trace record first, then the kind-specific network
+// mutation (whose own trace records the Network implementation emits, as the
+// serial runner does). record may be nil for untraced runs. Flow injections
+// only mark the event applied here — the flows themselves were scheduled per
+// shard by ScheduleFlows. Apply returns the number of events fired, which is
+// the number of scheduler events a serial run would have executed for them.
+func (pl *Planned) Apply(t units.Time, net Network, record func(telemetry.Event)) int {
+	fired := 0
+	for _, ce := range pl.events {
+		if ce.ev.At != t {
+			continue
+		}
+		fired++
+		pl.metrics.EventsApplied++
+		if record != nil {
+			record(telemetry.Event{
+				At:    t,
+				Kind:  telemetry.KindScenario,
+				Node:  ce.a,
+				Port:  -1,
+				Queue: -1,
+				Value: int64(ce.idx),
+			})
+		}
+		switch ce.ev.Kind {
+		case LinkDown, LinkUp:
+			pl.metrics.Reroutes += net.SetLinkState(ce.a, ce.b, ce.ev.Kind == LinkUp)
+		case LinkDegrade:
+			rate, del := ce.ev.Degrade.Rate, ce.ev.Degrade.Delay
+			pa, _, _ := pl.topo.LinkBetween(ce.a, ce.b)
+			cur := pl.topo.Node(ce.a).Ports[pa]
+			if rate == 0 {
+				rate = cur.Rate
+			}
+			if del == 0 {
+				del = cur.Delay
+			}
+			net.SetLinkParams(ce.a, ce.b, rate, del)
+		}
+	}
+	return fired
 }
 
 // compileEvent resolves one event against the topology and pre-generates its
@@ -234,7 +349,12 @@ func (in *Injector) schedule(ce *compiledEvent) {
 			in.record(ce)
 		})
 		for _, f := range ce.flow {
-			in.sched.ScheduleCall(f.StartTime, in.startFlow, f)
+			// Injected flows are causal roots exactly like base-trace flows:
+			// tagging the start event with the flow ID orders same-key
+			// descendants of a simultaneous burst by flow creation order on
+			// every shard (and matches the serial seq order, since IDs ascend
+			// in compile order).
+			in.sched.ScheduleCallTagged(f.StartTime, uint64(f.ID), in.startFlow, f)
 		}
 	}
 }

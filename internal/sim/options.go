@@ -180,8 +180,11 @@ type Options struct {
 	// to serial execution for every scheme — the engine partitions the fabric
 	// into whole pods, spreads core switches round-robin, and synchronizes
 	// shards at conservative-lookahead barriers that reproduce the serial
-	// event order exactly. Runs with a Scenario or a Recorder fall back to the
-	// serial engine (both observe global event order mid-run).
+	// event order exactly. Scenario runs shard too (compiled events apply at
+	// coordinator barriers), as do flight-recorder runs when the Recorder is
+	// a *telemetry.Ring (per-shard keyed rings merged in key order); any
+	// other Recorder implementation forces serial, reported — like every
+	// fallback — in Result.Sharding rather than silently.
 	Shards int
 	// ShardQueueCap bounds the ring capacity of each cross-shard boundary
 	// queue (netsim.DefaultBoundaryCap when zero). Overflow spills to a

@@ -87,6 +87,12 @@ type Result struct {
 	// comparisons across the on/off boundary use ResultDigest, which excludes
 	// this field.
 	Telemetry *telemetry.RunSeries `json:"Telemetry,omitempty"`
+
+	// Sharding reports how the run was executed (shards requested and used,
+	// and why a sharded request fell back to serial, if it did). Excluded from
+	// the JSON so serialized results — and their digests — stay byte-identical
+	// across shard counts, which is the engine's core contract.
+	Sharding ShardInfo `json:"-"`
 }
 
 // CollisionFraction returns the fraction of queue assignments that collided
@@ -120,11 +126,22 @@ func Run(opts Options, flows []*packet.Flow) (*Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if plan := shardPlanFor(&opts); plan != nil {
-		return runSharded(opts, plan, flows)
+	plan, fallback := shardPlanFor(&opts)
+	if plan != nil {
+		res, err := runSharded(opts, plan, flows)
+		if err != nil {
+			return nil, err
+		}
+		res.Sharding = ShardInfo{Requested: opts.Shards, Used: plan.Shards}
+		return res, nil
 	}
 	r := newRunner(opts)
-	return r.run(flows)
+	res, err := r.run(flows)
+	if err != nil {
+		return nil, err
+	}
+	res.Sharding = ShardInfo{Requested: opts.Shards, Used: 1, Fallback: fallback}
+	return res, nil
 }
 
 type runner struct {
@@ -148,6 +165,14 @@ type runner struct {
 
 	// scen is the installed scenario's metrics (nil without a scenario).
 	scen *scenario.Metrics
+
+	// strandedPkts/strandedBytes and injectedFlows accumulate scenario
+	// counters runner-locally. A serial run folds them into scen at collect
+	// time; a sharded run's coordinator sums them across shards — shard
+	// windows run in parallel, so shards must never write the shared Metrics.
+	strandedPkts  uint64
+	strandedBytes units.Bytes
+	injectedFlows int
 
 	// rec is the flight recorder (nil when disabled); sampler is the series
 	// sampler (nil unless Options.SampleSeries).
@@ -177,16 +202,9 @@ func newRunner(opts Options) *runner {
 		res.BufferOccupancy = stats.NewStreamingDistribution(opts.StatsSketchSize)
 		res.OccupiedQueues = stats.NewStreamingDistribution(opts.StatsSketchSize)
 	}
-	sched := eventsim.New()
-	if opts.Scenario != nil || opts.Recorder != nil {
-		// Scenario and flight-recorder runs always execute serially and their
-		// fixed-seed outputs predate causal-tag ordering; keep them pinned to
-		// the legacy (at, seq) tie order.
-		sched.UseLegacyOrder()
-	}
 	return &runner{
 		opts:     opts,
-		sched:    sched,
+		sched:    eventsim.New(),
 		topo:     opts.Topo,
 		pool:     packet.NewPool(),
 		switches: map[packet.NodeID]*switchsim.Switch{},
@@ -399,8 +417,10 @@ func (r *runner) wireLinksWith(peerDev func(packet.NodeID) netsim.Device, bounda
 
 // Scenario integration ---------------------------------------------------------
 
-// installScenario compiles and schedules the configured scenario spec.
-func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error {
+// scenarioParams builds the compile context a scenario spec resolves against.
+// The serial installer and the sharded coordinator share it, so a spec
+// compiles to the identical flow set (same IDs, ports, RNG draws) either way.
+func scenarioParams(opts *Options, flows []*packet.Flow, horizon units.Time) scenario.Params {
 	var maxID packet.FlowID
 	for _, f := range flows {
 		if f.ID > maxID {
@@ -408,18 +428,24 @@ func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error
 		}
 	}
 	sketchSize := 0
-	if r.opts.StreamingStats {
-		sketchSize = r.opts.StatsSketchSize
+	if opts.StreamingStats {
+		sketchSize = opts.StatsSketchSize
 	}
-	m, err := scenario.Install(r.sched, r, r.opts.Scenario, scenario.Params{
-		Topo:            r.topo,
-		Hosts:           r.topo.Hosts(),
-		HostRate:        r.topo.HostRate(r.topo.Hosts()[0]),
+	return scenario.Params{
+		Topo:            opts.Topo,
+		Hosts:           opts.Topo.Hosts(),
+		HostRate:        opts.Topo.HostRate(opts.Topo.Hosts()[0]),
 		Horizon:         horizon,
 		FirstFlowID:     maxID + 1,
 		StatsSketchSize: sketchSize,
-		Recorder:        r.rec,
-	})
+	}
+}
+
+// installScenario compiles and schedules the configured scenario spec.
+func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error {
+	p := scenarioParams(&r.opts, flows, horizon)
+	p.Recorder = r.rec
+	m, err := scenario.Install(r.sched, r, r.opts.Scenario, p)
 	if err != nil {
 		return err
 	}
@@ -430,11 +456,17 @@ func (r *runner) installScenario(flows []*packet.Flow, horizon units.Time) error
 // onStranded is the terminal owner of packets lost on failed links: it keeps
 // the loss accounting and recycles the packet so nothing leaks from the pool.
 func (r *runner) onStranded(p *packet.Packet) {
-	if r.scen != nil {
-		r.scen.StrandedPackets++
-		r.scen.StrandedBytes += p.Size
-	}
+	r.strandedPkts++
+	r.strandedBytes += p.Size
 	r.pool.Put(p)
+}
+
+// startInjected is the per-shard landing point for scenario flow injections:
+// it counts the injection locally (the coordinator merges the counters into
+// the scenario metrics) and starts the flow at its source NIC.
+func (r *runner) startInjected(f *packet.Flow) {
+	r.injectedFlows++
+	r.StartFlow(f)
 }
 
 // outLink returns a device's outgoing link on the given port.
@@ -541,7 +573,8 @@ func (r *runner) onFlowComplete(f *packet.Flow) {
 		// the coordinator, ordered by the triggering delivery event's key, so
 		// the merged record stream is byte-identical to the serial one.
 		r.fctBuf = append(r.fctBuf, fctRec{
-			key: r.sched.CurrentKey(), size: f.Size, fct: fct, ideal: ideal, incast: f.IsIncast})
+			key: r.sched.CurrentKey(), start: f.StartTime,
+			size: f.Size, fct: fct, ideal: ideal, incast: f.IsIncast})
 		return
 	}
 	if r.scen != nil {
@@ -709,6 +742,10 @@ func (r *runner) collect(horizon units.Time, flows []*packet.Flow) {
 	}
 	for _, key := range tracker.Keys() {
 		res.PauseTimeFraction[key] = tracker.Fraction(key)
+	}
+	if r.scen != nil {
+		r.scen.StrandedPackets += r.strandedPkts
+		r.scen.StrandedBytes += r.strandedBytes
 	}
 	res.Scenario = r.scen
 	if r.sampler != nil {

@@ -17,6 +17,8 @@ import (
 	"testing"
 
 	"bfc/internal/packet"
+	"bfc/internal/scenario"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 	"bfc/internal/workload"
@@ -195,15 +197,33 @@ func TestShardedTelemetryParity(t *testing.T) {
 	}
 }
 
-// TestShardedScenarioFallback pins the fallback: scenario runs need global
-// event order, so a sharded request silently uses the serial engine and must
-// reproduce the scenario goldens exactly.
-func TestShardedScenarioFallback(t *testing.T) {
-	spec := goldenScenarios()["link-flap"]
-	topo := smallClos()
-	flows := goldenFlows(t, topo)
-	opts := goldenOpts(SchemeBFC, topo)
-	opts.Scenario = spec
+// runSharedResult runs like runWithShards but also returns the Result, so
+// tests can assert on Sharding alongside the marshalled bytes.
+func runShardedResult(t testing.TB, opts Options, flows []*packet.Flow, shards int) (*Result, []byte) {
+	t.Helper()
+	copies := make([]*packet.Flow, len(flows))
+	for i, f := range flows {
+		c := *f
+		copies[i] = &c
+	}
+	opts.Shards = shards
+	res, err := Run(opts, copies)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("shards=%d: marshal: %v", shards, err)
+	}
+	return res, blob
+}
+
+// TestShardedScenarioGolden pins the sharded scenario path against the
+// recorded scenario goldens: the coordinator applies compiled events at
+// lookahead barriers and per-shard injectors start owned flows, and the
+// result must still match the serial digests byte-for-byte. The Sharding
+// report guards against the run silently falling back to serial.
+func TestShardedScenarioGolden(t *testing.T) {
 	blob, err := os.ReadFile(goldenScenarioPath)
 	if err != nil {
 		t.Fatalf("missing scenario golden file: %v", err)
@@ -212,8 +232,151 @@ func TestShardedScenarioFallback(t *testing.T) {
 	if err := json.Unmarshal(blob, &want); err != nil {
 		t.Fatal(err)
 	}
-	got := digestOf(runWithShards(t, opts, flows, 4))
-	if got != want["link-flap/BFC"] {
-		t.Errorf("sharded scenario run: digest %s, golden %s", got, want["link-flap/BFC"])
+	topo := smallClos()
+	flows := goldenFlows(t, topo)
+	for name, spec := range goldenScenarios() {
+		for _, sc := range []Scheme{SchemeBFC, SchemeDCQCN} {
+			for _, shards := range []int{2, 4} {
+				opts := goldenOpts(sc, topo)
+				opts.Scenario = spec
+				res, blob := runShardedResult(t, opts, flows, shards)
+				if res.Sharding.Used < 2 {
+					t.Fatalf("%s/%s shards=%d: ran serially (fallback %q) — scenario sharding is broken",
+						name, sc, shards, res.Sharding.Fallback)
+				}
+				key := name + "/" + sc.String()
+				if got := digestOf(blob); got != want[key] {
+					t.Errorf("%s shards=%d: digest %s, golden %s — sharded scenario output diverged",
+						key, shards, got, want[key])
+				}
+			}
+		}
 	}
 }
+
+// fatTreeScenario exercises every coordinator barrier type on a multi-pod
+// fabric: a link flap on a pod-internal link (edge-agg), a degrade on a
+// core uplink, and an injected incast burst landing between them.
+func fatTreeScenario() *scenario.Spec {
+	return &scenario.Spec{
+		Name: "fat-tree-flap",
+		Seed: 9,
+		Events: []scenario.Event{
+			{At: 20 * units.Microsecond, Kind: scenario.LinkDown,
+				Link: &scenario.LinkRef{A: "pod0-edge0", B: "pod0-agg0"}},
+			{At: 30 * units.Microsecond, Kind: scenario.Incast,
+				Incast: &scenario.IncastSpec{FanIn: 6, AggregateSize: 128 * units.KB}},
+			{At: 70 * units.Microsecond, Kind: scenario.LinkUp,
+				Link: &scenario.LinkRef{A: "pod0-edge0", B: "pod0-agg0"}},
+		},
+	}
+}
+
+// TestShardedScenarioParityFatTree compares serial and sharded scenario runs
+// byte-for-byte on a four-pod fat-tree, where the failed link and the incast
+// victim sit inside one shard while reroutes and burst senders span all of
+// them.
+func TestShardedScenarioParityFatTree(t *testing.T) {
+	topo := topology.NewFatTree(topology.FatTreeForHosts(32, 100*units.Gbps, units.Microsecond))
+	flows := fatTreeFlows(t, topo, 60*units.Microsecond)
+	for _, sc := range []Scheme{SchemeBFC, SchemeDCQCN} {
+		opts := DefaultOptions(sc, topo)
+		opts.Duration = 60 * units.Microsecond
+		opts.Drain = 400 * units.Microsecond
+		opts.Seed = 11
+		opts.Scenario = fatTreeScenario()
+		serial := runWithShards(t, opts, flows, 0)
+		for _, shards := range []int{2, 4, -1} {
+			sharded := runWithShards(t, opts, flows, shards)
+			if !bytes.Equal(serial, sharded) {
+				t.Errorf("%s shards=%d: sharded scenario result differs from serial (%d vs %d bytes)",
+					sc, shards, len(serial), len(sharded))
+			}
+		}
+	}
+}
+
+// TestShardedScenarioTraceParity requires the flight-recorder trace of a
+// sharded scenario run — per-shard keyed rings plus the coordinator's barrier
+// records, merged in key order — to be byte-identical to the serial trace.
+func TestShardedScenarioTraceParity(t *testing.T) {
+	topo := topology.NewFatTree(topology.FatTreeForHosts(32, 100*units.Gbps, units.Microsecond))
+	flows := fatTreeFlows(t, topo, 60*units.Microsecond)
+	base := DefaultOptions(SchemeBFC, topo)
+	base.Duration = 60 * units.Microsecond
+	base.Drain = 400 * units.Microsecond
+	base.Seed = 11
+	base.Scenario = fatTreeScenario()
+
+	runOne := func(shards int) (*Result, []byte, *telemetry.Ring) {
+		copies := make([]*packet.Flow, len(flows))
+		for i, f := range flows {
+			c := *f
+			copies[i] = &c
+		}
+		opts := base
+		opts.Shards = shards
+		ring := telemetry.NewRing(0)
+		opts.Recorder = ring
+		res, err := Run(opts, copies)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		trace, err := json.Marshal(ring.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace, ring
+	}
+
+	serialRes, serialTrace, serialRing := runOne(0)
+	if serialRing.Seen() == 0 {
+		t.Fatal("serial scenario run recorded no events — trace parity test is vacuous")
+	}
+	serialBlob, err := json.Marshal(serialRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		res, trace, ring := runOne(shards)
+		if res.Sharding.Used < 2 {
+			t.Fatalf("shards=%d: ran serially (fallback %q) — ring recorders must shard",
+				shards, res.Sharding.Fallback)
+		}
+		if !bytes.Equal(serialTrace, trace) {
+			t.Errorf("shards=%d: flight-recorder trace diverged from serial (%d vs %d events)",
+				shards, serialRing.Len(), ring.Len())
+		}
+		if ring.Seen() != serialRing.Seen() {
+			t.Errorf("shards=%d: ring saw %d events, serial saw %d",
+				shards, ring.Seen(), serialRing.Seen())
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serialBlob, blob) {
+			t.Errorf("shards=%d: traced scenario result diverged from serial", shards)
+		}
+	}
+}
+
+// TestShardedRecorderFallback pins the one remaining recorder fallback: an
+// arbitrary Recorder implementation observes events mid-run and cannot be
+// sharded, so the run executes serially and says so.
+func TestShardedRecorderFallback(t *testing.T) {
+	topo := smallClos()
+	flows := goldenFlows(t, topo)
+	opts := goldenOpts(SchemeBFC, topo)
+	opts.Recorder = recorderFunc(func(telemetry.Event) {})
+	res, _ := runShardedResult(t, opts, flows, 4)
+	if res.Sharding.Used != 1 || res.Sharding.Fallback == "" {
+		t.Errorf("non-ring recorder at shards=4: Used=%d Fallback=%q, want serial with a reason",
+			res.Sharding.Used, res.Sharding.Fallback)
+	}
+}
+
+// recorderFunc adapts a function to telemetry.Recorder.
+type recorderFunc func(telemetry.Event)
+
+func (f recorderFunc) Record(ev telemetry.Event) { f(ev) }

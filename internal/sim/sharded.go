@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -8,6 +9,8 @@ import (
 	"bfc/internal/eventsim"
 	"bfc/internal/netsim"
 	"bfc/internal/packet"
+	"bfc/internal/scenario"
+	"bfc/internal/telemetry"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -36,44 +39,89 @@ import (
 //     instant T the coordinator flushes events ordered before the serial
 //     tick's key (T, T-Δ, T-2Δ, T-3Δ), then samples all switches in topology
 //     order — observing precisely the state the serial ticker would have.
+//   - Scenario events are compiled once (scenario.Plan) and applied by the
+//     coordinator at dedicated barriers at each event instant: every shard
+//     flushes the events ordered before the scenario closure's serial key
+//     (its setup-phase pedigree), then — with all shards parked — the
+//     coordinator mutates the shared topology and the affected shards' links
+//     exactly as the serial injector's closure would mid-dispatch. Injected
+//     flows need no coordination: each shard schedules the pre-generated
+//     flows whose sources it owns, under their serial keys.
+//   - Flight recording shards the same way: each shard buffers its events in
+//     a bounded ring stamped with the emitting dispatch's key, the
+//     coordinator stamps its own (scenario) records with the closure keys,
+//     and the per-shard streams are merged in key order into the caller's
+//     ring after the run — reproducing the serial trace.
 //   - Flow completions are buffered per shard with the key of the delivery
 //     event that completed them and merged into the shared collectors in key
 //     order, reproducing the serial record stream.
-//
-// Runs with a Scenario or a Recorder observe global event order mid-run and
-// fall back to the serial engine (see shardPlanFor).
 
 // fctRec buffers one flow completion on a shard until the coordinator merges
-// the per-shard streams in key order.
+// the per-shard streams in key order. start carries the flow's start time for
+// scenario phase attribution.
 type fctRec struct {
 	key    eventsim.Key
+	start  units.Time
 	size   units.Bytes
 	fct    units.Time
 	ideal  units.Time
 	incast bool
 }
 
+// ShardInfo reports how a run was executed: the shard count requested, the
+// count actually used (1 = the serial engine), and — when a sharded request
+// ran serially — the reason for the fallback. It is excluded from the
+// marshalled Result so digests stay comparable across shard counts.
+type ShardInfo struct {
+	Requested int
+	Used      int
+	Fallback  string
+}
+
+// Describe renders the execution mode for CLI output: "sharded(N)" when the
+// run partitioned, "serial" when serial execution was requested, and
+// "forced-serial(reason)" when a sharded request fell back — so a fallback is
+// visible instead of silent.
+func (s ShardInfo) Describe() string {
+	switch {
+	case s.Used > 1:
+		return fmt.Sprintf("sharded(%d)", s.Used)
+	case s.Requested == 0 || s.Requested == 1:
+		return "serial"
+	default:
+		return fmt.Sprintf("forced-serial(%s)", s.Fallback)
+	}
+}
+
 // shardPlanFor resolves Options.Shards into a shard plan, or nil when the run
-// must use the serial engine: shards disabled, a single-pod (or single-shard)
-// topology, no positive lookahead, or a feature that requires global event
-// order (scenarios, flight recording).
-func shardPlanFor(opts *Options) *topology.ShardPlan {
+// must use the serial engine. The returned reason is non-empty exactly when a
+// sharded request (Shards >= 2 or -1) fell back to serial: the topology does
+// not partition (single pod, or no positive lookahead), or the flight
+// recorder is not a *telemetry.Ring (sharding needs the ring's bounded-buffer
+// semantics to merge per-shard traces; arbitrary Recorder implementations
+// would observe mid-run global order that shards cannot provide).
+func shardPlanFor(opts *Options) (*topology.ShardPlan, string) {
 	want := opts.Shards
 	if want == 0 || want == 1 {
-		return nil
+		return nil, ""
 	}
-	if opts.Scenario != nil || opts.Recorder != nil {
-		return nil
+	if opts.Recorder != nil {
+		if _, ok := opts.Recorder.(*telemetry.Ring); !ok {
+			return nil, "recorder is not a *telemetry.Ring"
+		}
 	}
 	if want < 0 {
 		want = runtime.GOMAXPROCS(0)
 	}
 	plan := topology.PlanShards(opts.Topo, want)
-	if plan.Shards < 2 || plan.Lookahead <= 0 {
-		return nil
+	if plan.Shards < 2 {
+		return nil, "topology does not partition into multiple shards"
+	}
+	if plan.Lookahead <= 0 {
+		return nil, "no positive cross-shard lookahead"
 	}
 	plan.Validate(opts.Topo)
-	return plan
+	return plan, ""
 }
 
 // tickKeyAt reconstructs the ordering key of the serial sampling tick at
@@ -92,17 +140,142 @@ func tickKeyAt(t, d units.Time) eventsim.Key {
 	return k
 }
 
+// setupKeyAt reconstructs the ordering key of a scenario event closure at
+// instant t: the serial injector schedules them during construction (clock at
+// zero, outside any dispatch), so the chain is instant 0 followed by the
+// SetupTime sentinels, with tags, kids, kid and tag all zero. The only other
+// events carrying this exact key shape are the sampling ticker's first tick
+// (whose earlier scheduling sequence wins the tie, see the barrier loop) and
+// scenario closures at the same instant (applied in spec order, their serial
+// sequence order).
+func setupKeyAt(t units.Time) eventsim.Key {
+	k := eventsim.Key{At: t}
+	for i := 1; i < eventsim.ChainDepth; i++ {
+		k.Chain[i] = eventsim.SetupTime
+	}
+	return k
+}
+
+// keyedEvent is one flight-recorder event stamped with the ordering key of
+// the dispatch (or barrier-applied scenario closure) that emitted it.
+type keyedEvent struct {
+	key eventsim.Key
+	ev  telemetry.Event
+}
+
+// shardRecorder is the per-shard flight recorder of a partitioned run: a
+// bounded ring of keyed events sized like the caller's ring. Each shard
+// retaining its own last C events guarantees the shards' union contains the
+// last C events of the merged serial-order stream, so replaying the merge
+// into the caller's ring reproduces the serial trace. The coordinator uses
+// one with a nil scheduler and stamps the key explicitly.
+type shardRecorder struct {
+	sched  *eventsim.Scheduler
+	key    eventsim.Key
+	filter telemetry.Filter
+	buf    []keyedEvent
+	next   int
+}
+
+func newShardRecorder(sched *eventsim.Scheduler, ring *telemetry.Ring) *shardRecorder {
+	return &shardRecorder{
+		sched:  sched,
+		filter: ring.RecordFilter(),
+		buf:    make([]keyedEvent, 0, ring.Cap()),
+	}
+}
+
+// Record implements telemetry.Recorder.
+func (sr *shardRecorder) Record(ev telemetry.Event) {
+	if !sr.filter.Match(&ev) {
+		return
+	}
+	k := sr.key
+	if sr.sched != nil {
+		k = sr.sched.CurrentKey()
+	}
+	if len(sr.buf) < cap(sr.buf) {
+		sr.buf = append(sr.buf, keyedEvent{key: k, ev: ev})
+		return
+	}
+	sr.buf[sr.next] = keyedEvent{key: k, ev: ev}
+	sr.next++
+	if sr.next == len(sr.buf) {
+		sr.next = 0
+	}
+}
+
+// events returns the retained keyed events in emission order.
+func (sr *shardRecorder) events() []keyedEvent {
+	if len(sr.buf) == cap(sr.buf) && sr.next > 0 {
+		out := make([]keyedEvent, 0, len(sr.buf))
+		out = append(out, sr.buf[sr.next:]...)
+		out = append(out, sr.buf[:sr.next]...)
+		return out
+	}
+	return sr.buf
+}
+
+// barrierNet is the scenario.Network the coordinator applies link events
+// through. All shards are parked at the barrier, so mutating the shared
+// topology (route recomputation) and the affected shards' wired links through
+// the union runner is race-free and observed atomically — exactly what the
+// serial injector's closure sees mid-dispatch. The trace records the serial
+// runner would emit land in the coordinator's keyed recorder instead.
+type barrierNet struct {
+	merged *runner
+	at     units.Time
+	record func(telemetry.Event)
+}
+
+func (n *barrierNet) SetLinkState(a, b packet.NodeID, up bool) int {
+	reroutes := n.merged.SetLinkState(a, b, up)
+	if n.record != nil {
+		pa, _, _ := n.merged.topo.LinkBetween(a, b)
+		kind := telemetry.KindLinkDown
+		if up {
+			kind = telemetry.KindLinkUp
+		}
+		n.record(telemetry.Event{At: n.at, Kind: kind,
+			Node: a, Port: int32(pa), Queue: -1, Value: int64(reroutes)})
+	}
+	return reroutes
+}
+
+func (n *barrierNet) SetLinkParams(a, b packet.NodeID, rate units.Rate, delay units.Time) {
+	n.merged.SetLinkParams(a, b, rate, delay)
+	if n.record != nil {
+		pa, _, _ := n.merged.topo.LinkBetween(a, b)
+		n.record(telemetry.Event{At: n.at, Kind: telemetry.KindLinkDegrade,
+			Node: a, Port: int32(pa), Queue: -1, Value: int64(rate)})
+	}
+}
+
+func (n *barrierNet) StartFlow(f *packet.Flow) {
+	panic("sim: scenario flow injections are scheduled per shard, not at barriers")
+}
+
 // runSharded executes the simulation partitioned across plan.Shards shards.
 func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*Result, error) {
 	S := plan.Shards
+	horizon := opts.Duration + opts.Drain
+	userRing, _ := opts.Recorder.(*telemetry.Ring)
 
 	// Per-shard runners build only the devices their shard owns. Every shard
 	// derives device seeds from (Options.Seed, NodeID) and draws packets from
-	// its own pool, so construction is independent of the partition.
+	// its own pool, so construction is independent of the partition. Traced
+	// runs swap each shard's recorder for a keyed per-shard ring before any
+	// device captures it.
 	shards := make([]*runner, S)
+	var srecs []*shardRecorder
 	for i := range shards {
 		r := newRunner(opts)
 		r.plan, r.shardID = plan, i
+		if userRing != nil {
+			sr := newShardRecorder(r.sched, userRing)
+			r.rec = sr
+			srecs = append(srecs, sr)
+		}
 		shards[i] = r
 	}
 	hopRTT := shards[0].hopRTT()
@@ -143,11 +316,32 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 		r.scheduleFlows(flows)
 	}
 
+	// Scenario: compile once, schedule the injected flows per owning shard
+	// under their serial keys, and leave the events themselves to the
+	// coordinator's barriers.
+	var scen *scenario.Planned
+	var coordRec *shardRecorder
+	if opts.Scenario != nil {
+		pl, err := scenario.Plan(opts.Scenario, scenarioParams(&opts, flows, horizon))
+		if err != nil {
+			return nil, err
+		}
+		scen = pl
+		for _, r := range shards {
+			pl.ScheduleFlows(r.sched, r.owned, r.startInjected)
+		}
+		if userRing != nil {
+			coordRec = newShardRecorder(nil, userRing)
+		}
+	}
+
 	// The union view holds every shard's devices behind one merged Result; it
 	// is what the coordinator samples at barriers and collects from at the
-	// end, reusing the serial paths unchanged.
+	// end, reusing the serial paths unchanged. Its recorder stays nil: the
+	// coordinator's own records carry explicit keys through coordRec.
 	merged := newRunner(opts)
 	merged.sched = nil
+	merged.rec = nil
 	for _, r := range shards {
 		for id, sw := range r.switches {
 			merged.switches[id] = sw
@@ -158,20 +352,23 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 		for id, d := range r.devices {
 			merged.devices[id] = d
 		}
-		merged.result.FlowsTotal += r.result.FlowsTotal
+	}
+	if scen != nil {
+		merged.scen = scen.Metrics()
 	}
 	sws := merged.sampleSwitches()
 
 	// Tick emulation: ticks executed so far feed both Result.Events and the
 	// series sampler's events-per-tick counter, exactly as the serial ticker's
-	// own executed events would have.
-	var ticks uint64
+	// own executed events would have. Scenario closures the coordinator
+	// applies count the same way — they are events in a serial run.
+	var ticks, coordExec uint64
 	executedEmu := func() uint64 {
 		var sum uint64
 		for _, r := range shards {
 			sum += r.sched.Executed
 		}
-		return sum + ticks
+		return sum + ticks + coordExec
 	}
 	if opts.SampleSeries {
 		merged.sampler = merged.newSeriesSampler()
@@ -180,11 +377,17 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 
 	// Window loop. Barriers sit at every multiple of the lookahead W (drain
 	// points — consecutive barriers are never more than W apart, so every
-	// boundary delivery is drained before its arrival instant) and at every
-	// multiple of the sampling period Δ (tick points), up to the horizon.
+	// boundary delivery is drained before its arrival instant), at every
+	// multiple of the sampling period Δ (tick points), and at every scenario
+	// event instant, up to the horizon.
 	W := plan.Lookahead
 	delta := opts.BufferSampleInterval
-	horizon := opts.Duration + opts.Drain
+
+	var evTimes []units.Time
+	if scen != nil {
+		evTimes = scen.EventTimes(horizon)
+	}
+	evIdx := 0
 
 	var wg sync.WaitGroup
 	runAll := func(f func(r *runner)) {
@@ -207,12 +410,14 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 			}
 		}
 	}
-
 	nextSync, nextTick := W, delta
 	for {
 		b := nextSync
 		if nextTick < b {
 			b = nextTick
+		}
+		if evIdx < len(evTimes) && evTimes[evIdx] < b {
+			b = evTimes[evIdx]
 		}
 		if horizon < b {
 			b = horizon
@@ -223,15 +428,43 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 		// Barrier: the join above is the happens-before edge that lets the
 		// coordinator drain the queues without atomics.
 		drainAll()
-		if b == nextTick {
-			// Flush events the serial run executes before the tick at b —
-			// including boundary deliveries arriving exactly at b with
-			// chain-earlier keys — then observe switch state.
+
+		doTick := func() {
 			k := tickKeyAt(b, delta)
 			runAll(func(r *runner) { r.sched.RunBeforeKey(k) })
 			merged.sampleTick(sws)
 			ticks++
 			nextTick += delta
+		}
+		doEvents := func() {
+			k := setupKeyAt(b)
+			runAll(func(r *runner) { r.sched.RunBeforeKey(k) })
+			var record func(telemetry.Event)
+			if coordRec != nil {
+				coordRec.key = k
+				record = coordRec.Record
+			}
+			coordExec += uint64(scen.Apply(b, &barrierNet{merged: merged, at: b, record: record}, record))
+			evIdx++
+		}
+		isTick := b == nextTick
+		isEvent := evIdx < len(evTimes) && evTimes[evIdx] == b
+		switch {
+		case isEvent && isTick:
+			// Same instant: serial key order decides. The keys are equal only
+			// at the first tick (both setup-scheduled), where the ticker's
+			// earlier scheduling sequence fires it first.
+			if setupKeyAt(b).Less(tickKeyAt(b, delta)) {
+				doEvents()
+				doTick()
+			} else {
+				doTick()
+				doEvents()
+			}
+		case isEvent:
+			doEvents()
+		case isTick:
+			doTick()
 		}
 		if b == nextSync {
 			nextSync += W
@@ -244,15 +477,26 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 	// engine; anything they emit arrives beyond the horizon on every shard.
 	runAll(func(r *runner) { r.sched.RunUntil(horizon) })
 
+	// Offered-flow counts merge after the run: injected scenario flows join a
+	// shard's count when their injection event fires, not at construction.
+	for _, r := range shards {
+		merged.result.FlowsTotal += r.result.FlowsTotal
+	}
+
 	// Merge flow completions in key order. Each shard's buffer is already
 	// key-sorted (heaps pop in key order), and the stable sort keeps lower
 	// shard indexes first on exact ties — the same order the drains imposed.
+	// Scenario phase attribution replays in the same merged order, so the
+	// phase collectors fill exactly as the serial run's would.
 	var recs []fctRec
 	for _, r := range shards {
 		recs = append(recs, r.fctBuf...)
 	}
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].key.Less(recs[j].key) })
 	for _, rec := range recs {
+		if merged.scen != nil {
+			merged.scen.RecordCompletion(rec.start, rec.size, rec.fct, rec.ideal, rec.incast)
+		}
 		if rec.incast {
 			merged.result.FCTIncast.Record(rec.size, rec.fct, rec.ideal)
 			continue
@@ -261,7 +505,34 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 		merged.result.FCT.Record(rec.size, rec.fct, rec.ideal)
 	}
 
+	// Scenario counters accumulated shard-locally during parallel windows.
+	for _, r := range shards {
+		merged.strandedPkts += r.strandedPkts
+		merged.strandedBytes += r.strandedBytes
+		if merged.scen != nil {
+			merged.scen.InjectedFlows += r.injectedFlows
+		}
+	}
+
 	merged.collect(horizon, flows)
 	merged.result.Events = executedEmu()
+
+	// Replay the merged trace into the caller's ring in serial key order. Per
+	// shard the buffers are emission-ordered (equal keys = one dispatch), so
+	// the stable sort reproduces the serial stream; the ring then retains its
+	// last-capacity window of it, as a serial run's ring would.
+	if userRing != nil {
+		var all []keyedEvent
+		for _, sr := range srecs {
+			all = append(all, sr.events()...)
+		}
+		if coordRec != nil {
+			all = append(all, coordRec.events()...)
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].key.Less(all[j].key) })
+		for i := range all {
+			userRing.Record(all[i].ev)
+		}
+	}
 	return merged.result, nil
 }

@@ -294,7 +294,7 @@ func (s *Switch) ReceivePacket(ingress int, p *packet.Packet) {
 			}
 		}
 	case s.cfg.SFQ:
-		q := packet.HashQueue(p.Flow.Tuple(), s.cfg.NumQueues)
+		q := p.Flow.QueueOf(s.cfg.NumQueues)
 		port.data[q].Push(p)
 	default:
 		port.data[0].Push(p)
@@ -324,7 +324,7 @@ func (s *Switch) routePort(p *packet.Packet) int {
 	case 1:
 		return ports[0]
 	}
-	h := packet.HashVFID(p.Flow.Tuple(), 1<<30)
+	h := p.Flow.VFIDOf(1 << 30)
 	return ports[int(h)%len(ports)]
 }
 

@@ -55,6 +55,19 @@ func (r *Ring) Record(ev Event) {
 // Len returns the number of events currently held.
 func (r *Ring) Len() int { return len(r.buf) }
 
+// Cap returns the ring's fixed capacity. The sharded engine sizes its
+// per-shard keyed buffers with it: each shard retaining its own last Cap
+// events guarantees the union contains the last Cap events of the merged
+// serial-order stream.
+func (r *Ring) Cap() int { return cap(r.buf) }
+
+// RecordFilter returns the compiled keep-predicate installed by SetFilter.
+// The returned value shares the compiled lookup sets (read-only), so it is
+// safe to Match from several goroutines as long as no SetFilter races with
+// them — the sharded engine copies it into its per-shard recorders before the
+// run starts.
+func (r *Ring) RecordFilter() Filter { return r.filter }
+
 // Seen returns the total number of events that matched the filter, including
 // any that have since been overwritten.
 func (r *Ring) Seen() uint64 { return r.seen }

@@ -364,7 +364,7 @@ func (t *Topology) EgressPort(node packet.NodeID, f *packet.Flow) int {
 	if len(ports) == 1 {
 		return ports[0]
 	}
-	h := packet.HashVFID(f.Tuple(), 1<<30)
+	h := f.VFIDOf(1 << 30)
 	return ports[int(h)%len(ports)]
 }
 
