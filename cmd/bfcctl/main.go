@@ -12,6 +12,7 @@
 //	bfcctl cancel s000001
 //	bfcctl store                           # completed artifacts on the server
 //	bfcctl fleet                           # fleet status (coordinator or worker)
+//	bfcctl top                             # live execution view (suites + fleet ledger)
 //
 // The server address comes from -addr or the BFCD_ADDR environment variable.
 // Transient failures (connection errors, 429/502/503) are retried with capped
@@ -30,6 +31,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -75,6 +77,8 @@ func main() {
 		err = c.store()
 	case "fleet":
 		err = c.fleet()
+	case "top":
+		err = c.top(rest)
 	default:
 		log.Printf("bfcctl: unknown command %q", cmd)
 		usage()
@@ -106,6 +110,9 @@ commands:
   cancel <id>                 cancel a running suite
   store                       list the server's completed artifacts
   fleet                       print the server's fleet status (coordinator or worker)
+  top [-interval d] [-n k]    live execution view: running suites with per-job
+                              shard efficiency (SSE) and, on a coordinator,
+                              the per-worker throughput ledger
 `)
 }
 
@@ -468,8 +475,13 @@ func (c *client) fleet() error {
 			len(st.Workers), alive, st.BatchesScattered, st.BatchesRetried,
 			st.BatchesLocal, st.JobsRemote, st.JobsDeduped)
 		for _, w := range st.Workers {
-			fmt.Printf("worker %s alive=%v last_seen_ms=%d batches=%d jobs=%d failures=%d\n",
+			line := fmt.Sprintf("worker %s alive=%v last_seen_ms=%d batches=%d jobs=%d failures=%d",
 				w.URL, w.Alive, w.LastSeenMS, w.Batches, w.Jobs, w.Failures)
+			if tp := w.Throughput; tp != nil {
+				line += fmt.Sprintf(" jobs_per_sec=%.2f p50_ms=%.1f p90_ms=%.1f p99_ms=%.1f",
+					tp.JobsPerSec, tp.BatchP50MS, tp.BatchP90MS, tp.BatchP99MS)
+			}
+			fmt.Println(line)
 		}
 	case "worker":
 		w := st.Worker
@@ -482,6 +494,125 @@ func (c *client) fleet() error {
 		return fmt.Errorf("server reports no fleet role (mode %q); is it running -mode standalone?", st.Mode)
 	}
 	return nil
+}
+
+// runView is the per-suite state bfcctl top accumulates from each suite's SSE
+// stream: the most recently finished job and its execution profile.
+type runView struct {
+	job  string
+	exec *service.ExecEventStats
+}
+
+// top renders a periodically refreshed view of the server's in-flight work:
+// every running suite with the shard efficiency of its latest executed job
+// (streamed over the suite's SSE channel, so nothing is recomputed server
+// side), and — when the server is a fleet coordinator — the per-worker
+// throughput ledger. Output is plain appended lines per refresh, not a screen
+// takeover, so it pipes and greps cleanly; -n bounds the refresh count for
+// one-shot sampling in scripts and CI.
+func (c *client) top(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("n", 0, "refreshes before exiting (0 = run until interrupted)")
+	fs.Parse(args)
+
+	var (
+		mu      sync.Mutex
+		runs    = make(map[string]*runView)
+		watched = make(map[string]bool)
+	)
+	for tick := 0; *count == 0 || tick < *count; tick++ {
+		if tick > 0 {
+			time.Sleep(*interval)
+		}
+		var suites []service.SuiteStatus
+		if err := c.getJSON("/api/v1/suites", &suites); err != nil {
+			return err
+		}
+		// One SSE follower per running suite; followers outlive the suites they
+		// watch only until the terminal event closes the stream.
+		for _, s := range suites {
+			if s.State == service.StateRunning && !watched[s.ID] {
+				watched[s.ID] = true
+				go c.followExec(s.ID, &mu, runs)
+			}
+		}
+		fmt.Printf("top %s refresh=%d\n", c.base, tick+1)
+		running := 0
+		for _, s := range suites {
+			if s.State != service.StateRunning {
+				continue
+			}
+			running++
+			line := fmt.Sprintf("suite %s running done=%d/%d cached=%d executed=%d",
+				s.ID, s.Done, s.Total, s.Cached, s.Executed)
+			mu.Lock()
+			if v := runs[s.ID]; v != nil && v.exec != nil {
+				line += fmt.Sprintf(" last=%s shards=%d util=%.1f%% events=%d wall=%.1fms spills=%d",
+					v.job, v.exec.Shards, 100*v.exec.Utilization,
+					v.exec.Events, v.exec.WallMS, v.exec.Spills)
+			}
+			mu.Unlock()
+			fmt.Println(line)
+		}
+		if running == 0 {
+			fmt.Println("no running suites")
+		}
+		// The fleet section is best-effort: a standalone daemon has no
+		// /api/v1/fleet/status and that is not an error for top.
+		var st fleet.Status
+		if err := c.getJSON("/api/v1/fleet/status", &st); err == nil && st.Mode == "coordinator" {
+			alive := 0
+			for _, w := range st.Workers {
+				if w.Alive {
+					alive++
+				}
+			}
+			fmt.Printf("fleet workers=%d alive=%d scattered=%d local=%d\n",
+				len(st.Workers), alive, st.BatchesScattered, st.BatchesLocal)
+			for _, w := range st.Workers {
+				line := fmt.Sprintf("  worker %s alive=%v jobs=%d batches=%d", w.URL, w.Alive, w.Jobs, w.Batches)
+				if tp := w.Throughput; tp != nil {
+					line += fmt.Sprintf(" jobs_per_sec=%.2f p50_ms=%.1f p90_ms=%.1f p99_ms=%.1f",
+						tp.JobsPerSec, tp.BatchP50MS, tp.BatchP90MS, tp.BatchP99MS)
+				}
+				fmt.Println(line)
+			}
+		}
+	}
+	return nil
+}
+
+// followExec consumes one suite's SSE stream, keeping only the latest "job"
+// event that carries an execution profile. Errors are silently dropped: top is
+// an observer, and a suite whose stream fails simply shows no exec column.
+func (c *client) followExec(id string, mu *sync.Mutex, runs map[string]*runView) {
+	resp, err := c.do(http.MethodGet, "/api/v1/suites/"+id+"/events", "", nil)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+			continue
+		}
+		if ev.Type != "job" || ev.Exec == nil {
+			continue
+		}
+		mu.Lock()
+		runs[id] = &runView{job: ev.Job, exec: ev.Exec}
+		mu.Unlock()
+	}
 }
 
 // printStatus renders one status line; the stable key=value form is what the

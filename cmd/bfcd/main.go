@@ -29,7 +29,12 @@
 // suite/job/cache/HTTP planes (plus bfcd_fleet_* in fleet modes), GET
 // /api/v1/version reports build information, and -pprof mounts net/http/pprof
 // under /debug/pprof/. Requests are logged through the shared -log-level /
-// -log-json slog flags.
+// -log-json slog flags. Every locally executed job also collects a wall-clock
+// execution profile (internal/telemetry/execstats): the bfcd_exec_* families
+// aggregate it, "job" SSE events carry a per-job summary, and a coordinator
+// additionally maintains an EWMA per-worker throughput ledger served inside
+// GET /api/v1/fleet/status and as bfcd_fleet_worker_throughput. "bfcctl top"
+// renders both live.
 //
 // Use cmd/bfcctl (or curl) against the API; see README.md "Service".
 package main

@@ -59,6 +59,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "shards per run for the conservative-PDES engine (0/1 = serial, >=2 = explicit, -1 = auto); scenario results are byte-identical across shard counts")
 		digest   = flag.Bool("digest", false, "print only scheme digests (for determinism checks)")
 		traceDir = flag.String("trace-dir", "", "write per-scheme flight-recorder traces (<scheme>.trace.json + <scheme>.events.jsonl) to this directory")
+		execProf = flag.Bool("exec-stats", false, "collect wall-clock execution profiles and print the suite aggregate to stderr (observational; digests unchanged)")
 	)
 	logOpts := telemetry.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -124,6 +125,7 @@ func main() {
 				o.Drain = drainT
 				o.Scenario = spec
 				o.Shards = *shards
+				o.ExecStats = *execProf
 			}},
 		},
 		Axes: []harness.Axis{harness.SchemeAxis(schemeList)},
@@ -148,6 +150,15 @@ func main() {
 	recs, err := runner.Run(jobs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *execProf && runner.Exec.Runs > 0 {
+		// The harness-level aggregate: one line across every scheme's run.
+		ex := runner.Exec
+		fmt.Fprintf(os.Stderr, "# exec: runs=%d sharded=%d events=%d windows=%d barriers=%d utilization=%.1f%% (worst %.1f%%) busy=%v barrier-wait=%v spills=%d\n",
+			ex.Runs, ex.ShardedRuns, ex.Events, ex.Windows, ex.Barriers,
+			100*ex.Utilization(), 100*ex.UtilizationMin,
+			time.Duration(ex.BusyNS).Round(time.Microsecond),
+			time.Duration(ex.BarrierWaitNS).Round(time.Microsecond), ex.Spills)
 	}
 
 	if *traceDir != "" {

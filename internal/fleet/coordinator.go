@@ -132,6 +132,9 @@ type Coordinator struct {
 	cfg       Config
 	streaming int // resolved host threshold shipped with batches
 	metrics   *coordMetrics
+	// ledger holds per-worker throughput estimates for the daemon's lifetime
+	// (across suites), not per dispatch.
+	ledger *Ledger
 
 	mu      sync.Mutex
 	workers map[string]*workerRef
@@ -170,6 +173,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		cfg:       cfg,
 		streaming: resolveStreaming(cfg.StreamingHosts),
 		metrics:   newCoordMetrics(cfg.Registry),
+		ledger:    NewLedger(0),
 		workers:   map[string]*workerRef{},
 		stop:      make(chan struct{}),
 	}
@@ -313,6 +317,7 @@ func (c *Coordinator) heartbeat() {
 		if err != nil {
 			c.metrics.heartbeatFails.Inc()
 			if w.noteFailure(false) {
+				c.evictThroughput(w.url)
 				c.log("fleet worker died", "worker", w.url)
 			}
 			continue
@@ -337,9 +342,20 @@ func (c *Coordinator) Status() *Status {
 		JobsDeduped:      c.metrics.jobsDeduped.Value(),
 	}
 	for _, w := range c.snapshot() {
-		st.Workers = append(st.Workers, w.status())
+		ws := w.status()
+		if tp, ok := c.ledger.Snapshot(w.url); ok {
+			ws.Throughput = &tp
+		}
+		st.Workers = append(st.Workers, ws)
 	}
 	return st
+}
+
+// evictThroughput drops a dead worker's ledger profile and /metrics series: a
+// restarted worker's old estimate is stale, not history.
+func (c *Coordinator) evictThroughput(worker string) {
+	c.ledger.Evict(worker)
+	c.metrics.workerThroughput.Delete(worker)
 }
 
 // Routes registers the coordinator's fleet endpoints on a mux; pass it to
@@ -652,6 +668,8 @@ func (c *Coordinator) handleResult(ctx context.Context, cs *service.CompiledSuit
 			d.w.jobs += uint64(len(b.idxs))
 			d.w.mu.Unlock()
 			c.metrics.batchSeconds.Observe(d.took.Seconds())
+			tp := c.ledger.Observe(d.w.url, len(b.idxs), d.took)
+			c.metrics.workerThroughput.With(d.w.url).Set(tp.JobsPerSec)
 		}
 		c.log("fleet batch done", "batch", b.id, "local", d.local,
 			"elapsed", d.took.Round(time.Millisecond).String())
@@ -671,6 +689,7 @@ func (c *Coordinator) handleResult(ctx context.Context, cs *service.CompiledSuit
 	}
 	hard := errors.Is(d.err, ErrDrift) // wrong code version: stop using this worker
 	if d.w.noteFailure(hard) {
+		c.evictThroughput(d.w.url)
 		c.log("fleet worker died", "worker", d.w.url, "batch", b.id, "error", d.err.Error())
 	}
 	c.updateAliveGauge()

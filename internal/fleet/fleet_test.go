@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -13,6 +16,7 @@ import (
 	"bfc/internal/harness"
 	"bfc/internal/service"
 	"bfc/internal/sim"
+	"bfc/internal/telemetry"
 )
 
 // tinySpec is the standard test submission: a two-scheme Fig 5a panel at
@@ -233,6 +237,76 @@ func TestFleetSurvivesDeadWorker(t *testing.T) {
 	}
 	if coord.metrics.retried.Value() == 0 && coord.metrics.scattered.Value() <= 2 {
 		t.Log("note: scheduler never hit the dead worker (legal but unusual with 2 workers)")
+	}
+}
+
+// TestFleetBatchMetricsEndToEnd drives a real two-worker scatter and checks
+// the observability plane it should leave behind: the bfcd_fleet_batch_seconds
+// histogram has observed every remote batch, the throughput ledger has a
+// profile for each worker (surfaced both in fleet status and as the
+// bfcd_fleet_worker_throughput gauge family), and evicting a worker removes
+// its series instead of freezing it.
+func TestFleetBatchMetricsEndToEnd(t *testing.T) {
+	_, _, srvA := newWorker(t)
+	_, _, srvB := newWorker(t)
+	reg := telemetry.NewRegistry()
+	svc, coord := newFleetService(t, []string{srvA.URL, srvB.URL}, func(cfg *Config) {
+		cfg.Registry = reg
+	})
+
+	status, err := svc.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitState(t, svc, status.ID); done.State != service.StateDone {
+		t.Fatalf("suite ended %+v", done)
+	}
+
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	out := buf.String()
+	// One-job batches across two jobs: the histogram must hold exactly the
+	// scattered batch count (local fallbacks don't observe it).
+	want := fmt.Sprintf("bfcd_fleet_batch_seconds_count %d", coord.metrics.scattered.Value())
+	if !strings.Contains(out, want) {
+		t.Errorf("missing %q in exposition:\n%s", want, out)
+	}
+	if coord.metrics.scattered.Value() == 0 {
+		t.Fatal("no batches scattered; the end-to-end path did not run")
+	}
+	if !strings.Contains(out, "bfcd_fleet_batch_seconds_sum") {
+		t.Error("batch_seconds histogram has no sum series")
+	}
+
+	// Every worker that executed a batch has a ledger profile, in both the
+	// status document and the metric family.
+	st := coord.Status()
+	for _, w := range st.Workers {
+		if w.Jobs == 0 {
+			continue
+		}
+		if w.Throughput == nil {
+			t.Errorf("worker %s executed %d jobs but has no throughput profile", w.URL, w.Jobs)
+			continue
+		}
+		if w.Throughput.JobsPerSec <= 0 || w.Throughput.Batches == 0 {
+			t.Errorf("worker %s throughput = %+v", w.URL, w.Throughput)
+		}
+		series := fmt.Sprintf("bfcd_fleet_worker_throughput{worker=%q}", w.URL)
+		if !strings.Contains(out, series) {
+			t.Errorf("missing %s in exposition:\n%s", series, out)
+		}
+
+		// Eviction (the dead-worker path) must drop both surfaces.
+		coord.evictThroughput(w.URL)
+		if _, ok := coord.ledger.Snapshot(w.URL); ok {
+			t.Errorf("worker %s still in ledger after eviction", w.URL)
+		}
+		buf.Reset()
+		reg.WriteText(&buf)
+		if strings.Contains(buf.String(), series) {
+			t.Errorf("worker %s throughput series survived eviction", w.URL)
+		}
 	}
 }
 

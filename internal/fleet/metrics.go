@@ -16,6 +16,9 @@ type coordMetrics struct {
 	jobsDeduped    *telemetry.Counter
 	heartbeatFails *telemetry.Counter
 	batchSeconds   *telemetry.Histogram
+	// workerThroughput exposes the coordinator ledger's EWMA jobs/s per
+	// worker; a dead worker's series is deleted rather than frozen.
+	workerThroughput *telemetry.GaugeVec
 }
 
 func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
@@ -33,6 +36,8 @@ func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
 		jobsDeduped:    reg.NewCounter("bfcd_fleet_jobs_deduped_total", "Jobs satisfied from another store via the fleet-wide manifest (zero execution)."),
 		heartbeatFails: reg.NewCounter("bfcd_fleet_heartbeat_failures_total", "Failed worker heartbeat probes."),
 		batchSeconds:   reg.NewHistogram("bfcd_fleet_batch_seconds", "Remote batch round-trip latency in seconds.", nil),
+		workerThroughput: reg.NewGaugeVec("bfcd_fleet_worker_throughput",
+			"EWMA observed throughput per worker in jobs per second.", "worker"),
 	}
 }
 

@@ -83,6 +83,9 @@ type WorkerStatus struct {
 	Batches  uint64 `json:"batches"`
 	Jobs     uint64 `json:"jobs"`
 	Failures uint64 `json:"failures"`
+	// Throughput is the coordinator ledger's observed execution profile for
+	// this worker; nil until the first successful batch (or after eviction).
+	Throughput *WorkerThroughput `json:"throughput,omitempty"`
 }
 
 // ExecutorStatus summarizes a worker-mode daemon's execution plane.

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"bfc/internal/telemetry/execstats"
 )
 
 // Progress describes one completed (or skipped) job for progress reporting.
@@ -19,6 +21,10 @@ type Progress struct {
 	// Elapsed is the wall-clock execution time (zero for cached jobs). It is
 	// reported but never persisted, keeping artifacts byte-stable.
 	Elapsed time.Duration
+	// Exec is the job's wall-clock execution profile when the run enabled
+	// Options.ExecStats (nil for cached jobs and disabled runs). Like
+	// Elapsed, it is reported but never persisted.
+	Exec *execstats.RunStats
 }
 
 // Runner executes a list of jobs over a bounded worker pool.
@@ -36,6 +42,11 @@ type Runner struct {
 	// Executed and Skipped count, after Run returns, the jobs that were
 	// actually simulated vs satisfied from the store.
 	Executed, Skipped int
+
+	// Exec aggregates, after Run returns, the execution profiles of the jobs
+	// this runner actually simulated with Options.ExecStats on. Zero-valued
+	// when no executed job carried a profile.
+	Exec execstats.Summary
 }
 
 // Run executes the jobs and returns their records in job order (independent
@@ -44,6 +55,7 @@ type Runner struct {
 // and is returned after in-flight jobs finish.
 func (r *Runner) Run(jobs []Job) ([]*Record, error) {
 	r.Executed, r.Skipped = 0, 0
+	r.Exec = execstats.Summary{}
 	if err := ValidateSuite(jobs); err != nil {
 		return nil, err
 	}
@@ -87,6 +99,11 @@ func (r *Runner) Run(jobs []Job) ([]*Record, error) {
 			return
 		}
 		records[i] = rec
+		var exec *execstats.RunStats
+		if !wasCached && rec.Result != nil {
+			exec = rec.Result.Exec
+		}
+		r.Exec.Add(exec)
 		if wasCached {
 			r.Skipped++
 		} else {
@@ -96,7 +113,7 @@ func (r *Runner) Run(jobs []Job) ([]*Record, error) {
 		if r.Progress != nil {
 			r.Progress(Progress{
 				Done: done, Total: len(jobs),
-				Job: jobs[i].Name, Cached: wasCached, Elapsed: elapsed,
+				Job: jobs[i].Name, Cached: wasCached, Elapsed: elapsed, Exec: exec,
 			})
 		}
 	}

@@ -39,6 +39,24 @@ type Boundary struct {
 	head  int
 	count int
 	spill []BoundaryMsg
+
+	// Cumulative traffic counters, maintained unconditionally (one branch
+	// each on the push/drain paths) and never reset by DrainInto, so the
+	// coordinator can read whole-run totals after the final barrier.
+	pushes   uint64
+	spilled  uint64
+	drains   uint64
+	occHW    int
+	maxDrain int
+}
+
+// BoundaryStats is a snapshot of a queue's cumulative traffic counters.
+type BoundaryStats struct {
+	Pushes             uint64 // total messages pushed
+	Spilled            uint64 // messages that overflowed the ring into the spill slice
+	Drains             uint64 // DrainInto calls
+	OccupancyHighWater int    // max ring occupancy reached (excluding spill)
+	MaxDrain           int    // largest single drain batch
 }
 
 // NewBoundary returns an empty queue with the given ring capacity
@@ -52,14 +70,19 @@ func NewBoundary(capacity int) *Boundary {
 
 // Push enqueues one boundary delivery. Never blocks; overflow spills.
 func (b *Boundary) Push(m BoundaryMsg) {
+	b.pushes++
 	// Once a message has spilled, later ones spill too until the next drain,
 	// keeping ring+spill a single FIFO.
 	if len(b.spill) == 0 && b.count < len(b.ring) {
 		b.ring[(b.head+b.count)%len(b.ring)] = m
 		b.count++
+		if b.count > b.occHW {
+			b.occHW = b.count
+		}
 		return
 	}
 	b.spill = append(b.spill, m)
+	b.spilled++
 }
 
 // Len returns the number of queued messages.
@@ -68,6 +91,20 @@ func (b *Boundary) Len() int { return b.count + len(b.spill) }
 // Spilled returns the number of messages currently in the overflow slice
 // (diagnostics for capacity tuning).
 func (b *Boundary) Spilled() int { return len(b.spill) }
+
+// Cap returns the ring capacity (the spill threshold).
+func (b *Boundary) Cap() int { return len(b.ring) }
+
+// Stats returns the queue's cumulative traffic counters.
+func (b *Boundary) Stats() BoundaryStats {
+	return BoundaryStats{
+		Pushes:             b.pushes,
+		Spilled:            b.spilled,
+		Drains:             b.drains,
+		OccupancyHighWater: b.occHW,
+		MaxDrain:           b.maxDrain,
+	}
+}
 
 // DrainInto schedules every queued delivery onto the receiving shard's
 // scheduler, in FIFO order, and empties the queue. Each message is injected
@@ -90,6 +127,10 @@ func (b *Boundary) DrainInto(sched *eventsim.Scheduler) int {
 	}
 	n += len(b.spill)
 	b.spill = b.spill[:0]
+	b.drains++
+	if n > b.maxDrain {
+		b.maxDrain = n
+	}
 	return n
 }
 

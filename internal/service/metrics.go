@@ -2,6 +2,7 @@ package service
 
 import (
 	"bfc/internal/telemetry"
+	"bfc/internal/telemetry/execstats"
 )
 
 // serviceMetrics is the daemon's Prometheus-style instrument set, exposed by
@@ -24,6 +25,17 @@ type serviceMetrics struct {
 	workersBusy     *telemetry.Gauge
 	httpRequests    *telemetry.CounterVec // label "code"
 	httpLatency     *telemetry.Histogram
+
+	// bfcd_exec_* aggregate the wall-clock execution profiles of locally
+	// executed jobs (the service enables Options.ExecStats on every job it
+	// runs itself; fleet records arrive over JSON, which the profile never
+	// crosses by design).
+	execRuns          *telemetry.Counter
+	execShardedRuns   *telemetry.Counter
+	execEvents        *telemetry.Counter
+	execWindows       *telemetry.Counter
+	execBarrierWaitNS *telemetry.Counter
+	execSpills        *telemetry.Counter
 }
 
 // newServiceMetrics registers the service families, on the given registry
@@ -48,6 +60,13 @@ func newServiceMetrics(reg *telemetry.Registry) *serviceMetrics {
 		workersBusy:     reg.NewGauge("bfcd_workers_busy", "Workers currently executing a job."),
 		httpRequests:    reg.NewCounterVec("bfcd_http_requests_total", "HTTP requests served, by status code.", "code"),
 		httpLatency:     reg.NewHistogram("bfcd_http_request_seconds", "HTTP request latency in seconds.", nil),
+
+		execRuns:          reg.NewCounter("bfcd_exec_runs_total", "Locally executed jobs that collected a wall-clock execution profile."),
+		execShardedRuns:   reg.NewCounter("bfcd_exec_sharded_runs_total", "Profiled jobs that ran on the sharded engine (>1 shard)."),
+		execEvents:        reg.NewCounter("bfcd_exec_events_total", "Simulator events dispatched by profiled jobs."),
+		execWindows:       reg.NewCounter("bfcd_exec_windows_total", "Lookahead windows executed by profiled sharded jobs."),
+		execBarrierWaitNS: reg.NewCounter("bfcd_exec_barrier_wait_ns_total", "Cumulative wall-clock nanoseconds shards spent parked at barriers."),
+		execSpills:        reg.NewCounter("bfcd_exec_boundary_spills_total", "Boundary-ring messages that overflowed into spill slices."),
 	}
 	info := telemetry.ReadBuildInfo()
 	reg.Const("bfcd_build_info", "Build information (value is always 1).", 1, map[string]string{
@@ -57,6 +76,23 @@ func newServiceMetrics(reg *telemetry.Registry) *serviceMetrics {
 		"revision": info.Revision,
 	})
 	return m
+}
+
+// recordExec folds one job's execution profile into the bfcd_exec_* families.
+func (m *serviceMetrics) recordExec(rs *execstats.RunStats) {
+	if rs == nil {
+		return
+	}
+	m.execRuns.Inc()
+	if len(rs.Shards) > 1 {
+		m.execShardedRuns.Inc()
+	}
+	m.execEvents.Add(rs.TotalEvents)
+	m.execWindows.Add(rs.Windows)
+	if wait := rs.BarrierWaitNS(); wait > 0 {
+		m.execBarrierWaitNS.Add(uint64(wait))
+	}
+	m.execSpills.Add(rs.Spills())
 }
 
 // Metrics exposes the service's metric registry (for /metrics and tests).

@@ -28,6 +28,7 @@ import (
 	"bfc/internal/harness"
 	"bfc/internal/sim"
 	"bfc/internal/telemetry"
+	"bfc/internal/telemetry/execstats"
 )
 
 // Config parameterizes a Service.
@@ -205,6 +206,42 @@ type Event struct {
 	// State and Error describe the terminal state (Type "end").
 	State SuiteState `json:"state,omitempty"`
 	Error string     `json:"error,omitempty"`
+	// Exec summarizes the job's wall-clock execution profile (Type "job",
+	// locally executed jobs only — fleet records arrive over JSON, which the
+	// profile never crosses). bfcctl top renders these.
+	Exec *ExecEventStats `json:"exec,omitempty"`
+}
+
+// ExecEventStats is the per-job execution summary attached to "job" events.
+type ExecEventStats struct {
+	// Shards is the number of engine shards the job ran on (1 = serial).
+	Shards int `json:"shards"`
+	// Events counts simulator events dispatched; Windows the lookahead
+	// windows (0 for serial runs).
+	Events  uint64 `json:"events"`
+	Windows uint64 `json:"windows"`
+	// Utilization is busy/(busy+barrier-wait) across shards (1 for serial).
+	Utilization float64 `json:"utilization"`
+	// Spills counts boundary-ring overflows.
+	Spills uint64 `json:"spills"`
+	// WallMS is the run's wall-clock in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// execEventStats summarizes a run profile for the event stream (nil in, nil
+// out).
+func execEventStats(rs *execstats.RunStats) *ExecEventStats {
+	if rs == nil {
+		return nil
+	}
+	return &ExecEventStats{
+		Shards:      len(rs.Shards),
+		Events:      rs.TotalEvents,
+		Windows:     rs.Windows,
+		Utilization: rs.Utilization(),
+		Spills:      rs.Spills(),
+		WallMS:      float64(rs.WallNS) / 1e6,
+	}
 }
 
 // SuiteStatus is a point-in-time snapshot of one suite.
@@ -380,6 +417,14 @@ func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
 		}
 	}
 
+	// Profile every job this daemon may execute itself. Like the trace rings
+	// above, the appended mutator leaves the content hash untouched and the
+	// profiler is observational, so profiled records stay byte-identical and
+	// cache-compatible; the profiles feed bfcd_exec_* and the SSE exec fields.
+	for _, i := range pending {
+		st.jobs[i].Options = append(st.jobs[i].Options, enableExecStats)
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -423,6 +468,10 @@ func (s *Service) SubmitCompiled(cs *CompiledSuite) (SuiteStatus, error) {
 		"fleet", st.fleetCancel != nil)
 	return s.statusOf(st), nil
 }
+
+// enableExecStats is the hash-neutral option mutator appended to every job
+// the service may execute locally (one shared func, not a per-job closure).
+func enableExecStats(o *sim.Options) { o.ExecStats = true }
 
 // runFleetSuite hands a suite's uncached jobs to the fleet dispatcher and
 // folds every delivered record into the suite exactly like the local worker
@@ -676,6 +725,7 @@ func (s *Service) runJob(w work) {
 		s.jobsRun++
 		s.mu.Unlock()
 		s.metrics.jobsExecuted.Inc()
+		s.metrics.recordExec(rec.Result.Exec)
 	}
 
 	if err != nil {
@@ -697,6 +747,7 @@ func (s *Service) runJob(w work) {
 	ev := Event{
 		Type: "job", Suite: st.id, Job: st.jobs[w.idx].Name,
 		Done: st.done, Total: len(st.jobs),
+		Exec: execEventStats(rec.Result.Exec),
 	}
 	st.notifyLocked(ev)
 	st.mu.Unlock()

@@ -191,6 +191,14 @@ type Options struct {
 	// growable slice rather than blocking, so the cap tunes steady-state
 	// allocation, never correctness.
 	ShardQueueCap int
+	// ExecStats enables the wall-clock execution profiler
+	// (internal/telemetry/execstats): per-shard event counts, heap and pool
+	// high-water marks, barrier-wait timings, lookahead-window utilization,
+	// and boundary-ring traffic, merged into Result.Exec at run end. Purely
+	// observational — it never schedules events or consumes RNG, Result.Exec
+	// is excluded from both the marshalled result and ResultDigest, and the
+	// disabled path costs a nil check (BenchmarkExecStatsOverhead).
+	ExecStats bool
 
 	// StreamingStats selects constant-memory streaming statistics: the FCT
 	// collectors and the buffer/queue-occupancy distributions become

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"bfc/internal/bloom"
 	"bfc/internal/cc"
@@ -16,6 +17,7 @@ import (
 	"bfc/internal/stats"
 	"bfc/internal/switchsim"
 	"bfc/internal/telemetry"
+	"bfc/internal/telemetry/execstats"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -93,6 +95,13 @@ type Result struct {
 	// the JSON so serialized results — and their digests — stay byte-identical
 	// across shard counts, which is the engine's core contract.
 	Sharding ShardInfo `json:"-"`
+
+	// Exec carries the wall-clock execution profile when Options.ExecStats
+	// was set; nil otherwise. Excluded from the JSON (and therefore from
+	// ResultDigest and persisted artifacts, which deliberately carry no
+	// wall-clock information) — it exists for live observability: service
+	// metrics, the harness aggregate, and the wall-clock Chrome trace.
+	Exec *execstats.RunStats `json:"-"`
 }
 
 // CollisionFraction returns the fraction of queue assignments that collided
@@ -238,6 +247,10 @@ func (r *runner) hopRTT() units.Time {
 
 func (r *runner) run(flows []*packet.Flow) (*Result, error) {
 	opts := r.opts
+	var execStart time.Time
+	if opts.ExecStats {
+		execStart = time.Now()
+	}
 	hopRTT := r.hopRTT()
 	baseRTT := r.topo.MaxBaseRTT(opts.MTU + packet.DataHeaderSize)
 	hostRate := r.topo.HostRate(r.topo.Hosts()[0])
@@ -261,6 +274,12 @@ func (r *runner) run(flows []*packet.Flow) (*Result, error) {
 	r.sched.RunUntil(horizon)
 
 	r.collect(horizon, flows)
+	if opts.ExecStats {
+		// Observational only: built after the last event fired, from counters
+		// the engine maintains anyway, so the result bytes are untouched.
+		r.result.Exec = execstats.Serial(time.Since(execStart), r.sched.Executed,
+			r.sched.HeapHighWater(), r.pool.Allocated(), r.pool.Recycled())
+	}
 	return r.result, nil
 }
 

@@ -2,15 +2,18 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"bfc/internal/eventsim"
 	"bfc/internal/netsim"
 	"bfc/internal/packet"
 	"bfc/internal/scenario"
 	"bfc/internal/telemetry"
+	"bfc/internal/telemetry/execstats"
 	"bfc/internal/topology"
 	"bfc/internal/units"
 )
@@ -261,6 +264,14 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 	horizon := opts.Duration + opts.Drain
 	userRing, _ := opts.Recorder.(*telemetry.Ring)
 
+	// ec profiles the execution machinery (nil when Options.ExecStats is off:
+	// every call below is then a single nil check). It is observational only —
+	// it reads wall clocks and engine counters, never the simulation state.
+	var ec *execstats.Collector
+	if opts.ExecStats {
+		ec = execstats.NewCollector(S)
+	}
+
 	// Per-shard runners build only the devices their shard owns. Every shard
 	// derives device seeds from (Options.Seed, NodeID) and draws packets from
 	// its own pool, so construction is independent of the partition. Traced
@@ -396,16 +407,52 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 			r := r
 			go func() {
 				defer wg.Done()
+				if ec != nil {
+					// Each goroutine writes only its own shard's slot; the
+					// wg.Wait below is the happens-before edge for the reader.
+					t0 := time.Now()
+					f(r)
+					ec.ShardBusy(r.shardID, time.Since(t0))
+					return
+				}
 				f(r)
 			}()
 		}
 		wg.Wait()
 	}
+	// The first ring overflow of the run logs once, unconditionally: spills
+	// are correct but allocate (ROADMAP names this edge), and serial-log users
+	// without exec stats should still see them happen.
+	spillWarned := false
 	drainAll := func() {
+		var t0 time.Time
+		if ec != nil {
+			t0 = time.Now()
+		}
+		drained := 0
 		for to := 0; to < S; to++ {
 			for from := 0; from < S; from++ {
 				if from != to {
-					bounds[from][to].DrainInto(shards[to].sched)
+					drained += bounds[from][to].DrainInto(shards[to].sched)
+				}
+			}
+		}
+		if ec != nil {
+			ec.Barrier(time.Since(t0), drained)
+		}
+		if !spillWarned {
+			for from := 0; from < S && !spillWarned; from++ {
+				for to := 0; to < S; to++ {
+					if from == to {
+						continue
+					}
+					if st := bounds[from][to].Stats(); st.Spilled > 0 {
+						slog.Warn("boundary ring spilled; deliveries overflowed into a growable slice (correct but allocating — consider a larger Options.ShardQueueCap)",
+							"from_shard", from, "to_shard", to,
+							"ring_cap", bounds[from][to].Cap(), "spilled", st.Spilled)
+						spillWarned = true
+						break
+					}
 				}
 			}
 		}
@@ -422,6 +469,7 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 		if horizon < b {
 			b = horizon
 		}
+		ec.BeginWindow()
 		// Window: every shard runs strictly below the barrier, in parallel;
 		// deliveries crossing shards pile up in the boundary queues.
 		runAll(func(r *runner) { r.sched.RunBefore(b) })
@@ -466,6 +514,7 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 		case isTick:
 			doTick()
 		}
+		ec.EndWindow(executedEmu())
 		if b == nextSync {
 			nextSync += W
 		}
@@ -475,7 +524,9 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 	}
 	// Events firing exactly at the horizon run inclusively, as in the serial
 	// engine; anything they emit arrives beyond the horizon on every shard.
+	ec.BeginWindow()
 	runAll(func(r *runner) { r.sched.RunUntil(horizon) })
+	ec.EndWindow(executedEmu())
 
 	// Offered-flow counts merge after the run: injected scenario flows join a
 	// shard's count when their injection event fires, not at construction.
@@ -516,6 +567,30 @@ func runSharded(opts Options, plan *topology.ShardPlan, flows []*packet.Flow) (*
 
 	merged.collect(horizon, flows)
 	merged.result.Events = executedEmu()
+
+	// Seal the execution profile: the collector contributes windows, barriers,
+	// and busy/wait timings; scheduler, pool, and boundary finals come from
+	// the engines themselves. Boundary totals sum each shard's *outbound*
+	// rings, so per-shard counters add up to run totals exactly once.
+	if ec != nil {
+		rs := ec.Finish()
+		for i, r := range shards {
+			ss := &rs.Shards[i]
+			ss.Events = r.sched.Executed
+			ss.HeapHighWater = r.sched.HeapHighWater()
+			ss.PoolAllocated = r.pool.Allocated()
+			ss.PoolRecycled = r.pool.Recycled()
+			for to := 0; to < S; to++ {
+				if to != i {
+					st := bounds[i][to].Stats()
+					ss.Boundary.Merge(st.Pushes, st.Spilled, st.Drains, st.OccupancyHighWater, st.MaxDrain)
+				}
+			}
+		}
+		rs.TotalEvents = merged.result.Events
+		rs.CoordEvents = ticks + coordExec
+		merged.result.Exec = rs
+	}
 
 	// Replay the merged trace into the caller's ring in serial key order. Per
 	// shard the buffers are emission-ordered (equal keys = one dispatch), so

@@ -1,0 +1,356 @@
+// Package execstats is a wall-clock execution profiler for the simulation
+// engine itself. Where the flight recorder (internal/telemetry) observes
+// *sim-time* behavior — packets, queues, pauses — execstats observes the
+// *machinery*: how many events each shard dispatched, how deep the scheduler
+// heap grew, how long shards parked at lookahead barriers, and whether the
+// SPSC boundary rings between shards ever spilled.
+//
+// The profiler follows the telemetry.Recorder idiom: a nil *Collector is a
+// valid collector whose every method is a single nil check, so the disabled
+// path costs ~0 ns (BenchmarkExecStatsOverhead holds that bar). When enabled
+// it is strictly observational: it never schedules events, never consumes
+// RNG, and Result.Exec is excluded from ResultDigest, so golden digests are
+// byte-identical with stats on or off.
+//
+// Counters split into two families. Partition-independent counters
+// (TotalEvents) are byte-identical across -shards values. Partition-dependent
+// counters (per-shard heap high-water, pool allocation, boundary traffic)
+// describe the chosen partition; they are still deterministic for a fixed
+// shard count, and their per-shard values sum consistently.
+package execstats
+
+import "time"
+
+// DefaultMaxSpans bounds the per-window span log kept for the wall-clock
+// trace. Aggregate counters keep accumulating past the cap; only the
+// per-window detail is dropped (counted in RunStats.TruncatedSpans).
+const DefaultMaxSpans = 1 << 14
+
+// BoundaryTotals aggregates cross-shard boundary-ring traffic for one
+// producing shard (sums over its outbound rings).
+type BoundaryTotals struct {
+	Pushes             uint64 `json:"pushes"`               // messages pushed into outbound rings
+	Spills             uint64 `json:"spills"`               // messages that overflowed a full ring into its spill slice
+	Drains             uint64 `json:"drains"`               // DrainInto calls that moved at least zero messages
+	OccupancyHighWater int    `json:"occupancy_high_water"` // max ring occupancy observed (excluding spill)
+	MaxDrain           int    `json:"max_drain"`            // largest single drain batch
+}
+
+// Merge folds one ring's counters into the totals.
+func (b *BoundaryTotals) Merge(pushes, spills, drains uint64, occHW, maxDrain int) {
+	b.Pushes += pushes
+	b.Spills += spills
+	b.Drains += drains
+	if occHW > b.OccupancyHighWater {
+		b.OccupancyHighWater = occHW
+	}
+	if maxDrain > b.MaxDrain {
+		b.MaxDrain = maxDrain
+	}
+}
+
+// ShardStats holds one shard's execution profile. For a serial run there is
+// exactly one entry with no barrier or boundary activity.
+type ShardStats struct {
+	Shard         int    `json:"shard"`
+	Events        uint64 `json:"events"`          // events dispatched by this shard's scheduler
+	HeapHighWater int    `json:"heap_high_water"` // max pending-event heap depth
+	PoolAllocated uint64 `json:"pool_allocated"`  // distinct packets ever allocated by this shard's pool
+	PoolRecycled  uint64 `json:"pool_recycled"`   // free-list reuses
+	BusyNS        int64  `json:"busy_ns"`         // wall-clock ns spent executing events
+	BarrierWaitNS int64  `json:"barrier_wait_ns"` // wall-clock ns parked while other shards finished a window
+
+	// Boundary sums this shard's *outbound* rings (messages it produced for
+	// other shards), so per-shard values sum to the run-wide totals exactly
+	// once.
+	Boundary BoundaryTotals `json:"boundary"`
+}
+
+// Utilization is the fraction of this shard's window wall-clock spent
+// executing rather than waiting at barriers. 1.0 for a serial run.
+func (s *ShardStats) Utilization() float64 {
+	total := s.BusyNS + s.BarrierWaitNS
+	if total <= 0 {
+		return 1
+	}
+	return float64(s.BusyNS) / float64(total)
+}
+
+// WindowSpan records one lookahead window for the wall-clock trace: when it
+// started (wall offset from run start), how long it lasted, what each shard
+// did inside it, and the barrier drain that closed it.
+type WindowSpan struct {
+	StartNS int64   `json:"start_ns"` // wall offset from run start
+	WallNS  int64   `json:"wall_ns"`  // full window duration (execute + drain)
+	Events  uint64  `json:"events"`   // events executed during this window (all shards)
+	BusyNS  []int64 `json:"busy_ns"`  // per-shard execution ns inside this window
+	DrainNS int64   `json:"drain_ns"` // coordinator time draining boundary rings
+	Drained int     `json:"drained"`  // boundary messages delivered at this window's barrier
+}
+
+// RunStats is the merged execution profile of one Run call. It rides on
+// Result.Exec with `json:"-"`, so it never reaches marshalled artifacts or
+// ResultDigest — it exists for live observability only.
+type RunStats struct {
+	Shards      []ShardStats `json:"shards"`
+	Windows     uint64       `json:"windows"`      // lookahead windows executed (0 for serial)
+	Barriers    uint64       `json:"barriers"`     // boundary-drain barriers (0 for serial)
+	TotalEvents uint64       `json:"total_events"` // partition-independent: equals Result.Events
+	CoordEvents uint64       `json:"coord_events"` // events the coordinator emulated on the shards' behalf (ticks, scenario closures); shard Events + CoordEvents = TotalEvents
+	WallNS      int64        `json:"wall_ns"`      // total Run wall-clock
+	DrainNS     int64        `json:"drain_ns"`     // cumulative coordinator drain time
+
+	Spans          []WindowSpan `json:"spans,omitempty"`
+	TruncatedSpans uint64       `json:"truncated_spans,omitempty"` // windows past DefaultMaxSpans (aggregates still counted)
+}
+
+// BusyNS sums execution time across shards.
+func (r *RunStats) BusyNS() int64 {
+	var n int64
+	for i := range r.Shards {
+		n += r.Shards[i].BusyNS
+	}
+	return n
+}
+
+// BarrierWaitNS sums barrier-wait time across shards.
+func (r *RunStats) BarrierWaitNS() int64 {
+	var n int64
+	for i := range r.Shards {
+		n += r.Shards[i].BarrierWaitNS
+	}
+	return n
+}
+
+// Spills sums boundary-ring spills across shards.
+func (r *RunStats) Spills() uint64 {
+	var n uint64
+	for i := range r.Shards {
+		n += r.Shards[i].Boundary.Spills
+	}
+	return n
+}
+
+// BoundaryPushes sums boundary-ring pushes across shards.
+func (r *RunStats) BoundaryPushes() uint64 {
+	var n uint64
+	for i := range r.Shards {
+		n += r.Shards[i].Boundary.Pushes
+	}
+	return n
+}
+
+// Utilization is the run-wide lookahead-window efficiency: the fraction of
+// shard wall-clock spent executing rather than waiting. 1.0 for serial runs.
+func (r *RunStats) Utilization() float64 {
+	busy, wait := r.BusyNS(), r.BarrierWaitNS()
+	if busy+wait <= 0 {
+		return 1
+	}
+	return float64(busy) / float64(busy+wait)
+}
+
+// Serial builds the one-shard profile of a non-sharded run.
+func Serial(wall time.Duration, events uint64, heapHW int, poolAllocated, poolRecycled uint64) *RunStats {
+	return &RunStats{
+		Shards: []ShardStats{{
+			Events:        events,
+			HeapHighWater: heapHW,
+			PoolAllocated: poolAllocated,
+			PoolRecycled:  poolRecycled,
+			BusyNS:        wall.Nanoseconds(),
+		}},
+		TotalEvents: events,
+		WallNS:      wall.Nanoseconds(),
+	}
+}
+
+// Collector accumulates wall-clock timings while the sharded coordinator
+// runs. It is lock-free by construction: each shard goroutine writes only its
+// own slice slot (ShardBusy), and the coordinator reads those slots only
+// after the WaitGroup join that ends the window — the join is the
+// happens-before edge, exactly the argument the boundary queues already make.
+//
+// A nil *Collector is valid and free: every method early-returns.
+type Collector struct {
+	start  time.Time
+	shards []shardAcc
+
+	windows  uint64
+	barriers uint64
+	drainNS  int64
+
+	spans     []WindowSpan
+	maxSpans  int
+	truncated uint64
+
+	// in-progress window
+	wStart   time.Time
+	wBusy0   []int64
+	wEvents0 uint64
+	wDrainNS int64
+	wDrained int
+	inWindow bool
+}
+
+type shardAcc struct {
+	busyNS int64
+	waitNS int64
+}
+
+// NewCollector starts a collector for a run with the given shard count.
+func NewCollector(shards int) *Collector {
+	return &Collector{
+		start:    time.Now(),
+		shards:   make([]shardAcc, shards),
+		wBusy0:   make([]int64, shards),
+		maxSpans: DefaultMaxSpans,
+	}
+}
+
+// BeginWindow marks the start of one lookahead window (one coordinator loop
+// iteration). Called from the coordinator only.
+func (c *Collector) BeginWindow() {
+	if c == nil {
+		return
+	}
+	c.wStart = time.Now()
+	for i := range c.shards {
+		c.wBusy0[i] = c.shards[i].busyNS
+	}
+	c.wDrainNS = 0
+	c.wDrained = 0
+	c.inWindow = true
+}
+
+// ShardBusy credits wall-clock execution time to one shard. Called from the
+// shard's own goroutine; slots are disjoint, and the coordinator reads them
+// only after the window's WaitGroup join.
+func (c *Collector) ShardBusy(shard int, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.shards[shard].busyNS += d.Nanoseconds()
+}
+
+// Barrier records one boundary-drain barrier: how long the coordinator spent
+// draining and how many messages moved.
+func (c *Collector) Barrier(drain time.Duration, drained int) {
+	if c == nil {
+		return
+	}
+	c.barriers++
+	ns := drain.Nanoseconds()
+	c.drainNS += ns
+	c.wDrainNS += ns
+	c.wDrained += drained
+}
+
+// EndWindow closes the current window. events is the cumulative executed
+// count at window end (the delta from the previous window is stored). Each
+// shard's barrier wait for the window is the window wall minus the busy time
+// it accrued inside it.
+func (c *Collector) EndWindow(events uint64) {
+	if c == nil || !c.inWindow {
+		return
+	}
+	c.inWindow = false
+	wall := time.Since(c.wStart).Nanoseconds()
+	c.windows++
+
+	span := WindowSpan{
+		StartNS: c.wStart.Sub(c.start).Nanoseconds(),
+		WallNS:  wall,
+		Events:  events - c.wEvents0,
+		DrainNS: c.wDrainNS,
+		Drained: c.wDrained,
+	}
+	c.wEvents0 = events
+
+	keepSpan := len(c.spans) < c.maxSpans
+	if keepSpan {
+		span.BusyNS = make([]int64, len(c.shards))
+	} else {
+		c.truncated++
+	}
+	for i := range c.shards {
+		busy := c.shards[i].busyNS - c.wBusy0[i]
+		if wait := wall - busy; wait > 0 {
+			c.shards[i].waitNS += wait
+		}
+		if keepSpan {
+			span.BusyNS[i] = busy
+		}
+	}
+	if keepSpan {
+		c.spans = append(c.spans, span)
+	}
+}
+
+// Finish seals the collector into a RunStats skeleton: windows, barriers,
+// spans, and per-shard busy/wait are filled; the caller fills per-shard
+// scheduler/pool/boundary finals and TotalEvents.
+func (c *Collector) Finish() *RunStats {
+	if c == nil {
+		return nil
+	}
+	rs := &RunStats{
+		Shards:         make([]ShardStats, len(c.shards)),
+		Windows:        c.windows,
+		Barriers:       c.barriers,
+		WallNS:         time.Since(c.start).Nanoseconds(),
+		DrainNS:        c.drainNS,
+		Spans:          c.spans,
+		TruncatedSpans: c.truncated,
+	}
+	for i := range c.shards {
+		rs.Shards[i].Shard = i
+		rs.Shards[i].BusyNS = c.shards[i].busyNS
+		rs.Shards[i].BarrierWaitNS = c.shards[i].waitNS
+	}
+	return rs
+}
+
+// Summary aggregates execution profiles across many runs (harness suites,
+// service job streams).
+type Summary struct {
+	Runs           uint64  `json:"runs"`
+	ShardedRuns    uint64  `json:"sharded_runs"`
+	Events         uint64  `json:"events"`
+	Windows        uint64  `json:"windows"`
+	Barriers       uint64  `json:"barriers"`
+	BusyNS         int64   `json:"busy_ns"`
+	BarrierWaitNS  int64   `json:"barrier_wait_ns"`
+	WallNS         int64   `json:"wall_ns"`
+	Spills         uint64  `json:"spills"`
+	UtilizationMin float64 `json:"utilization_min"` // worst per-run utilization seen (1 when no runs)
+}
+
+// Add folds one run's profile into the summary. Nil-safe on rs.
+func (s *Summary) Add(rs *RunStats) {
+	if rs == nil {
+		return
+	}
+	if s.Runs == 0 || rs.Utilization() < s.UtilizationMin {
+		s.UtilizationMin = rs.Utilization()
+	}
+	s.Runs++
+	if len(rs.Shards) > 1 {
+		s.ShardedRuns++
+	}
+	s.Events += rs.TotalEvents
+	s.Windows += rs.Windows
+	s.Barriers += rs.Barriers
+	s.BusyNS += rs.BusyNS()
+	s.BarrierWaitNS += rs.BarrierWaitNS()
+	s.WallNS += rs.WallNS
+	s.Spills += rs.Spills()
+}
+
+// Utilization is the aggregate busy/(busy+wait) across all added runs.
+func (s *Summary) Utilization() float64 {
+	if s.BusyNS+s.BarrierWaitNS <= 0 {
+		return 1
+	}
+	return float64(s.BusyNS) / float64(s.BusyNS+s.BarrierWaitNS)
+}

@@ -1,0 +1,140 @@
+// Wall-clock Chrome trace export: the execution-machinery complement to the
+// sim-time trace in internal/telemetry. Each shard gets a process track,
+// every lookahead window becomes a complete ("X") slice sized by that shard's
+// busy time inside it, the coordinator's boundary drains render on their own
+// track, and flow events ("s"/"f") tie each shard's window end to the barrier
+// that consumed its boundary messages. Load the file in Perfetto or
+// chrome://tracing; a healthy sharded run shows dense same-length slices,
+// while a straggling shard shows one long slice per window with the others
+// idle — exactly the signal the adaptive-ring and placement work needs.
+package execstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent mirrors the Chrome trace_event JSON shape (same layout the
+// sim-time exporter uses; duplicated here because that type is unexported
+// and this trace is wall-clock, not sim-time).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders the run's wall-clock execution profile as a
+// Chrome trace. Serial runs (no window spans) render a single run-length
+// slice so the file always loads.
+func WriteChromeTrace(w io.Writer, runName string, rs *RunStats) error {
+	if rs == nil {
+		return fmt.Errorf("execstats: no run stats to export (enable Options.ExecStats)")
+	}
+	coordPID := int64(len(rs.Shards))
+	events := make([]traceEvent, 0, 2*len(rs.Shards)+4*len(rs.Spans)*len(rs.Shards)+8)
+
+	meta := func(pid int64, name string) {
+		events = append(events,
+			traceEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}},
+			traceEvent{Name: "thread_name", Ph: "M", PID: pid, Args: map[string]any{"name": "exec"}},
+		)
+	}
+	for i := range rs.Shards {
+		meta(int64(i), fmt.Sprintf("shard %d", i))
+	}
+	if len(rs.Spans) > 0 {
+		meta(coordPID, "coordinator")
+	}
+
+	if len(rs.Spans) == 0 {
+		// Serial (or span-free) run: one slice per shard covering its busy time.
+		for i := range rs.Shards {
+			s := &rs.Shards[i]
+			events = append(events, traceEvent{
+				Name: "run", Cat: "exec", Ph: "X",
+				TS: 0, Dur: usec(s.BusyNS), PID: int64(i),
+				Args: map[string]any{
+					"events":          s.Events,
+					"heap_high_water": s.HeapHighWater,
+				},
+			})
+		}
+	}
+
+	for wi := range rs.Spans {
+		sp := &rs.Spans[wi]
+		flowID := fmt.Sprintf("w%d", wi)
+		for si, busy := range sp.BusyNS {
+			if busy <= 0 {
+				continue
+			}
+			events = append(events, traceEvent{
+				Name: "window", Cat: "exec", Ph: "X",
+				TS: usec(sp.StartNS), Dur: usec(busy), PID: int64(si),
+				Args: map[string]any{"events": sp.Events},
+			})
+			if sp.Drained > 0 {
+				// Flow from this shard's window end into the barrier drain.
+				events = append(events, traceEvent{
+					Name: "boundary", Cat: "exec", Ph: "s", ID: flowID,
+					TS: usec(sp.StartNS + busy), PID: int64(si),
+				})
+			}
+		}
+		if sp.DrainNS > 0 || sp.Drained > 0 {
+			drainStart := sp.StartNS + sp.WallNS - sp.DrainNS
+			events = append(events, traceEvent{
+				Name: "barrier drain", Cat: "exec", Ph: "X",
+				TS: usec(drainStart), Dur: usec(max64(sp.DrainNS, 1)), PID: coordPID,
+				Args: map[string]any{"drained": sp.Drained},
+			})
+			if sp.Drained > 0 {
+				events = append(events, traceEvent{
+					Name: "boundary", Cat: "exec", Ph: "f", ID: flowID, TS: usec(drainStart), PID: coordPID,
+				})
+			}
+		}
+	}
+
+	doc := traceDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]any{
+			"run":             runName,
+			"clock":           "wall",
+			"shards":          len(rs.Shards),
+			"windows":         rs.Windows,
+			"barriers":        rs.Barriers,
+			"total_events":    rs.TotalEvents,
+			"utilization":     rs.Utilization(),
+			"boundary_spills": rs.Spills(),
+			"truncated_spans": rs.TruncatedSpans,
+			"wall_ns":         rs.WallNS,
+			"barrier_wait_ns": rs.BarrierWaitNS(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

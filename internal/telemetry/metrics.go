@@ -105,6 +105,46 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// FloatGauge is a float-valued gauge (atomic on the float's bits). Safe for
+// concurrent use.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a float-gauge family with one label dimension (e.g. per-worker
+// throughput). Unlike CounterVec, children can be deleted — a dead worker's
+// series disappears from /metrics instead of freezing at its last value.
+type GaugeVec struct {
+	label string
+	mu    sync.Mutex
+	kids  map[string]*FloatGauge
+}
+
+// With returns (creating on first use) the child gauge for a label value.
+func (v *GaugeVec) With(value string) *FloatGauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.kids[value]
+	if !ok {
+		g = &FloatGauge{}
+		v.kids[value] = g
+	}
+	return g
+}
+
+// Delete drops the child for a label value (no-op if absent).
+func (v *GaugeVec) Delete(value string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.kids, value)
+}
+
 // metric is one registered family.
 type metric struct {
 	name, help, typ string
@@ -112,6 +152,7 @@ type metric struct {
 	gauge           *Gauge
 	hist            *Histogram
 	vec             *CounterVec
+	gvec            *GaugeVec
 	constVal        float64 // for Registry.Const families (e.g. build_info)
 	constLabels     string  // pre-rendered {k="v",...} label set
 	isConst         bool
@@ -171,6 +212,13 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 	return v
 }
 
+// NewGaugeVec registers and returns a float-gauge family keyed by one label.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, kids: map[string]*FloatGauge{}}
+	r.register(&metric{name: name, help: help, typ: "gauge", gvec: v})
+	return v
+}
+
 // Const registers a constant gauge with a fixed label set — the build_info
 // idiom (value 1, labels carry the information).
 func (r *Registry) Const(name, help string, value float64, labels map[string]string) {
@@ -224,6 +272,17 @@ func (r *Registry) WriteText(w io.Writer) {
 				fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.vec.label, v, m.vec.kids[v].Value())
 			}
 			m.vec.mu.Unlock()
+		case m.gvec != nil:
+			m.gvec.mu.Lock()
+			vals := make([]string, 0, len(m.gvec.kids))
+			for v := range m.gvec.kids {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.gvec.label, v, formatFloat(m.gvec.kids[v].Value()))
+			}
+			m.gvec.mu.Unlock()
 		case m.hist != nil:
 			h := m.hist
 			h.mu.Lock()

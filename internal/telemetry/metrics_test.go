@@ -55,6 +55,48 @@ func TestRegistryExposition(t *testing.T) {
 	}
 }
 
+// TestGaugeVec covers the labelled-gauge family: per-child float values,
+// sorted stable rendering, and Delete removing a child's series entirely
+// (a dead fleet worker's throughput must disappear, not freeze).
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	gv := r.NewGaugeVec("test_throughput", "Per-worker gauge.", "worker")
+	gv.With("b").Set(2.5)
+	gv.With("a").Set(17)
+	gv.With("a").Set(18) // same child, updated in place
+
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_throughput gauge",
+		`test_throughput{worker="a"} 18`,
+		`test_throughput{worker="b"} 2.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `worker="a"`) > strings.Index(out, `worker="b"`) {
+		t.Error("gauge-vec children not sorted by label value")
+	}
+	if got := gv.With("a").Value(); got != 18 {
+		t.Errorf("child value = %v, want 18", got)
+	}
+
+	gv.Delete("a")
+	gv.Delete("never-existed") // no-op
+	buf.Reset()
+	r.WriteText(&buf)
+	out = buf.String()
+	if strings.Contains(out, `worker="a"`) {
+		t.Errorf("deleted child still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `worker="b"`) {
+		t.Errorf("surviving child missing:\n%s", out)
+	}
+}
+
 func TestRegistryHandler(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounter("x_total", "X.").Inc()
